@@ -1,0 +1,41 @@
+//! E10 (crash tolerance): simulator crash sweep and the OS-thread
+//! substrate with jitter + crash injection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftcolor_bench::e10_crash_tolerance;
+use ftcolor_core::SixColoring;
+use ftcolor_model::inputs;
+use ftcolor_model::Topology;
+use ftcolor_runtime::{run_threaded, RunOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_crash_tolerance");
+    g.sample_size(10);
+
+    // Claim check once: safety unconditional, Algorithm 1 never starves.
+    for r in e10_crash_tolerance::run(32, 1) {
+        assert!(r.safe, "{r:?}");
+        if r.algorithm == "Alg1" {
+            assert_eq!(r.starved, 0);
+        }
+    }
+
+    g.bench_function("sim_sweep_n32", |b| {
+        b.iter(|| e10_crash_tolerance::run(32, 1))
+    });
+
+    for n in [8usize, 16] {
+        let topo = Topology::cycle(n).unwrap();
+        let ids = inputs::random_permutation(n, 2);
+        g.bench_with_input(BenchmarkId::new("threads_with_crashes", n), &n, |b, _| {
+            b.iter(|| {
+                let opts = RunOptions::new().with_seed(7).crash(1, 0).cap(50_000);
+                run_threaded(&SixColoring, &topo, ids.clone(), &opts)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

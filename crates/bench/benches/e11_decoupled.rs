@@ -1,0 +1,38 @@
+//! E11 (model separation): DECOUPLED 3-coloring vs asynchronous
+//! 5-coloring wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftcolor_bench::e11_decoupled;
+use ftcolor_core::decoupled_ring::DecoupledThreeColoring;
+use ftcolor_model::decoupled::DecoupledExecution;
+use ftcolor_model::inputs;
+use ftcolor_model::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_decoupled");
+    g.sample_size(10);
+
+    // Claim check once.
+    for r in e11_decoupled::run(&[12, 40], 1) {
+        assert!(r.proper, "{r:?}");
+    }
+
+    for n in [64usize, 512] {
+        let topo = Topology::cycle(n).unwrap();
+        let ids = inputs::random_unique(n, 1 << 40, 7);
+        let alg = DecoupledThreeColoring::new();
+        g.bench_with_input(BenchmarkId::new("decoupled_3coloring", n), &n, |b, _| {
+            b.iter(|| {
+                let mut exec = DecoupledExecution::new(&alg, &topo, ids.clone());
+                exec.run(Synchronous::new(), 10_000).unwrap()
+            })
+        });
+    }
+    g.bench_function("separation_sweep", |b| {
+        b.iter(|| e11_decoupled::run(&[12, 40], 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

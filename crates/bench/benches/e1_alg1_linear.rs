@@ -1,0 +1,35 @@
+//! E1 (Theorem 3.1): wall-clock of Algorithm 1 executions across ring
+//! sizes and schedules; asserts the bound before timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftcolor_bench::common::{run_cycle, SchedKind};
+use ftcolor_checker::invariants::theorem_3_1_bound;
+use ftcolor_core::SixColoring;
+use ftcolor_model::inputs;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_alg1_linear");
+    g.sample_size(10);
+    for n in [16usize, 64, 256, 1024] {
+        let ids = inputs::staircase(n);
+        // Claim check once, outside the timing loop.
+        let (topo, report) =
+            run_cycle(&SixColoring, &ids, SchedKind::Sync, 0, 400 * n as u64).unwrap();
+        assert!(report.all_returned());
+        assert!(topo.is_proper_partial_coloring(&report.outputs));
+        assert!(report.max_activations() <= theorem_3_1_bound(n));
+
+        g.bench_with_input(BenchmarkId::new("staircase_sync", n), &n, |b, _| {
+            b.iter(|| run_cycle(&SixColoring, &ids, SchedKind::Sync, 0, 400 * n as u64).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("staircase_roundrobin", n), &n, |b, _| {
+            b.iter(|| {
+                run_cycle(&SixColoring, &ids, SchedKind::RoundRobin, 0, 400 * n as u64).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E2 (Lemma 3.9): timing of the per-process chain analysis plus an
+//! executed ring whose per-process bounds are asserted.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftcolor_bench::common::{run_cycle, SchedKind};
+use ftcolor_checker::chains::ChainAnalysis;
+use ftcolor_core::SixColoring;
+use ftcolor_model::inputs;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_chain_bound");
+    g.sample_size(10);
+    for n in [64usize, 1024, 16384] {
+        let ids = inputs::random_permutation(n, 2);
+        g.bench_with_input(BenchmarkId::new("chain_analysis", n), &n, |b, _| {
+            b.iter(|| ChainAnalysis::for_cycle(&ids))
+        });
+    }
+    // Executed bound check at a fixed size.
+    let n = 128;
+    let ids = inputs::random_permutation(n, 7);
+    let analysis = ChainAnalysis::for_cycle(&ids);
+    let (_, report) = run_cycle(&SixColoring, &ids, SchedKind::Sync, 0, 100_000).unwrap();
+    for p in 0..n {
+        assert!(report.activations[p] <= analysis.lemma_3_9_bound(p));
+    }
+    g.bench_function("bounded_execution_128", |b| {
+        b.iter(|| run_cycle(&SixColoring, &ids, SchedKind::Sync, 0, 100_000).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E3 (Theorem 3.11): wall-clock of Algorithm 2 across ring sizes;
+//! asserts the 3n+8 bound and the 5-color palette before timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftcolor_bench::common::{coloring_ok, run_cycle, SchedKind};
+use ftcolor_checker::invariants::theorem_3_11_bound;
+use ftcolor_core::FiveColoring;
+use ftcolor_model::inputs;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_alg2_linear");
+    g.sample_size(10);
+    for n in [16usize, 64, 256, 1024] {
+        let ids = inputs::staircase(n);
+        let (topo, report) =
+            run_cycle(&FiveColoring, &ids, SchedKind::Sync, 0, 600 * n as u64).unwrap();
+        assert!(report.all_returned());
+        assert!(coloring_ok(&topo, &report, |c| *c, 5));
+        assert!(report.max_activations() <= theorem_3_11_bound(n));
+
+        g.bench_with_input(BenchmarkId::new("staircase_sync", n), &n, |b, _| {
+            b.iter(|| run_cycle(&FiveColoring, &ids, SchedKind::Sync, 0, 600 * n as u64).unwrap())
+        });
+        let rand_ids = inputs::random_permutation(n, 3);
+        g.bench_with_input(BenchmarkId::new("random_random", n), &n, |b, _| {
+            b.iter(|| {
+                run_cycle(
+                    &FiveColoring,
+                    &rand_ids,
+                    SchedKind::Random,
+                    5,
+                    600 * n as u64,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

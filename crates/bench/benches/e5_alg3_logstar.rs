@@ -1,0 +1,42 @@
+//! E5 (Theorem 4.4, headline): Algorithm 3's near-constant rounds vs
+//! Algorithm 2's linear rounds on the adversarial staircase — the
+//! wall-clock mirror of the paper's central complexity claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftcolor_bench::common::{run_cycle, SchedKind};
+use ftcolor_checker::invariants::theorem_4_4_bound;
+use ftcolor_core::{FastFiveColoring, FiveColoring};
+use ftcolor_model::inputs;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_alg3_logstar");
+    g.sample_size(10);
+    for n in [64usize, 1024, 16384] {
+        let ids = inputs::staircase_poly(n);
+        let (_, report) = run_cycle(&FastFiveColoring, &ids, SchedKind::Sync, 0, 100_000).unwrap();
+        assert!(report.all_returned());
+        assert!(report.max_activations() <= theorem_4_4_bound(n));
+
+        g.bench_with_input(BenchmarkId::new("alg3_staircase", n), &n, |b, _| {
+            b.iter(|| run_cycle(&FastFiveColoring, &ids, SchedKind::Sync, 0, 100_000).unwrap())
+        });
+        if n <= 1024 {
+            g.bench_with_input(BenchmarkId::new("alg2_staircase", n), &n, |b, _| {
+                b.iter(|| {
+                    run_cycle(
+                        &FiveColoring,
+                        &ids,
+                        SchedKind::Sync,
+                        0,
+                        40 * n as u64 + 1000,
+                    )
+                    .unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E6 (Property 2.3 / exhaustive soundness): exploration throughput of
+//! the model checker on C3 instances.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftcolor_checker::ModelChecker;
+use ftcolor_core::{FiveColoring, SixColoring};
+use ftcolor_model::Topology;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_modelcheck");
+    g.sample_size(10);
+    let topo = Topology::cycle(3).unwrap();
+
+    // Claim check once: safety holds everywhere on C3.
+    let o = ModelChecker::new(&FiveColoring, &topo, vec![0, 1, 2])
+        .explore(|t, outs| t.first_conflict(outs).map(|(a, b)| format!("{a}-{b}")))
+        .unwrap();
+    assert!(o.safety_violation.is_none());
+
+    g.bench_function("alg1_c3_exhaustive", |b| {
+        b.iter(|| {
+            ModelChecker::new(&SixColoring, &topo, vec![0, 1, 2])
+                .explore(|t, outs| t.first_conflict(outs).map(|(a, b)| format!("{a}-{b}")))
+                .unwrap()
+        })
+    });
+    g.bench_function("alg2_c3_exhaustive", |b| {
+        b.iter(|| {
+            ModelChecker::new(&FiveColoring, &topo, vec![0, 1, 2])
+                .explore(|t, outs| t.first_conflict(outs).map(|(a, b)| format!("{a}-{b}")))
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E8 (Appendix A): Algorithm 4 wall-clock across graph families.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftcolor_core::DeltaSquaredColoring;
+use ftcolor_model::inputs;
+use ftcolor_model::prelude::*;
+
+fn run(topo: &Topology, ids: &[u64]) -> ExecutionReport<ftcolor_core::PairColor> {
+    let mut exec = Execution::new(&DeltaSquaredColoring, topo, ids.to_vec());
+    exec.run(Synchronous::new(), 1_000_000).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_general_graphs");
+    g.sample_size(10);
+    let cases = vec![
+        ("torus8x8", Topology::grid(8, 8, true).unwrap()),
+        ("petersen", Topology::petersen()),
+        ("rr_n100_d6", Topology::random_regular(100, 6, 7).unwrap()),
+        ("clique12", Topology::clique(12).unwrap()),
+    ];
+    for (name, topo) in cases {
+        let ids = inputs::random_permutation(topo.len(), 3);
+        // Claim check once.
+        let report = run(&topo, &ids);
+        assert!(report.all_returned());
+        assert!(topo.is_proper_partial_coloring(&report.outputs));
+        let delta = topo.max_degree() as u64;
+        assert!(report.outputs.iter().flatten().all(|c| c.weight() <= delta));
+
+        g.bench_function(name, |b| b.iter(|| run(&topo, &ids)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

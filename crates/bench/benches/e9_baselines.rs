@@ -1,0 +1,59 @@
+//! E9 (baselines): synchronous Cole–Vishkin vs Algorithm 3, and
+//! rank-based renaming on the clique.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftcolor_bench::common::{run_cycle, SchedKind};
+use ftcolor_core::renaming::RankRenaming;
+use ftcolor_core::sync_local::{ColeVishkinThree, CvInput};
+use ftcolor_core::FastFiveColoring;
+use ftcolor_model::inputs;
+use ftcolor_model::prelude::*;
+
+fn run_cv(n: usize, ids: &[u64]) -> u64 {
+    let alg = ColeVishkinThree::for_max_id(*ids.iter().max().unwrap());
+    let topo = Topology::cycle(n).unwrap();
+    let cv_inputs: Vec<CvInput> = ids
+        .iter()
+        .enumerate()
+        .map(|(pos, &x)| CvInput { x, pos, n })
+        .collect();
+    let mut exec = Execution::new(&alg, &topo, cv_inputs);
+    exec.run(Synchronous::new(), 1_000_000)
+        .unwrap()
+        .max_activations()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_baselines");
+    g.sample_size(10);
+    for n in [64usize, 1024] {
+        let ids = inputs::staircase_poly(n);
+        // Both round counts are near-constant; the wait-free algorithm
+        // pays a constant factor.
+        let cv_rounds = run_cv(n, &ids);
+        let (_, rep) = run_cycle(&FastFiveColoring, &ids, SchedKind::Sync, 0, 100_000).unwrap();
+        assert!(cv_rounds <= 12);
+        assert!(rep.max_activations() <= 12 * cv_rounds);
+
+        g.bench_with_input(BenchmarkId::new("cole_vishkin_sync", n), &n, |b, _| {
+            b.iter(|| run_cv(n, &ids))
+        });
+        g.bench_with_input(BenchmarkId::new("alg3_sync", n), &n, |b, _| {
+            b.iter(|| run_cycle(&FastFiveColoring, &ids, SchedKind::Sync, 0, 100_000).unwrap())
+        });
+    }
+    for n in [4usize, 8] {
+        let topo = Topology::clique(n).unwrap();
+        let ids = inputs::random_unique(n, 10_000, 1);
+        g.bench_with_input(BenchmarkId::new("renaming_clique", n), &n, |b, _| {
+            b.iter(|| {
+                let mut exec = Execution::new(&RankRenaming, &topo, ids.clone());
+                exec.run(RandomSubset::new(3, 0.5), 1_000_000).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

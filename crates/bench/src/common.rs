@@ -1,0 +1,147 @@
+//! Shared plumbing for the experiment drivers: schedule construction by
+//! name, run helpers, and table rendering.
+
+use ftcolor_model::prelude::*;
+use ftcolor_model::{Algorithm, ModelError};
+use serde::Serialize;
+
+/// Named schedule families used across experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SchedKind {
+    /// Everyone at every step (lock-step).
+    Sync,
+    /// One process per step in id order.
+    RoundRobin,
+    /// Seeded random subsets (p = 0.5).
+    Random,
+    /// Run processes to completion one at a time.
+    Solo,
+    /// A sweeping window of width 3, stride 2.
+    Wave,
+}
+
+impl SchedKind {
+    /// All schedule families.
+    pub const ALL: [SchedKind; 5] = [
+        SchedKind::Sync,
+        SchedKind::RoundRobin,
+        SchedKind::Random,
+        SchedKind::Solo,
+        SchedKind::Wave,
+    ];
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedKind::Sync => "sync",
+            SchedKind::RoundRobin => "round-robin",
+            SchedKind::Random => "random",
+            SchedKind::Solo => "solo",
+            SchedKind::Wave => "wave",
+        }
+    }
+
+    /// Builds the schedule for `n` processes with `seed`.
+    pub fn build(&self, n: usize, seed: u64) -> Box<dyn Schedule> {
+        match self {
+            SchedKind::Sync => Box::new(Synchronous::new()),
+            SchedKind::RoundRobin => Box::new(RoundRobin::new()),
+            SchedKind::Random => Box::new(RandomSubset::new(seed, 0.5)),
+            SchedKind::Solo => Box::new(SoloRunner::ascending(n)),
+            SchedKind::Wave => Box::new(Wave::new(n, 3, 2)),
+        }
+    }
+}
+
+/// Runs an algorithm on the cycle under a named schedule.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] (including non-termination within fuel).
+pub fn run_cycle<A: Algorithm<Input = u64>>(
+    alg: &A,
+    ids: &[u64],
+    kind: SchedKind,
+    seed: u64,
+    fuel: u64,
+) -> Result<(Topology, ExecutionReport<A::Output>), ModelError> {
+    let topo = Topology::cycle(ids.len())?;
+    let mut exec = Execution::new(alg, &topo, ids.to_vec());
+    let report = exec.run(kind.build(ids.len(), seed), fuel)?;
+    Ok((topo, report))
+}
+
+/// Renders rows as a fixed-width text table (header + separator + rows).
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// `true` when every report output is within `0..palette` (colors given
+/// by `index`) and the partial coloring is proper.
+pub fn coloring_ok<O: Clone + PartialEq>(
+    topo: &Topology,
+    report: &ExecutionReport<O>,
+    index: impl Fn(&O) -> u64,
+    palette: u64,
+) -> bool {
+    topo.is_proper_partial_coloring(&report.outputs)
+        && report.outputs.iter().flatten().all(|o| index(o) < palette)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcolor_core::FiveColoring;
+
+    #[test]
+    fn schedules_build_and_run() {
+        for kind in SchedKind::ALL {
+            let ids = [5, 1, 9, 3, 7];
+            let (topo, report) = run_cycle(&FiveColoring, &ids, kind, 3, 100_000).unwrap();
+            assert!(report.all_returned(), "{}", kind.label());
+            assert!(coloring_ok(&topo, &report, |c| *c, 5), "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let t = render_table(
+            "demo",
+            &["n", "value"],
+            &[
+                vec!["3".into(), "10".into()],
+                vec!["100".into(), "7".into()],
+            ],
+        );
+        assert!(t.contains("## demo"));
+        assert!(t.contains("  3"));
+        assert!(t.contains("100"));
+    }
+}

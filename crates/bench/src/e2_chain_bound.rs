@@ -1,0 +1,198 @@
+//! **E2 — Lemma 3.9 / Remark 3.10.** The per-process refinement of
+//! Theorem 3.1: a process at monotone distances `ℓ, ℓ′` from its nearest
+//! local extrema returns within `min{3ℓ, 3ℓ′, ℓ+ℓ′} + 4` activations —
+//! and the inputs need only properly color the cycle, not be unique.
+
+use crate::common::{run_cycle, SchedKind};
+use ftcolor_checker::chains::ChainAnalysis;
+use ftcolor_core::SixColoring;
+use ftcolor_model::inputs;
+use serde::Serialize;
+
+/// One measurement row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Ring size.
+    pub n: usize,
+    /// Input shape label.
+    pub input: String,
+    /// Schedule label.
+    pub schedule: &'static str,
+    /// Worst measured activations across processes and seeds.
+    pub max_activations: u64,
+    /// Worst per-process Lemma 3.9 bound (max over processes).
+    pub max_bound: u64,
+    /// Tightness: worst measured / bound ratio ×1000 over processes.
+    pub worst_ratio_milli: u64,
+    /// Whether every process respected its own per-process bound.
+    pub all_within: bool,
+}
+
+/// Runs the per-process bound check over random and structured rings,
+/// plus the Remark 3.10 non-unique proper-coloring inputs.
+pub fn run(sizes: &[usize], seeds: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let mut cases: Vec<(String, Vec<u64>)> = vec![
+            ("staircase".into(), inputs::staircase(n)),
+            ("organ-pipe".into(), inputs::organ_pipe(n)),
+        ];
+        for seed in 0..seeds {
+            cases.push((
+                format!("random#{seed}"),
+                inputs::random_permutation(n, seed),
+            ));
+        }
+        if n >= 3 {
+            cases.push(("proper-3-coloring".into(), inputs::proper_k_coloring(n, 3)));
+        }
+        for (label, ids) in cases {
+            let analysis = ChainAnalysis::for_cycle(&ids);
+            for kind in [SchedKind::Sync, SchedKind::Random] {
+                let (_, report) = run_cycle(&SixColoring, &ids, kind, 17, 400 * n as u64 + 4000)
+                    .expect("wait-free");
+                let mut all_within = true;
+                let mut worst_ratio = 0u64;
+                for p in 0..n {
+                    let bound = analysis.lemma_3_9_bound(p);
+                    let acts = report.activations[p];
+                    all_within &= acts <= bound;
+                    worst_ratio = worst_ratio.max(acts * 1000 / bound);
+                }
+                rows.push(Row {
+                    n,
+                    input: label.clone(),
+                    schedule: kind.label(),
+                    max_activations: report.max_activations(),
+                    max_bound: (0..n).map(|p| analysis.lemma_3_9_bound(p)).max().unwrap(),
+                    worst_ratio_milli: worst_ratio,
+                    all_within,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// One point of the chain-length sweep: activations as a function of the
+/// tooth length `k` at fixed `n` — the Lemma 3.9 "figure" (convergence
+/// time tracks the monotone-chain length, not the ring size).
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepRow {
+    /// Fixed ring size.
+    pub n: usize,
+    /// Sawtooth tooth length (≈ monotone chain length).
+    pub k: usize,
+    /// Measured max activations (synchronous schedule).
+    pub max_activations: u64,
+    /// The Lemma 3.9 bound for the worst-positioned process.
+    pub max_bound: u64,
+}
+
+/// Sweeps the tooth length at fixed `n` (Algorithm 1, synchronous).
+pub fn run_chain_sweep(n: usize, teeth: &[usize]) -> Vec<SweepRow> {
+    teeth
+        .iter()
+        .map(|&k| {
+            let ids = inputs::sawtooth(n, k);
+            let analysis = ChainAnalysis::for_cycle(&ids);
+            let (_, report) = run_cycle(&SixColoring, &ids, SchedKind::Sync, 0, 400 * n as u64)
+                .expect("wait-free");
+            SweepRow {
+                n,
+                k,
+                max_activations: report.max_activations(),
+                max_bound: (0..n).map(|p| analysis.lemma_3_9_bound(p)).max().unwrap(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the chain-length sweep table.
+pub fn sweep_table(rows: &[SweepRow]) -> String {
+    crate::common::render_table(
+        "E2b (Lemma 3.9 shape) — activations scale with chain length k, not ring size",
+        &["n", "k", "max acts", "max bound"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.n.to_string(),
+                    r.k.to_string(),
+                    r.max_activations.to_string(),
+                    r.max_bound.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Renders the E2 table.
+pub fn table(rows: &[Row]) -> String {
+    crate::common::render_table(
+        "E2 (Lemma 3.9 / Remark 3.10) — per-process bound min{3ℓ,3ℓ′,ℓ+ℓ′}+4",
+        &[
+            "n",
+            "input",
+            "schedule",
+            "max acts",
+            "max bound",
+            "worst ratio",
+            "all within",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.n.to_string(),
+                    r.input.clone(),
+                    r.schedule.to_string(),
+                    r.max_activations.to_string(),
+                    r.max_bound.to_string(),
+                    format!("{:.3}", r.worst_ratio_milli as f64 / 1000.0),
+                    r.all_within.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_hold_per_process() {
+        let rows = run(&[6, 11, 20], 3);
+        assert!(rows.iter().all(|r| r.all_within), "{rows:#?}");
+    }
+
+    #[test]
+    fn chain_sweep_scales_with_k_not_n() {
+        let rows = run_chain_sweep(240, &[1, 2, 4, 8, 16, 32]);
+        for w in rows.windows(2) {
+            assert!(
+                w[1].max_activations + 2 >= w[0].max_activations,
+                "activations should (weakly) grow with k: {rows:?}"
+            );
+        }
+        let small = rows.first().unwrap().max_activations;
+        let large = rows.last().unwrap().max_activations;
+        assert!(large >= 3 * small, "k=32 must dominate k=1: {rows:?}");
+        for r in &rows {
+            assert!(r.max_activations <= r.max_bound, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn proper_coloring_inputs_finish_in_constant_rounds() {
+        let rows = run(&[30], 0);
+        let r = rows
+            .iter()
+            .find(|r| r.input == "proper-3-coloring" && r.schedule == "sync")
+            .unwrap();
+        // Chains under 3 colors have ≤ 2 edges → bound ≤ 3·2+4.
+        assert!(r.max_bound <= 10, "{r:?}");
+        assert!(r.max_activations <= 10);
+    }
+}

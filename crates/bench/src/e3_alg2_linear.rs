@@ -1,0 +1,117 @@
+//! **E3 — Theorem 3.11.** Algorithm 2 terminates within `3n + 8`
+//! activations with the optimal 5-color palette `{0, …, 4}` — in
+//! crash-free executions. (Its behavior *under crashes* is the subject
+//! of the reproduction finding documented in E6 and DESIGN.md.)
+
+use crate::common::{coloring_ok, run_cycle, SchedKind};
+use ftcolor_checker::invariants::theorem_3_11_bound;
+use ftcolor_core::FiveColoring;
+use ftcolor_model::inputs;
+use serde::Serialize;
+
+/// One measurement row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Ring size.
+    pub n: usize,
+    /// Input shape label.
+    pub input: &'static str,
+    /// Schedule label.
+    pub schedule: &'static str,
+    /// Measured worst-case activations.
+    pub max_activations: u64,
+    /// The Theorem 3.11 bound `3n + 8`.
+    pub bound: u64,
+    /// Largest color observed (must be ≤ 4).
+    pub max_color: u64,
+    /// Whether every execution was proper, in-palette, within bound.
+    pub ok: bool,
+}
+
+/// Runs the sweep.
+pub fn run(sizes: &[usize], seeds: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        for (input_label, ids) in [
+            ("staircase", inputs::staircase(n)),
+            ("alternating", inputs::alternating(n)),
+            ("random", inputs::random_permutation(n, 0xE3)),
+        ] {
+            for kind in [SchedKind::Sync, SchedKind::RoundRobin, SchedKind::Random] {
+                let mut worst = 0u64;
+                let mut max_color = 0u64;
+                let mut ok = true;
+                for seed in 0..seeds {
+                    let fuel = 600 * n as u64 + 6000;
+                    let (topo, report) =
+                        run_cycle(&FiveColoring, &ids, kind, seed, fuel).expect("wait-free");
+                    worst = worst.max(report.max_activations());
+                    max_color =
+                        max_color.max(report.outputs.iter().flatten().copied().max().unwrap_or(0));
+                    ok &= report.all_returned()
+                        && coloring_ok(&topo, &report, |c| *c, 5)
+                        && report.max_activations() <= theorem_3_11_bound(n);
+                }
+                rows.push(Row {
+                    n,
+                    input: input_label,
+                    schedule: kind.label(),
+                    max_activations: worst,
+                    bound: theorem_3_11_bound(n),
+                    max_color,
+                    ok,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Renders the E3 table.
+pub fn table(rows: &[Row]) -> String {
+    crate::common::render_table(
+        "E3 (Theorem 3.11) — Algorithm 2: ≤ 3n+8 activations, palette {0..4}, proper",
+        &[
+            "n",
+            "input",
+            "schedule",
+            "max acts",
+            "bound",
+            "max color",
+            "ok",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.n.to_string(),
+                    r.input.to_string(),
+                    r.schedule.to_string(),
+                    r.max_activations.to_string(),
+                    r.bound.to_string(),
+                    r.max_color.to_string(),
+                    r.ok.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_is_all_ok() {
+        let rows = run(&[3, 6, 12], 2);
+        assert!(rows.iter().all(|r| r.ok), "{rows:#?}");
+        assert!(rows.iter().all(|r| r.max_color <= 4));
+    }
+
+    #[test]
+    fn palette_reaches_high_colors_somewhere() {
+        let rows = run(&[3, 5, 7, 9], 4);
+        let top = rows.iter().map(|r| r.max_color).max().unwrap();
+        assert!(top >= 3, "expected rich palette usage, top color {top}");
+    }
+}

@@ -1,0 +1,157 @@
+//! **E4 — Lemmas 4.1–4.3.** The identifier-reduction function `f`:
+//! iterating its worst-case contraction reaches the constant regime
+//! (< 10) within `O(log* x)` steps (Lemma 4.1); `f(x,y) < y` whenever
+//! `x > y ≥ 10` (Lemma 4.2); and reductions along monotone chains never
+//! collide (Lemma 4.3).
+
+use ftcolor_core::cole_vishkin::reduce;
+use ftcolor_model::logstar::{cv_iterations_below_10, log_star_u64};
+use serde::Serialize;
+
+/// One row of the Lemma 4.1 contraction table.
+#[derive(Debug, Clone, Serialize)]
+pub struct ContractionRow {
+    /// Identifier magnitude: `x = 2^bits − 1`.
+    pub bits: u32,
+    /// Iterations of `F(x) = 2⌈log₂(x+1)⌉+1` until `< 10`.
+    pub iterations: u32,
+    /// `log* x`.
+    pub log_star: u32,
+    /// `iterations / max(log*, 1)` ×1000.
+    pub ratio_milli: u64,
+}
+
+/// Sweeps identifier magnitudes for the Lemma 4.1 claim.
+pub fn run_contraction() -> Vec<ContractionRow> {
+    [4u32, 8, 12, 16, 20, 24, 32, 40, 48, 56, 63]
+        .iter()
+        .map(|&bits| {
+            let x = if bits >= 63 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
+            let iterations = cv_iterations_below_10(x);
+            let log_star = log_star_u64(x);
+            ContractionRow {
+                bits,
+                iterations,
+                log_star,
+                ratio_milli: u64::from(iterations) * 1000 / u64::from(log_star.max(1)),
+            }
+        })
+        .collect()
+}
+
+/// Exhaustive verification counts for Lemmas 4.2 and 4.3 over a range.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExhaustiveRow {
+    /// Which lemma.
+    pub lemma: &'static str,
+    /// Number of (x, y[, z]) tuples checked.
+    pub tuples_checked: u64,
+    /// Number of violations found (must be 0).
+    pub violations: u64,
+}
+
+/// Exhaustively checks Lemma 4.2 for `10 ≤ y < limit`, `y < x ≤ y+span`,
+/// and Lemma 4.3 for all `x > y > z` below `limit3`.
+pub fn run_exhaustive(limit: u64, span: u64, limit3: u64) -> Vec<ExhaustiveRow> {
+    let mut checked2 = 0u64;
+    let mut bad2 = 0u64;
+    for y in 10..limit {
+        for x in y + 1..=y + span {
+            checked2 += 1;
+            if reduce(x, y) >= y {
+                bad2 += 1;
+            }
+        }
+    }
+    let mut checked3 = 0u64;
+    let mut bad3 = 0u64;
+    for x in 0..limit3 {
+        for y in 0..x {
+            for z in 0..y {
+                checked3 += 1;
+                if reduce(x, y) == reduce(y, z) {
+                    bad3 += 1;
+                }
+            }
+        }
+    }
+    vec![
+        ExhaustiveRow {
+            lemma: "4.2 (f(x,y) < y for x > y ≥ 10)",
+            tuples_checked: checked2,
+            violations: bad2,
+        },
+        ExhaustiveRow {
+            lemma: "4.3 (f(x,y) ≠ f(y,z) for x > y > z)",
+            tuples_checked: checked3,
+            violations: bad3,
+        },
+    ]
+}
+
+/// Renders both E4 tables.
+pub fn table(contraction: &[ContractionRow], exhaustive: &[ExhaustiveRow]) -> String {
+    let mut out = crate::common::render_table(
+        "E4a (Lemma 4.1) — iterations of the CV contraction to reach < 10",
+        &["bits", "iterations", "log*", "ratio"],
+        &contraction
+            .iter()
+            .map(|r| {
+                vec![
+                    r.bits.to_string(),
+                    r.iterations.to_string(),
+                    r.log_star.to_string(),
+                    format!("{:.2}", r.ratio_milli as f64 / 1000.0),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    out.push('\n');
+    out.push_str(&crate::common::render_table(
+        "E4b (Lemmas 4.2, 4.3) — exhaustive verification",
+        &["lemma", "tuples", "violations"],
+        &exhaustive
+            .iter()
+            .map(|r| {
+                vec![
+                    r.lemma.to_string(),
+                    r.tuples_checked.to_string(),
+                    r.violations.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contraction_tracks_log_star() {
+        let rows = run_contraction();
+        for r in &rows {
+            assert!(
+                r.iterations <= 3 * r.log_star.max(1),
+                "{r:?}: α would exceed 3"
+            );
+        }
+        // Flatness: 63-bit ids need at most one more iteration than 16-bit.
+        let it = |bits| rows.iter().find(|r| r.bits == bits).unwrap().iterations;
+        assert!(it(63) <= it(16) + 1);
+    }
+
+    #[test]
+    fn exhaustive_is_violation_free() {
+        let rows = run_exhaustive(300, 50, 64);
+        for r in &rows {
+            assert_eq!(r.violations, 0, "{r:?}");
+            assert!(r.tuples_checked > 1000);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! **E5 — Theorem 4.4 (the headline result).** On adversarial staircase
+//! identifiers, Algorithm 2 needs `Θ(n)` activations while Algorithm 3
+//! stays at `O(log* n)` — effectively flat for every feasible `n`. This
+//! is the paper's central "figure": round complexity vs ring size, with
+//! the crossover at small `n`.
+
+use crate::common::{coloring_ok, run_cycle, SchedKind};
+use ftcolor_checker::invariants::theorem_4_4_bound;
+use ftcolor_core::{FastFiveColoring, FastFiveColoringPatched, FiveColoring};
+use ftcolor_model::inputs;
+use ftcolor_model::logstar::log_star_u64;
+use serde::Serialize;
+
+/// One point of the headline series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Ring size.
+    pub n: usize,
+    /// `log* n` for reference.
+    pub log_star: u32,
+    /// Algorithm 2 max activations on the staircase (`None` = skipped,
+    /// too slow to run at this size; it is provably ≥ n/2-ish).
+    pub alg2_max: Option<u64>,
+    /// Algorithm 3 max activations on the same input.
+    pub alg3_max: u64,
+    /// The patched Algorithm 3's max activations (the repair costs
+    /// nothing on the headline workload).
+    pub alg3_patched_max: u64,
+    /// The Theorem 4.4 regression bound used in tests.
+    pub alg3_bound: u64,
+    /// Whether Algorithm 3's execution was proper, in-palette, in-bound.
+    pub ok: bool,
+}
+
+/// Runs the headline sweep under the synchronous schedule (the schedule
+/// that realizes the staircase worst case for Algorithm 2).
+///
+/// `alg2_cutoff`: largest `n` at which Algorithm 2 is actually run.
+pub fn run(sizes: &[usize], alg2_cutoff: usize) -> Vec<Row> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let ids = inputs::staircase_poly(n);
+            let alg2_max = (n <= alg2_cutoff).then(|| {
+                let (_, report) = run_cycle(
+                    &FiveColoring,
+                    &ids,
+                    SchedKind::Sync,
+                    0,
+                    40 * n as u64 + 1000,
+                )
+                .expect("wait-free");
+                report.max_activations()
+            });
+            let (topo, report) =
+                run_cycle(&FastFiveColoring, &ids, SchedKind::Sync, 0, 100_000).expect("wait-free");
+            let alg3_max = report.max_activations();
+            let (_, patched_report) =
+                run_cycle(&FastFiveColoringPatched, &ids, SchedKind::Sync, 0, 100_000)
+                    .expect("patched terminates");
+            let alg3_patched_max = patched_report.max_activations();
+            let bound = theorem_4_4_bound(n);
+            Row {
+                n,
+                log_star: log_star_u64(n as u64),
+                alg2_max,
+                alg3_max,
+                alg3_patched_max,
+                alg3_bound: bound,
+                ok: report.all_returned()
+                    && coloring_ok(&topo, &report, |c| *c, 5)
+                    && alg3_max <= bound,
+            }
+        })
+        .collect()
+}
+
+/// Renders the E5 table.
+pub fn table(rows: &[Row]) -> String {
+    crate::common::render_table(
+        "E5 (Theorem 4.4, headline) — staircase worst case: Alg 2 Θ(n) vs Alg 3 O(log* n)",
+        &[
+            "n",
+            "log*",
+            "alg2 max acts",
+            "alg3 max acts",
+            "alg3p max acts",
+            "alg3 bound",
+            "ok",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.n.to_string(),
+                    r.log_star.to_string(),
+                    r.alg2_max.map_or("(skipped)".into(), |v| v.to_string()),
+                    r.alg3_max.to_string(),
+                    r.alg3_patched_max.to_string(),
+                    r.alg3_bound.to_string(),
+                    r.ok.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// The crossover size: smallest measured `n` where Algorithm 3 beats
+/// Algorithm 2 on the staircase.
+pub fn crossover(rows: &[Row]) -> Option<usize> {
+    rows.iter()
+        .find(|r| r.alg2_max.is_some_and(|a2| r.alg3_max < a2))
+        .map(|r| r.n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_linear_vs_flat() {
+        let rows = run(&[8, 64, 512], 512);
+        // Algorithm 2 grows ~linearly.
+        let a2 = |n: usize| rows.iter().find(|r| r.n == n).unwrap().alg2_max.unwrap();
+        assert!(
+            a2(512) >= 4 * a2(64) / 2,
+            "a2(512)={} a2(64)={}",
+            a2(512),
+            a2(64)
+        );
+        // Algorithm 3 stays flat (within the log* bound).
+        for r in &rows {
+            assert!(r.ok, "{r:?}");
+        }
+        let a3: Vec<u64> = rows.iter().map(|r| r.alg3_max).collect();
+        assert!(
+            a3.iter().max().unwrap() - a3.iter().min().unwrap() <= 20,
+            "Algorithm 3 should be near-flat: {a3:?}"
+        );
+    }
+
+    #[test]
+    fn crossover_is_small() {
+        let rows = run(&[4, 8, 16, 32, 64, 128], 128);
+        let x = crossover(&rows).expect("crossover exists");
+        assert!(x <= 64, "crossover at {x}");
+    }
+}

@@ -1,0 +1,32 @@
+//! # `ftcolor-bench` — the experiment harness
+//!
+//! One module per experiment (E1–E10, indexed in DESIGN.md §5), each
+//! exposing a `run()` that produces serializable result rows. Three
+//! consumers share these drivers:
+//!
+//! * `cargo run -p ftcolor-bench --release --bin experiments` — prints
+//!   every table (paper claim vs measured) and writes
+//!   `experiments.json`; EXPERIMENTS.md records this output;
+//! * `cargo bench` — Criterion benches timing the representative
+//!   workloads (`benches/`, one target per experiment);
+//! * the test suite — each driver has smoke tests pinning the claims.
+//!
+//! The paper is a brief announcement with no numbered tables/figures;
+//! the experiments reproduce its *theorems* (see DESIGN.md §5 for the
+//! mapping).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod e10_crash_tolerance;
+pub mod e11_decoupled;
+pub mod e1_alg1_linear;
+pub mod e2_chain_bound;
+pub mod e3_alg2_linear;
+pub mod e4_cole_vishkin;
+pub mod e5_alg3_logstar;
+pub mod e6_modelcheck;
+pub mod e7_mis_impossible;
+pub mod e8_general_graphs;
+pub mod e9_baselines;

@@ -1,0 +1,39 @@
+//! # `ftcolor-checker` — verification machinery for the reproduction
+//!
+//! Everything used to *check* the paper's claims rather than merely run
+//! its algorithms:
+//!
+//! * [`invariants`] — post-hoc and step-wise invariant checking: proper
+//!   partial colorings, palette bounds, the Lemma 4.5 evolving-identifier
+//!   invariant, and wait-freedom accounting;
+//! * [`chains`] — monotone-chain analysis of identifier assignments: the
+//!   per-process distances to local extrema that drive the Lemma 3.9 and
+//!   Lemma 3.14 activation bounds;
+//! * [`modelcheck`] — an exhaustive reachable-configuration model checker
+//!   for small instances: explores *every* schedule (all activation
+//!   subsets at every step, hence also every crash pattern, since a crash
+//!   is just "no further activations"), checks a safety predicate at
+//!   every configuration, and detects livelocks as cycles in the
+//!   configuration graph;
+//! * [`adversary`] — a randomized schedule fuzzer for instances beyond
+//!   exhaustive reach: evolves activation-set genomes toward starvation
+//!   or safety violations;
+//! * [`stats`] — small summary statistics for the experiment harness;
+//! * [`ssb`] — the strong-symmetry-breaking reduction of Property 2.1,
+//!   used to exhibit why MIS is not wait-free solvable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod chains;
+pub mod invariants;
+pub mod modelcheck;
+pub mod ssb;
+pub mod stats;
+
+pub use adversary::{FuzzConfig, FuzzReport, Objective, ScheduleFuzzer};
+pub use chains::ChainAnalysis;
+pub use invariants::{check_coloring_report, ColoringCheck};
+pub use modelcheck::{ModelCheckOutcome, ModelChecker};
+pub use stats::Summary;

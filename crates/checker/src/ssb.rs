@@ -1,0 +1,105 @@
+//! The strong-symmetry-breaking reduction of Property 2.1.
+//!
+//! The paper proves MIS unsolvable in the asynchronous cycle by
+//! reduction: a wait-free MIS algorithm for `C_n` would let `n`
+//! shared-memory processes solve **strong symmetry breaking** (SSB),
+//! which is impossible ([Attiya–Paz 2016, Theorem 11]). SSB requires:
+//!
+//! 1. if all processes terminate, at least one outputs 0 *and* at least
+//!    one outputs 1;
+//! 2. in every execution, at least one process (of those that terminate)
+//!    outputs 1.
+//!
+//! The reduction maps MIS outputs to SSB outputs directly (`In` → 1,
+//! `Out` → 0): MIS condition 2 plus maximality give SSB's "someone
+//! outputs 1"; properness of the `Out` condition gives "someone outputs
+//! 0" when everyone terminates (for `n ≥ 3`, not everyone can be `In`).
+//!
+//! This module implements the *checkable* side: given the outputs of an
+//! MIS-candidate execution on the cycle, [`ssb_outputs`] performs the
+//! paper's mapping and [`ssb_violation`] evaluates the SSB conditions,
+//! so experiment E7 can demonstrate concretely that every candidate
+//! fails to deliver SSB — as Property 2.1 predicts any candidate must.
+
+use ftcolor_core::mis::MisOutput;
+
+/// The paper's reduction: simulate the MIS algorithm in shared memory
+/// and output 1 for `In`, 0 for `Out` (`None` = the simulated process
+/// crashed or never decided).
+pub fn ssb_outputs(mis: &[Option<MisOutput>]) -> Vec<Option<u8>> {
+    mis.iter()
+        .map(|o| {
+            o.map(|d| match d {
+                MisOutput::In => 1,
+                MisOutput::Out => 0,
+            })
+        })
+        .collect()
+}
+
+/// Evaluates the SSB conditions on a *finished* execution's outputs.
+///
+/// Returns a human-readable description of the first violated condition,
+/// or `None` when the outputs satisfy SSB.
+pub fn ssb_violation(outputs: &[Option<u8>]) -> Option<String> {
+    let terminated: Vec<u8> = outputs.iter().flatten().copied().collect();
+    let all_terminated = terminated.len() == outputs.len();
+    let ones = terminated.iter().filter(|&&x| x == 1).count();
+    let zeros = terminated.iter().filter(|&&x| x == 0).count();
+    if ones == 0 {
+        // The stronger clause: condition 2 must hold in *every* execution.
+        return Some("condition 2 violated: nobody output 1".to_string());
+    }
+    if all_terminated && zeros == 0 {
+        return Some("condition 1 violated: all terminated, nobody output 0".to_string());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcolor_core::mis::LocalMaxMis;
+    use ftcolor_model::prelude::*;
+
+    #[test]
+    fn mapping() {
+        let mis = vec![Some(MisOutput::In), Some(MisOutput::Out), None];
+        assert_eq!(ssb_outputs(&mis), vec![Some(1), Some(0), None]);
+    }
+
+    #[test]
+    fn ssb_conditions() {
+        assert_eq!(ssb_violation(&[Some(1), Some(0)]), None);
+        assert_eq!(ssb_violation(&[Some(1), None]), None);
+        assert!(ssb_violation(&[Some(0), Some(0)])
+            .unwrap()
+            .contains("condition 2"));
+        assert!(ssb_violation(&[Some(1), Some(1)])
+            .unwrap()
+            .contains("condition 1"));
+        assert!(ssb_violation(&[Some(0), None])
+            .unwrap()
+            .contains("condition 2"));
+        // Nobody terminated: condition 2 is violated (no 1 was output).
+        assert!(ssb_violation(&[None, None]).is_some());
+    }
+
+    #[test]
+    fn candidate_fails_ssb_under_the_starvation_schedule() {
+        // Run LocalMaxMis on C3 under the starvation schedule from
+        // Property 2.1's world: p2 (max) is activated once and crashes
+        // undecided; the others run forever without deciding; nobody
+        // outputs 1 → SSB condition 2 violated, exactly as the
+        // impossibility demands some execution must.
+        let topo = Topology::cycle(3).unwrap();
+        let mut exec = Execution::new(&LocalMaxMis, &topo, vec![1, 2, 3]);
+        exec.step_with(&ActivationSet::solo(ProcessId(2)));
+        for _ in 0..50 {
+            exec.step_with(&ActivationSet::of([ProcessId(0), ProcessId(1)]));
+        }
+        let ssb = ssb_outputs(exec.outputs());
+        let v = ssb_violation(&ssb);
+        assert!(v.unwrap().contains("condition 2"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Small summary statistics for the experiment harness.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Order statistics of a sample of activation counts (or any `u64`s).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Minimum.
+    pub min: u64,
+    /// Maximum.
+    pub max: u64,
+    /// Mean, rounded to the nearest integer ×1000 (`mean_milli / 1000.0`).
+    pub mean_milli: u64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95: u64,
+}
+
+impl Summary {
+    /// Summarizes a sample; returns the zero summary for empty input.
+    pub fn of(values: impl IntoIterator<Item = u64>) -> Self {
+        let mut v: Vec<u64> = values.into_iter().collect();
+        if v.is_empty() {
+            return Summary::default();
+        }
+        v.sort_unstable();
+        let count = v.len();
+        let sum: u128 = v.iter().map(|&x| u128::from(x)).sum();
+        let rank = |q: f64| {
+            let idx = ((q * count as f64).ceil() as usize).clamp(1, count) - 1;
+            v[idx]
+        };
+        Summary {
+            count,
+            min: v[0],
+            max: count.checked_sub(1).map(|i| v[i]).unwrap_or(0),
+            mean_milli: (sum * 1000 / count as u128) as u64,
+            p50: rank(0.5),
+            p95: rank(0.95),
+        }
+    }
+
+    /// The mean as a float.
+    pub fn mean(&self) -> f64 {
+        self.mean_milli as f64 / 1000.0
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={} p50={} p95={} max={} mean={:.2}",
+            self.count,
+            self.min,
+            self.p50,
+            self.p95,
+            self.max,
+            self.mean()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        let s = Summary::of([]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn singleton() {
+        let s = Summary::of([7]);
+        assert_eq!((s.min, s.max, s.p50, s.p95), (7, 7, 7, 7));
+        assert!((s.mean() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn order_statistics() {
+        let s = Summary::of(1..=100u64);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert!((s.mean() - 50.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn unsorted_input() {
+        let s = Summary::of([5, 1, 9, 3]);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 9);
+        assert_eq!(s.count, 4);
+    }
+}

@@ -1,0 +1,286 @@
+//! Algorithm 1 — wait-free **6-coloring** of the cycle (§3.1).
+//!
+//! Every process `p` keeps a pair color `c_p = (a_p, b_p)`, initially
+//! `(0, 0)`. In each round it writes `(X_p, c_p)`, reads its two
+//! neighbors, and:
+//!
+//! * **returns** `c_p` if it collides with neither neighbor's published
+//!   pair (Lemma 3.2 shows this is exactly `c_p(t) = c_p(t−1)`);
+//! * otherwise recomputes
+//!   `a_p ← min N ∖ { a_u : u ∼ p, X_u > X_p }` and
+//!   `b_p ← min N ∖ { b_u : u ∼ p, X_u < X_p }`.
+//!
+//! With at most one higher and one lower neighbor on the cycle, `a_p` and
+//! `b_p` stay in `{0, 1}` ∪ {…} — more precisely `a_p + b_p ≤ 2`, giving
+//! the 6-color palette of Theorem 3.1. Termination is driven by local
+//! extrema (which stabilize one component, Lemma 3.4) and propagates
+//! inward along monotone identifier chains, hence the `⌊3n/2⌋ + 4`
+//! activation bound (Theorem 3.1) and the per-process
+//! `min{3ℓ, 3ℓ′, ℓ+ℓ′} + 4` bound (Lemma 3.9).
+
+use crate::color::{mex, PairColor};
+use ftcolor_model::{Algorithm, Neighborhood, ProcessId, Step};
+use serde::{Deserialize, Serialize};
+
+/// The register contents of Algorithm 1: the (static) identifier and the
+/// current pair color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Reg1 {
+    /// The process's input identifier `X_p`.
+    pub x: u64,
+    /// The current tentative color `c_p = (a_p, b_p)`.
+    pub color: PairColor,
+}
+
+/// The private state: identical to the register (Algorithm 1 publishes
+/// everything it knows).
+pub type State1 = Reg1;
+
+/// Algorithm 1 of the paper. See the [module docs](self) for the rule.
+///
+/// ```
+/// use ftcolor_core::SixColoring;
+/// use ftcolor_model::prelude::*;
+///
+/// # fn main() -> Result<(), ftcolor_model::ModelError> {
+/// let topo = Topology::cycle(5)?;
+/// let mut exec = Execution::new(&SixColoring, &topo, vec![10, 40, 20, 50, 30]);
+/// let report = exec.run(Synchronous::new(), 1000)?;
+/// assert!(report.all_returned());
+/// let colors: Vec<_> = report.outputs.iter().map(|c| c.unwrap()).collect();
+/// assert!(topo.is_proper_coloring(&colors));
+/// assert!(colors.iter().all(|c| c.weight() <= 2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SixColoring;
+
+impl SixColoring {
+    /// Creates the algorithm object (stateless; all state is per-process).
+    pub fn new() -> Self {
+        SixColoring
+    }
+}
+
+impl Algorithm for SixColoring {
+    type Input = u64;
+    type State = State1;
+    type Reg = Reg1;
+    type Output = PairColor;
+
+    fn init(&self, _id: ProcessId, input: u64) -> State1 {
+        Reg1 {
+            x: input,
+            color: PairColor::new(0, 0),
+        }
+    }
+
+    fn publish(&self, state: &State1) -> Reg1 {
+        *state
+    }
+
+    fn step(&self, state: &mut State1, view: &Neighborhood<'_, Reg1>) -> Step<PairColor> {
+        // Return test: c_p ∉ { ĉ_q : q ∼ p, q awake } (a ⊥ register can
+        // never equal a concrete pair).
+        if view.awake().all(|r| r.color != state.color) {
+            return Step::Return(state.color);
+        }
+        // a_p ← min N ∖ { a_u : u awake, X_u > X_p }
+        state.color.a = mex(view.awake().filter(|r| r.x > state.x).map(|r| r.color.a));
+        // b_p ← min N ∖ { b_u : u awake, X_u < X_p }
+        state.color.b = mex(view.awake().filter(|r| r.x < state.x).map(|r| r.color.b));
+        Step::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcolor_model::inputs;
+    use ftcolor_model::prelude::*;
+
+    fn run_on_cycle(
+        ids: Vec<u64>,
+        schedule: impl Schedule,
+        fuel: u64,
+    ) -> (Topology, ExecutionReport<PairColor>) {
+        let topo = Topology::cycle(ids.len()).unwrap();
+        let mut exec = Execution::new(&SixColoring, &topo, ids);
+        let report = exec.run(schedule, fuel).unwrap();
+        (topo, report)
+    }
+
+    fn assert_valid(topo: &Topology, report: &ExecutionReport<PairColor>) {
+        assert!(
+            topo.is_proper_partial_coloring(&report.outputs),
+            "improper: {:?}",
+            report.outputs
+        );
+        for c in report.outputs.iter().flatten() {
+            assert!(c.weight() <= 2, "palette violation: {c}");
+        }
+    }
+
+    #[test]
+    fn synchronous_triangle_hand_trace() {
+        // C3 with ids 0 < 1 < 2, synchronous. Round 1: everyone holds
+        // (0,0), everyone collides, recompute:
+        //   p0 (min): a = mex{a1, a2} = mex{0,0} = 1, b = mex{} = 0 → (1,0)
+        //   p1 (mid): a = mex{a2} = 1, b = mex{b0} = 1 → (1,1)
+        //   p2 (max): a = mex{} = 0, b = mex{b0, b1} = 1 → (0,1)
+        // Round 2: all three pairs distinct → everyone returns.
+        let topo = Topology::cycle(3).unwrap();
+        let mut exec = Execution::new(&SixColoring, &topo, vec![0, 1, 2]);
+        exec.step_with(&ActivationSet::All);
+        assert_eq!(exec.state(ProcessId(0)).color, PairColor::new(1, 0));
+        assert_eq!(exec.state(ProcessId(1)).color, PairColor::new(1, 1));
+        assert_eq!(exec.state(ProcessId(2)).color, PairColor::new(0, 1));
+        exec.step_with(&ActivationSet::All);
+        assert!(exec.all_returned());
+        assert_eq!(
+            exec.outputs().to_vec(),
+            vec![
+                Some(PairColor::new(1, 0)),
+                Some(PairColor::new(1, 1)),
+                Some(PairColor::new(0, 1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn solo_process_returns_immediately() {
+        // A process whose neighbors are asleep sees no conflicts: its
+        // (0,0) collides with nothing, so it returns on activation 1.
+        let topo = Topology::cycle(4).unwrap();
+        let mut exec = Execution::new(&SixColoring, &topo, vec![5, 6, 7, 8]);
+        let report = exec
+            .run(FixedSequence::from_indices([vec![2]]), 10)
+            .unwrap();
+        assert_eq!(report.outputs[2], Some(PairColor::new(0, 0)));
+        assert_eq!(report.activations[2], 1);
+    }
+
+    #[test]
+    fn theorem_3_1_bound_staircase_sync() {
+        for n in [3usize, 4, 5, 8, 13, 32, 101] {
+            let (topo, report) = run_on_cycle(
+                inputs::staircase(n),
+                Synchronous::new(),
+                10 * n as u64 + 100,
+            );
+            assert!(report.all_returned(), "n={n}");
+            assert_valid(&topo, &report);
+            let bound = (3 * n as u64) / 2 + 4;
+            assert!(
+                report.max_activations() <= bound,
+                "n={n}: {} > {bound}",
+                report.max_activations()
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_3_1_bound_round_robin_and_random() {
+        for n in [3usize, 5, 9, 24] {
+            for seed in 0..5u64 {
+                let ids = inputs::random_permutation(n, seed);
+                let bound = (3 * n as u64) / 2 + 4;
+                let fuel = 100 * n as u64 + 1000;
+
+                let (topo, report) = run_on_cycle(ids.clone(), RoundRobin::new(), fuel);
+                assert!(report.all_returned());
+                assert_valid(&topo, &report);
+                assert!(report.max_activations() <= bound, "rr n={n} seed={seed}");
+
+                let (topo, report) = run_on_cycle(ids, RandomSubset::new(seed, 0.4), fuel);
+                assert!(report.all_returned());
+                assert_valid(&topo, &report);
+                assert!(report.max_activations() <= bound, "rs n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn local_extrema_return_within_four_activations() {
+        // Corollary of Lemma 3.4: a local max keeps a = 0, a local min
+        // keeps b = 0, and returns after ≤ 4 activations.
+        let ids = inputs::organ_pipe(12); // extrema at positions 0 and 5 (ids 0 and 9... max id 9 at pos 5, min id 0 at pos 0)
+        let (_, report) = run_on_cycle(ids.clone(), Synchronous::new(), 10_000);
+        let max_pos = ids.iter().enumerate().max_by_key(|(_, &x)| x).unwrap().0;
+        let min_pos = ids.iter().enumerate().min_by_key(|(_, &x)| x).unwrap().0;
+        assert!(report.activations[max_pos] <= 4, "max extremum too slow");
+        assert!(report.activations[min_pos] <= 4, "min extremum too slow");
+    }
+
+    #[test]
+    fn crashes_leave_survivors_proper() {
+        let n = 12;
+        let ids = inputs::random_permutation(n, 3);
+        let topo = Topology::cycle(n).unwrap();
+        for crash_seed in 0..8u64 {
+            // Crash times start at 1, so processes crashing at time 1
+            // never wake up at all — guaranteeing genuine crashes.
+            let crashes = (0..n)
+                .filter(|i| (*i as u64 + crash_seed).is_multiple_of(3))
+                .map(|i| (ProcessId(i), (i as u64 + crash_seed) % 5 + 1));
+            let sched = CrashPlan::new(Synchronous::new(), crashes);
+            let mut exec = Execution::new(&SixColoring, &topo, ids.clone());
+            let report = exec.run(sched, 10_000).unwrap();
+            assert!(
+                topo.is_proper_partial_coloring(&report.outputs),
+                "seed {crash_seed}: {:?}",
+                report.outputs
+            );
+            assert!(
+                report.returned_count() < n,
+                "someone must have actually crashed"
+            );
+        }
+    }
+
+    #[test]
+    fn proper_coloring_inputs_suffice_remark_3_10() {
+        // Inputs need not be unique — a proper 3-coloring works, and the
+        // bound shrinks to the chain length implied by k colors.
+        for n in [6usize, 9, 12, 30] {
+            let ids = inputs::proper_k_coloring(n, 3);
+            let (topo, report) = run_on_cycle(ids, Synchronous::new(), 1000);
+            assert!(report.all_returned());
+            assert_valid(&topo, &report);
+            // Chains under 3 distinct values have ≤ 2 edges: termination
+            // in O(1) activations regardless of n.
+            assert!(
+                report.max_activations() <= 3 * 2 + 4,
+                "n={n}: {}",
+                report.max_activations()
+            );
+        }
+    }
+
+    #[test]
+    fn wave_schedule_still_proper_and_bounded() {
+        let n = 16;
+        let ids = inputs::staircase(n);
+        let topo = Topology::cycle(n).unwrap();
+        let mut exec = Execution::new(&SixColoring, &topo, ids);
+        let report = exec.run(Wave::new(n, 3, 2), 100_000).unwrap();
+        assert!(report.all_returned());
+        assert!(topo.is_proper_partial_coloring(&report.outputs));
+        assert!(report.max_activations() <= (3 * n as u64) / 2 + 4);
+    }
+
+    #[test]
+    fn outputs_use_more_than_three_colors_sometimes() {
+        // The 6-color palette is genuinely used: over staircases some
+        // execution outputs a weight-2 color.
+        let mut seen_weight2 = false;
+        for n in 3..20 {
+            let (_, report) = run_on_cycle(inputs::staircase(n), Synchronous::new(), 1000);
+            if report.outputs.iter().flatten().any(|c| c.weight() == 2) {
+                seen_weight2 = true;
+            }
+        }
+        assert!(seen_weight2);
+    }
+}

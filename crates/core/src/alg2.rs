@@ -1,0 +1,467 @@
+//! Algorithm 2 — wait-free **5-coloring** of the cycle (§3.2).
+//!
+//! Each process keeps *two* candidate colors `a_p, b_p ∈ N` (both
+//! initially 0). In each round it writes `(X_p, a_p, b_p)`, reads its
+//! neighbors, forms
+//!
+//! * `C` — all four color components published by awake neighbors, and
+//! * `C⁺ ⊆ C` — the components of awake neighbors with larger identifier,
+//!
+//! then **returns** `a_p` if `a_p ∉ C`, else returns `b_p` if `b_p ∉ C`,
+//! else recomputes `a_p ← min N ∖ C⁺` and `b_p ← min N ∖ C`.
+//!
+//! Since `|C| ≤ 4`, both candidates stay in `{0, …, 4}` — the palette of
+//! Theorem 3.11, optimal for the class of all cycles by Property 2.3
+//! (coloring `C_3` is 3-process renaming, which needs `2·3 − 1 = 5`
+//! names). The `a`-candidate only avoids *higher* neighbors, which makes
+//! local maxima stabilize `a = 0` and drives the `O(n)` convergence along
+//! monotone chains (Lemmas 3.13, 3.14); the `b`-candidate avoids
+//! everything, providing the second chance that makes the palette tight.
+//!
+//! The paper's decomposition (§1.3): the `a`-component alone is
+//! starvation-free, the `b`-component alone is obstruction-free — and
+//! the paper claims their combination is wait-free.
+//!
+//! ## Reproduction finding: the combination is *not* wait-free as written
+//!
+//! This implementation transcribes Algorithm 2 verbatim, and exhaustive
+//! model checking (experiment E6) finds executions in which processes
+//! are activated forever without returning:
+//!
+//! * **crash-free minimal witness** (`C3`, ids `0,1,2`): `p0` runs solo
+//!   and returns color 0; its register freezes at `(0, a=0, b=0)`;
+//!   `p1, p2` then run in lockstep and their `b`-candidates chase each
+//!   other with period 2 forever
+//!   (`tests::finding_crash_free_livelock_on_c3`);
+//! * **crash witness** (`C6`): two processes crash right after their
+//!   first activation, freezing `(a,b) = (0,0)` registers next to
+//!   surviving local maxima
+//!   (`tests::finding_crash_livelock_counterexample`).
+//!
+//! The proof gap is in Lemma 3.13's step `|A_p| = |A_q| − 1 = |A_q′| + 1`,
+//! which presumes every neighbor's *published* `A`-set tracks the chain
+//! structure — frozen registers (of returned or crashed processes stuck
+//! at their initial `(0,0)`) violate it. **Safety is unaffected**: every
+//! output ever produced is proper and within the palette (verified
+//! exhaustively on `C3`/`C4` and by heavy randomized testing), and under
+//! schedules that ever desynchronize the oscillating pair the algorithm
+//! terminates within the paper's `O(n)` bound. Algorithm 1 does not have
+//! this issue — its return test compares whole pairs, and the model
+//! checker verifies it livelock-free. See DESIGN.md, "Reproduction
+//! findings".
+
+use crate::color::mex;
+use ftcolor_model::{Algorithm, Neighborhood, ProcessId, Step};
+use serde::{Deserialize, Serialize};
+
+/// Register contents of Algorithm 2: identifier plus both candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Reg2 {
+    /// The process's input identifier `X_p`.
+    pub x: u64,
+    /// First candidate color (avoids higher-id neighbors only).
+    pub a: u64,
+    /// Second candidate color (avoids all neighbor components).
+    pub b: u64,
+}
+
+/// Private state (Algorithm 2 publishes everything it knows).
+pub type State2 = Reg2;
+
+/// Algorithm 2 of the paper. See the [module docs](self) for the rule.
+///
+/// ```
+/// use ftcolor_core::FiveColoring;
+/// use ftcolor_model::prelude::*;
+///
+/// # fn main() -> Result<(), ftcolor_model::ModelError> {
+/// let topo = Topology::cycle(6)?;
+/// let mut exec = Execution::new(&FiveColoring, &topo, vec![3, 14, 15, 92, 65, 35]);
+/// let report = exec.run(RoundRobin::new(), 10_000)?;
+/// assert!(report.all_returned());
+/// let colors: Vec<u64> = report.outputs.iter().map(|c| c.unwrap()).collect();
+/// assert!(topo.is_proper_coloring(&colors));
+/// assert!(colors.iter().all(|&c| c <= 4));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FiveColoring;
+
+impl FiveColoring {
+    /// Creates the algorithm object (stateless; all state is per-process).
+    pub fn new() -> Self {
+        FiveColoring
+    }
+}
+
+/// Shared step logic for Algorithm 2 — also reused verbatim as the
+/// coloring component of Algorithm 3 (which runs "Algorithm 2 unchanged"
+/// per §4, plus the identifier reduction).
+pub(crate) fn color_step(
+    x: u64,
+    a: &mut u64,
+    b: &mut u64,
+    awake: &[(u64, u64, u64)], // (x_u, a_u, b_u) of awake neighbors
+) -> Option<u64> {
+    let in_c = |v: u64| awake.iter().any(|&(_, au, bu)| au == v || bu == v);
+    if !in_c(*a) {
+        return Some(*a);
+    }
+    if !in_c(*b) {
+        return Some(*b);
+    }
+    *a = mex(awake
+        .iter()
+        .filter(|&&(xu, _, _)| xu > x)
+        .flat_map(|&(_, au, bu)| [au, bu]));
+    *b = mex(awake.iter().flat_map(|&(_, au, bu)| [au, bu]));
+    None
+}
+
+impl Algorithm for FiveColoring {
+    type Input = u64;
+    type State = State2;
+    type Reg = Reg2;
+    type Output = u64;
+
+    fn init(&self, _id: ProcessId, input: u64) -> State2 {
+        Reg2 {
+            x: input,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    fn publish(&self, state: &State2) -> Reg2 {
+        *state
+    }
+
+    fn step(&self, state: &mut State2, view: &Neighborhood<'_, Reg2>) -> Step<u64> {
+        let awake: Vec<(u64, u64, u64)> = view.awake().map(|r| (r.x, r.a, r.b)).collect();
+        match color_step(state.x, &mut state.a, &mut state.b, &awake) {
+            Some(c) => Step::Return(c),
+            None => Step::Continue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcolor_model::inputs;
+    use ftcolor_model::prelude::*;
+
+    fn run_on_cycle(
+        ids: Vec<u64>,
+        schedule: impl Schedule,
+        fuel: u64,
+    ) -> (Topology, ExecutionReport<u64>) {
+        let topo = Topology::cycle(ids.len()).unwrap();
+        let mut exec = Execution::new(&FiveColoring, &topo, ids);
+        let report = exec.run(schedule, fuel).unwrap();
+        (topo, report)
+    }
+
+    fn assert_valid(topo: &Topology, report: &ExecutionReport<u64>) {
+        assert!(
+            topo.is_proper_partial_coloring(&report.outputs),
+            "improper: {:?}",
+            report.outputs
+        );
+        for c in report.outputs.iter().flatten() {
+            assert!(*c <= 4, "palette violation: {c}");
+        }
+    }
+
+    #[test]
+    fn synchronous_triangle_hand_trace() {
+        // C3, ids 0 < 1 < 2, synchronous. Round 1: everyone publishes
+        // (x, 0, 0); a_p = b_p = 0 ∈ C for everyone (C = {0}); recompute:
+        //  p0: C⁺ = {0} (from p1,p2) → a=1; C = {0} → b=1 → (1,1)
+        //  p1: C⁺ = {0} (p2) → a=1; b=1
+        //  p2: C⁺ = ∅ → a=0; C={0} → b=1 → (0,1)
+        // Round 2: C for p0 = {1,1,0,1} = {0,1}; a=1 ∈ C, b=1 ∈ C →
+        //  recompute: C⁺ = {a1,b1,a2,b2} = {1,0} → a=2; C={0,1} → b=2.
+        //  p1: C = {a0,b0,a2,b2} = {1,0} ∪ ... = {0,1}; a=1∈C, b=1∈C →
+        //   C⁺ = {0,1} (p2) → a=2; b=2.
+        //  p2: C = {1} ∪ {1} = {1}; a=0 ∉ C → return 0.
+        let topo = Topology::cycle(3).unwrap();
+        let mut exec = Execution::new(&FiveColoring, &topo, vec![0, 1, 2]);
+        exec.step_with(&ActivationSet::All);
+        assert_eq!(
+            (exec.state(ProcessId(0)).a, exec.state(ProcessId(0)).b),
+            (1, 1)
+        );
+        assert_eq!(
+            (exec.state(ProcessId(1)).a, exec.state(ProcessId(1)).b),
+            (1, 1)
+        );
+        assert_eq!(
+            (exec.state(ProcessId(2)).a, exec.state(ProcessId(2)).b),
+            (0, 1)
+        );
+        exec.step_with(&ActivationSet::All);
+        assert_eq!(exec.outputs()[2], Some(0), "local max returns 0");
+        assert_eq!(
+            (exec.state(ProcessId(0)).a, exec.state(ProcessId(0)).b),
+            (2, 2)
+        );
+    }
+
+    #[test]
+    fn b_always_at_least_a() {
+        // Paper (proof of Lemma 3.13): C⁺ ⊆ C ⟹ b_u ≥ a_u at all times.
+        let ids = inputs::random_permutation(10, 11);
+        let topo = Topology::cycle(10).unwrap();
+        let mut exec = Execution::new(&FiveColoring, &topo, ids);
+        let mut sched = RandomSubset::new(5, 0.5);
+        for t in 0..500 {
+            if exec.all_returned() {
+                break;
+            }
+            let set = sched.next(t + 1, exec.working()).unwrap();
+            exec.step_with(&set);
+            for p in topo.nodes() {
+                let s = exec.state(p);
+                assert!(s.b >= s.a, "b < a at {p}: {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_3_11_terminates_with_5_colors() {
+        for n in [3usize, 4, 5, 7, 12, 33, 100] {
+            let (topo, report) = run_on_cycle(
+                inputs::staircase(n),
+                Synchronous::new(),
+                30 * n as u64 + 100,
+            );
+            assert!(report.all_returned(), "n={n}");
+            assert_valid(&topo, &report);
+            let bound = 3 * n as u64 + 8;
+            assert!(
+                report.max_activations() <= bound,
+                "n={n}: {} > {bound}",
+                report.max_activations()
+            );
+        }
+    }
+
+    #[test]
+    fn many_schedules_many_seeds() {
+        for n in [3usize, 5, 8, 17] {
+            for seed in 0..6u64 {
+                let ids = inputs::random_unique(n, (n * n * n) as u64, seed);
+                let fuel = 200 * n as u64 + 2000;
+                let bound = 3 * n as u64 + 8;
+
+                let (topo, report) = run_on_cycle(ids.clone(), RoundRobin::new(), fuel);
+                assert!(report.all_returned());
+                assert_valid(&topo, &report);
+                assert!(report.max_activations() <= bound);
+
+                let (topo, report) =
+                    run_on_cycle(ids.clone(), RandomSubset::new(seed * 7 + 1, 0.3), fuel);
+                assert!(report.all_returned());
+                assert_valid(&topo, &report);
+                assert!(report.max_activations() <= bound);
+
+                let (topo, report) = run_on_cycle(ids, SoloRunner::ascending(n), fuel);
+                assert!(report.all_returned());
+                assert_valid(&topo, &report);
+            }
+        }
+    }
+
+    #[test]
+    fn solo_runner_first_process_returns_instantly() {
+        // With everyone else asleep, C = ∅ and a_p = 0 ∉ C.
+        let (_, report) = run_on_cycle(vec![9, 5, 7, 1], SoloRunner::ascending(4), 100);
+        assert_eq!(report.activations[0], 1);
+        assert_eq!(report.outputs[0], Some(0));
+    }
+
+    #[test]
+    fn crash_patterns_never_break_safety() {
+        // Under crashes, *safety* (properness + palette) always holds —
+        // even though termination of survivors can fail (see
+        // `finding_crash_livelock_counterexample`). Drive executions for
+        // a bounded number of steps and check the partial outputs.
+        let n = 10;
+        let topo = Topology::cycle(n).unwrap();
+        for seed in 0..10u64 {
+            let ids = inputs::random_permutation(n, seed);
+            let crashes = (0..n)
+                .filter(|&i| i % 2 == (seed % 2) as usize)
+                .map(|i| (ProcessId(i), (seed % 7) + 1));
+            let mut sched = CrashPlan::new(RandomSubset::new(seed, 0.6), crashes);
+            let mut exec = Execution::new(&FiveColoring, &topo, ids);
+            for t in 0..20_000u64 {
+                if exec.all_returned() {
+                    break;
+                }
+                let Some(set) = sched.next(t + 1, exec.working()) else {
+                    break;
+                };
+                exec.step_with(&set);
+            }
+            assert!(
+                topo.is_proper_partial_coloring(exec.outputs()),
+                "seed {seed}: {:?}",
+                exec.outputs()
+            );
+            for c in exec.outputs().iter().flatten() {
+                assert!(*c <= 4, "palette violation: {c}");
+            }
+        }
+    }
+
+    /// **Reproduction finding.** Algorithm 2 *as written in the paper* is
+    /// not wait-free once crashes are allowed: crash two processes right
+    /// after their first activation so their registers freeze at
+    /// `(a,b) = (0,0)`, arrange the surviving segment `p2–p3–p4` so that
+    /// `p2` and `p4` are local maxima of the identifiers (their `a` is
+    /// recomputed to 0 every round, permanently colliding with the frozen
+    /// 0s) and `p3` is the shared local minimum. Under the synchronous
+    /// schedule the three survivors' `b`-candidates then phase-lock in a
+    /// period-2 oscillation and nobody ever returns, despite being
+    /// activated forever.
+    ///
+    /// The gap in the paper: Lemma 3.13's proof step
+    /// `|A_p| = |A_q| − 1 = |A_q′| + 1` presumes every neighbor's
+    /// published `A`-set tracks the chain structure, which a
+    /// crashed-after-one-activation register (with `Â = ∅`) violates.
+    /// Algorithm 1 is immune — its return test compares full pairs, and
+    /// `(0, b_p)` with `b_p ≥ 1` never equals a frozen `(0, 0)`. See
+    /// DESIGN.md ("Reproduction findings") and experiment E6.
+    #[test]
+    fn finding_crash_livelock_counterexample() {
+        let ids = vec![100, 10, 50, 5, 40, 8];
+        let topo = Topology::cycle(6).unwrap();
+        let mut exec = Execution::new(&FiveColoring, &topo, ids.clone());
+        let crashes = [(ProcessId(0), 2), (ProcessId(1), 2), (ProcessId(5), 2)];
+        let sched = CrashPlan::new(Synchronous::new(), crashes);
+        let err = exec.run(sched, 10_000).unwrap_err();
+        assert!(
+            matches!(err, ftcolor_model::ModelError::NonTermination { .. }),
+            "expected the documented livelock, got {err:?}"
+        );
+        // The survivors oscillate with period 2 — confirm the phase lock.
+        let probe =
+            |e: &Execution<'_, FiveColoring>| (e.state(ProcessId(2)).b, e.state(ProcessId(3)).a);
+        let survivors = ActivationSet::of([ProcessId(2), ProcessId(3), ProcessId(4)]);
+        let s0 = probe(&exec);
+        exec.step_with(&survivors);
+        let s1 = probe(&exec);
+        exec.step_with(&survivors);
+        assert_eq!(probe(&exec), s0, "period-2 oscillation");
+        assert_ne!(s1, s0);
+        // Safety is intact throughout: nobody output anything improper.
+        assert!(topo.is_proper_partial_coloring(exec.outputs()));
+
+        // Algorithm 1 on the same execution terminates fine.
+        let mut exec1 = Execution::new(&crate::SixColoring, &topo, ids);
+        let sched = CrashPlan::new(Synchronous::new(), crashes);
+        let report = exec1.run(sched, 10_000).unwrap();
+        assert_eq!(report.returned_count(), 3, "the three survivors return");
+        assert!(topo.is_proper_partial_coloring(&report.outputs));
+    }
+
+    /// **Reproduction finding, minimal form (crash-free!).** Discovered
+    /// automatically by the exhaustive model checker (E6): on `C3` with
+    /// ids `0 < 1 < 2`, let `p0` run *solo* — it legitimately returns
+    /// color 0 on its first activation, leaving its register frozen at
+    /// `(x=0, a=0, b=0)` forever, as the model prescribes for terminated
+    /// processes. Then run `p1, p2` in lockstep — a perfectly fair
+    /// schedule with no crashes at all:
+    ///
+    /// * `p2` is the local max: `a2 ← mex(∅) = 0` every round, which
+    ///   permanently collides with the *returned output* 0 sitting in
+    ///   `p0`'s register (correctly so — outputting 0 would conflict);
+    /// * `p1` and `p2`'s `b`-candidates then chase each other with
+    ///   period 2: `(a1,b1), (a2,b2)` cycles through
+    ///   `(1,1),(0,1) → (2,2),(0,2) → (1,1),(0,1) → …`
+    ///
+    /// Both processes are activated at every step and never return —
+    /// contradicting Theorem 3.11's termination claim as stated. The
+    /// escape requires the scheduler to *desynchronize* the pair (any
+    /// solo activation lets one of them stabilize), which an adversary —
+    /// or an unlucky lockstep system — need never do.
+    #[test]
+    fn finding_crash_free_livelock_on_c3() {
+        let topo = Topology::cycle(3).unwrap();
+        let mut exec = Execution::new(&FiveColoring, &topo, vec![0, 1, 2]);
+        exec.step_with(&ActivationSet::solo(ProcessId(0)));
+        assert_eq!(exec.outputs()[0], Some(0), "p0 returns color 0 solo");
+
+        let pair = ActivationSet::of([ProcessId(1), ProcessId(2)]);
+        // Warm up two steps, then verify the period-2 cycle.
+        exec.step_with(&pair);
+        exec.step_with(&pair);
+        let probe = |e: &Execution<'_, FiveColoring>| {
+            (
+                *e.state(ProcessId(1)),
+                *e.state(ProcessId(2)),
+                e.register(ProcessId(1)).copied(),
+                e.register(ProcessId(2)).copied(),
+            )
+        };
+        let s0 = probe(&exec);
+        exec.step_with(&pair);
+        let s1 = probe(&exec);
+        exec.step_with(&pair);
+        assert_eq!(probe(&exec), s0, "period-2 livelock");
+        assert_ne!(s1, s0);
+        assert_eq!(exec.outputs()[1], None);
+        assert_eq!(exec.outputs()[2], None);
+
+        // The friendly scheduler escapes: one solo activation of p1
+        // breaks the symmetry and everyone terminates.
+        exec.step_with(&ActivationSet::solo(ProcessId(1)));
+        let report = exec.run(Synchronous::new(), 100).unwrap();
+        assert!(report.all_returned());
+        assert!(topo.is_proper_partial_coloring(&report.outputs));
+    }
+
+    #[test]
+    fn local_minimum_waits_for_neighbors_but_terminates() {
+        // A local minimum's termination may lag its neighbors' (Theorem
+        // 3.11 proof: ≤ one step after both neighbors terminate), but it
+        // does terminate under a fair schedule.
+        let ids = vec![5, 0, 7, 9, 12]; // position 1 is the global minimum
+        let (topo, report) = run_on_cycle(ids, Synchronous::new(), 10_000);
+        assert!(report.all_returned());
+        assert_valid(&topo, &report);
+    }
+
+    #[test]
+    fn five_colors_are_attainable() {
+        // Search small adversarial executions for one that outputs all of
+        // 0..=4 somewhere — evidence the palette bound is tight in
+        // practice (Property 2.3 says no algorithm can do better than 5).
+        let mut seen = std::collections::HashSet::new();
+        for n in [5usize, 6, 7, 8] {
+            for seed in 0..40u64 {
+                let ids = inputs::random_permutation(n, seed);
+                let (_, report) =
+                    run_on_cycle(ids, RandomSubset::new(seed.wrapping_mul(31), 0.5), 100_000);
+                for c in report.outputs.iter().flatten() {
+                    seen.insert(*c);
+                }
+            }
+        }
+        assert!(
+            seen.len() >= 4,
+            "expected a rich palette across executions, saw {seen:?}"
+        );
+    }
+
+    #[test]
+    fn proper_coloring_inputs_work() {
+        let ids = inputs::proper_k_coloring(20, 4);
+        let (topo, report) = run_on_cycle(ids, Synchronous::new(), 10_000);
+        assert!(report.all_returned());
+        assert_valid(&topo, &report);
+    }
+}

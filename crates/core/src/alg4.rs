@@ -1,0 +1,215 @@
+//! Algorithm 4 — wait-free **O(Δ²)-coloring** of general graphs
+//! (Appendix A).
+//!
+//! The direct generalization of [Algorithm 1](crate::alg1) to a graph of
+//! maximum degree `Δ`: each process keeps a pair `c_p = (a_p, b_p)`,
+//! returns it once it collides with no awake neighbor's pair, and
+//! otherwise recomputes
+//!
+//! * `a_p ← min N ∖ { a_u : u ∼ p, X_u > X_p }` — at most `Δ` exclusions,
+//! * `b_p ← min N ∖ { b_u : u ∼ p, X_u < X_p }` — at most `Δ` exclusions,
+//!
+//! so `a_p + b_p ≤ Δ` always, giving the triangular palette
+//! `{(a, b) : a + b ≤ Δ}` of size `(Δ+1)(Δ+2)/2 = O(Δ²)`.
+//!
+//! Like Algorithm 1 the convergence is linear (termination propagates
+//! from local extrema of the identifier order), and the paper notes the
+//! synchronous techniques for reducing `O(Δ²)` to `Δ+1` colors do not
+//! transfer to this asynchronous setting (§5).
+
+use crate::alg1::Reg1;
+use crate::color::{mex, PairColor};
+use ftcolor_model::{Algorithm, Neighborhood, ProcessId, Step};
+
+/// Algorithm 4 of the paper (Appendix A). Register layout is identical
+/// to Algorithm 1's ([`Reg1`]); only the neighborhood size changes.
+///
+/// ```
+/// use ftcolor_core::DeltaSquaredColoring;
+/// use ftcolor_core::PairColor;
+/// use ftcolor_model::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let topo = Topology::petersen(); // 3-regular
+/// let ids: Vec<u64> = (0..10).map(|i| (i * 37) % 101).collect();
+/// let mut exec = Execution::new(&DeltaSquaredColoring, &topo, ids);
+/// let report = exec.run(Synchronous::new(), 10_000)?;
+/// assert!(report.all_returned());
+/// let colors: Vec<PairColor> = report.outputs.iter().map(|c| c.unwrap()).collect();
+/// assert!(topo.is_proper_coloring(&colors));
+/// assert!(colors.iter().all(|c| c.weight() <= 3)); // a+b ≤ Δ = 3
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeltaSquaredColoring;
+
+impl DeltaSquaredColoring {
+    /// Creates the algorithm object (stateless; all state is per-process).
+    pub fn new() -> Self {
+        DeltaSquaredColoring
+    }
+}
+
+impl Algorithm for DeltaSquaredColoring {
+    type Input = u64;
+    type State = Reg1;
+    type Reg = Reg1;
+    type Output = PairColor;
+
+    fn init(&self, _id: ProcessId, input: u64) -> Reg1 {
+        Reg1 {
+            x: input,
+            color: PairColor::new(0, 0),
+        }
+    }
+
+    fn publish(&self, state: &Reg1) -> Reg1 {
+        *state
+    }
+
+    fn step(&self, state: &mut Reg1, view: &Neighborhood<'_, Reg1>) -> Step<PairColor> {
+        if view.awake().all(|r| r.color != state.color) {
+            return Step::Return(state.color);
+        }
+        state.color.a = mex(view.awake().filter(|r| r.x > state.x).map(|r| r.color.a));
+        state.color.b = mex(view.awake().filter(|r| r.x < state.x).map(|r| r.color.b));
+        Step::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcolor_model::inputs;
+    use ftcolor_model::prelude::*;
+
+    fn assert_valid(topo: &Topology, report: &ExecutionReport<PairColor>) {
+        let delta = topo.max_degree() as u64;
+        assert!(
+            topo.is_proper_partial_coloring(&report.outputs),
+            "improper on {}: {:?}",
+            topo.name(),
+            report.outputs
+        );
+        for c in report.outputs.iter().flatten() {
+            assert!(
+                c.weight() <= delta,
+                "palette violation on {}: {c} with Δ={delta}",
+                topo.name()
+            );
+        }
+    }
+
+    fn run(topo: &Topology, ids: Vec<u64>, schedule: impl Schedule) -> ExecutionReport<PairColor> {
+        let mut exec = Execution::new(&DeltaSquaredColoring, topo, ids);
+        exec.run(schedule, 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_algorithm_1_on_cycles() {
+        // On degree-2 graphs, Algorithm 4 *is* Algorithm 1: identical
+        // outputs under identical schedules.
+        for seed in 0..5u64 {
+            let n = 9;
+            let topo = Topology::cycle(n).unwrap();
+            let ids = inputs::random_permutation(n, seed);
+
+            let mut e4 = Execution::new(&DeltaSquaredColoring, &topo, ids.clone());
+            let r4 = e4.run(RandomSubset::new(seed, 0.5), 100_000).unwrap();
+
+            let mut e1 = Execution::new(&crate::SixColoring, &topo, ids);
+            let r1 = e1.run(RandomSubset::new(seed, 0.5), 100_000).unwrap();
+
+            assert_eq!(r4.outputs, r1.outputs, "seed {seed}");
+            assert_eq!(r4.activations, r1.activations, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn colors_toruses() {
+        let topo = Topology::grid(4, 4, true).unwrap(); // Δ = 4
+        let ids = inputs::random_permutation(16, 2);
+        let report = run(&topo, ids, Synchronous::new());
+        assert!(report.all_returned());
+        assert_valid(&topo, &report);
+    }
+
+    #[test]
+    fn colors_random_regular_graphs() {
+        for d in [3usize, 4, 6] {
+            for seed in 0..3u64 {
+                let topo = Topology::random_regular(20, d, seed).unwrap();
+                let ids = inputs::random_permutation(20, seed + 100);
+                let report = run(&topo, ids, RandomSubset::new(seed, 0.5));
+                assert!(report.all_returned(), "d={d} seed={seed}");
+                assert_valid(&topo, &report);
+            }
+        }
+    }
+
+    #[test]
+    fn colors_the_star_with_two_colors_weightwise() {
+        // On the star the hub has Δ neighbors but every leaf has one.
+        let topo = Topology::star(9).unwrap();
+        let ids = (0..9u64).collect();
+        let report = run(&topo, ids, Synchronous::new());
+        assert!(report.all_returned());
+        assert!(topo.is_proper_partial_coloring(&report.outputs));
+        // Leaves have degree 1 → weight ≤ 1.
+        for leaf in 1..9 {
+            assert!(report.outputs[leaf].unwrap().weight() <= 1);
+        }
+    }
+
+    #[test]
+    fn colors_cliques_like_renaming() {
+        // On K_n the palette bound (n)(n+1)/2 is generous but properness
+        // means all-distinct — this is renaming with pair names.
+        let topo = Topology::clique(6).unwrap();
+        let ids = inputs::random_permutation(6, 4);
+        let report = run(&topo, ids, RoundRobin::new());
+        assert!(report.all_returned());
+        let mut seen = std::collections::HashSet::new();
+        for c in report.outputs.iter().flatten() {
+            assert!(seen.insert(*c), "clique outputs must be distinct");
+            assert!(c.weight() <= 5);
+        }
+    }
+
+    #[test]
+    fn crash_tolerant_on_gnp() {
+        let topo = Topology::gnp_bounded(30, 0.15, 6, 9).unwrap();
+        let ids = inputs::random_permutation(30, 9);
+        let crashes = (0..30).step_by(3).map(|i| (ProcessId(i), 3u64));
+        let sched = CrashPlan::new(RandomSubset::new(1, 0.5), crashes);
+        let report = run(&topo, ids, sched);
+        assert_valid(&topo, &report);
+    }
+
+    #[test]
+    fn isolated_node_returns_immediately() {
+        // gnp with p=0 yields no edges: every node returns (0,0) at once.
+        let topo = Topology::gnp_bounded(5, 0.0, 2, 0).unwrap();
+        let ids = (0..5u64).collect();
+        let report = run(&topo, ids, Synchronous::new());
+        assert!(report.all_returned());
+        assert_eq!(report.max_activations(), 1);
+        for c in report.outputs.iter().flatten() {
+            assert_eq!(*c, PairColor::new(0, 0));
+        }
+    }
+
+    #[test]
+    fn linear_bound_on_paths() {
+        // Path = cycle analysis without the wrap; Lemma 3.9 machinery
+        // still bounds activations by ~3n/2 + 4.
+        let n = 20;
+        let topo = Topology::path(n).unwrap();
+        let ids = inputs::staircase(n);
+        let report = run(&topo, ids, Synchronous::new());
+        assert!(report.all_returned());
+        assert!(report.max_activations() <= (3 * n as u64) / 2 + 4);
+        assert_valid(&topo, &report);
+    }
+}

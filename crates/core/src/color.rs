@@ -1,0 +1,188 @@
+//! Color types and the `min N ∖ S` ("mex") primitive.
+//!
+//! Algorithms 1 and 4 output *pair colors* `(a, b)`; Algorithms 2 and 3
+//! output plain naturals in `{0, …, 4}`. All of them compute colors as
+//! the minimum natural number excluded from a small conflict set — the
+//! paper's recurring `min N ∖ {…}` expression, provided here as [`mex`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A pair color `(a, b)` as output by Algorithms 1 and 4.
+///
+/// Algorithm 1 guarantees `a + b ≤ 2` (six possible values); Algorithm 4
+/// on a graph of maximum degree `Δ` guarantees `a + b ≤ Δ`, i.e. a
+/// palette of `(Δ+1)(Δ+2)/2 = O(Δ²)` colors (Appendix A).
+///
+/// ```
+/// use ftcolor_core::PairColor;
+/// let c = PairColor::new(1, 1);
+/// assert_eq!(c.weight(), 2);
+/// assert_eq!(c.flat_index(), 4);
+/// assert_eq!(c.to_string(), "(1,1)");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PairColor {
+    /// First component — chosen against higher-identifier neighbors.
+    pub a: u64,
+    /// Second component — chosen against lower-identifier neighbors.
+    pub b: u64,
+}
+
+impl PairColor {
+    /// Builds the pair color `(a, b)`.
+    pub fn new(a: u64, b: u64) -> Self {
+        PairColor { a, b }
+    }
+
+    /// `a + b`, the quantity the palette bounds constrain.
+    pub fn weight(&self) -> u64 {
+        self.a + self.b
+    }
+
+    /// A dense index for the triangular palette `{(a,b) : a+b ≤ Δ}`:
+    /// colors of weight `w` occupy indices `w(w+1)/2 … w(w+1)/2 + w`.
+    /// For Algorithm 1 (`Δ = 2`) this maps onto `{0, …, 5}`.
+    pub fn flat_index(&self) -> u64 {
+        let w = self.weight();
+        w * (w + 1) / 2 + self.b
+    }
+
+    /// Size of the triangular palette `{(a,b) : a+b ≤ delta}`.
+    pub fn palette_size(delta: u64) -> u64 {
+        (delta + 1) * (delta + 2) / 2
+    }
+}
+
+impl fmt::Display for PairColor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.a, self.b)
+    }
+}
+
+/// `min N ∖ S`: the least natural number not in `values` — the paper's
+/// color-picking rule. `values` need not be sorted or deduplicated.
+///
+/// Runs in `O(k log k)` for `k` values; every call site in the coloring
+/// algorithms has `k ≤ 2Δ`.
+///
+/// ```
+/// use ftcolor_core::mex;
+/// assert_eq!(mex([]), 0);
+/// assert_eq!(mex([0, 1, 3]), 2);
+/// assert_eq!(mex([1, 2]), 0);
+/// assert_eq!(mex([2, 0, 1, 0]), 3);
+/// ```
+pub fn mex(values: impl IntoIterator<Item = u64>) -> u64 {
+    let mut v: Vec<u64> = values.into_iter().collect();
+    v.sort_unstable();
+    v.dedup();
+    let mut candidate = 0u64;
+    for x in v {
+        if x == candidate {
+            candidate += 1;
+        } else if x > candidate {
+            break;
+        }
+    }
+    candidate
+}
+
+/// The two least naturals not in `values`, in increasing order — used by
+/// the renaming baseline and by tests that need a "second choice".
+///
+/// ```
+/// use ftcolor_core::mex2;
+/// assert_eq!(mex2([0, 2]), (1, 3));
+/// ```
+pub fn mex2(values: impl IntoIterator<Item = u64>) -> (u64, u64) {
+    let mut v: Vec<u64> = values.into_iter().collect();
+    v.sort_unstable();
+    v.dedup();
+    let mut found = [None::<u64>; 2];
+    let mut idx = 0;
+    let mut candidate = 0u64;
+    for x in v {
+        while candidate < x {
+            found[idx] = Some(candidate);
+            idx += 1;
+            if idx == 2 {
+                return (found[0].unwrap(), found[1].unwrap());
+            }
+            candidate += 1;
+        }
+        candidate = x + 1;
+    }
+    while idx < 2 {
+        found[idx] = Some(candidate);
+        idx += 1;
+        candidate += 1;
+    }
+    (found[0].unwrap(), found[1].unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mex_basics() {
+        assert_eq!(mex([]), 0);
+        assert_eq!(mex([1]), 0);
+        assert_eq!(mex([0]), 1);
+        assert_eq!(mex([0, 1, 2, 3]), 4);
+        assert_eq!(mex([5, 0, 2, 1]), 3);
+        assert_eq!(mex([0, 0, 1, 1]), 2);
+        assert_eq!(mex([u64::MAX]), 0);
+    }
+
+    #[test]
+    fn mex_is_bounded_by_set_size() {
+        // mex of k values is at most k — the source of every palette bound.
+        let sets: [&[u64]; 4] = [&[0], &[0, 1], &[0, 1, 2], &[9, 9, 9]];
+        for s in sets {
+            assert!(mex(s.iter().copied()) <= s.len() as u64);
+        }
+    }
+
+    #[test]
+    fn mex2_cases() {
+        assert_eq!(mex2([]), (0, 1));
+        assert_eq!(mex2([0]), (1, 2));
+        assert_eq!(mex2([1]), (0, 2));
+        assert_eq!(mex2([0, 1, 2]), (3, 4));
+        assert_eq!(mex2([0, 2, 4]), (1, 3));
+        assert_eq!(mex2([3]), (0, 1));
+    }
+
+    #[test]
+    fn flat_index_is_a_bijection_on_small_palettes() {
+        for delta in 0..6u64 {
+            let mut seen = std::collections::HashSet::new();
+            let size = PairColor::palette_size(delta);
+            for a in 0..=delta {
+                for b in 0..=(delta - a) {
+                    let idx = PairColor::new(a, b).flat_index();
+                    assert!(idx < size, "({a},{b}) -> {idx} ≥ {size}");
+                    assert!(seen.insert(idx), "collision at ({a},{b})");
+                }
+            }
+            assert_eq!(seen.len() as u64, size);
+        }
+    }
+
+    #[test]
+    fn palette_sizes() {
+        assert_eq!(PairColor::palette_size(2), 6); // Algorithm 1
+        assert_eq!(PairColor::palette_size(4), 15); // torus under Algorithm 4
+    }
+
+    #[test]
+    fn display_and_weight() {
+        let c = PairColor::new(2, 0);
+        assert_eq!(c.weight(), 2);
+        assert_eq!(format!("{c}"), "(2,0)");
+    }
+}

@@ -1,0 +1,273 @@
+//! Wait-free **3-coloring** of the ring in the DECOUPLED model — the
+//! algorithm of the paper's closest related work (Castañeda, Delporte-
+//! Gallet, Fauconnier, Rajsbaum, Raynal \[13\]), in the simulation style
+//! of \[18\]: *wait for the network to deliver a big enough ball, then run
+//! the synchronous algorithm locally*.
+//!
+//! In DECOUPLED (see [`ftcolor_model::decoupled`]) a process's knowledge
+//! radius equals the wall-clock time, regardless of anyone's crashes.
+//! Once the radius reaches `R = P + 3` (with `P` the length of the
+//! universal Cole–Vishkin width schedule for 64-bit identifiers, so
+//! `R = 7`), a process can *locally* simulate all `P` reduction rounds
+//! plus the three shift-down rounds of the synchronous 3-coloring for
+//! its own node, and output. Every process decides within `R` wall-clock
+//! steps and at most `R` activations — wait-free with **3 colors**,
+//! where the fully asynchronous model needs **5** (Property 2.3): the
+//! model separation measured by experiment E11.
+
+use crate::sync_local::{cv_step_fixed, width_schedule};
+use ftcolor_model::decoupled::{DecoupledAlgorithm, Knowledge};
+use ftcolor_model::{ProcessId, Time};
+
+/// The universal width schedule (identifiers up to `u64::MAX`):
+/// `[64, 7, 4, 3]`, so `P = 4` reduction rounds.
+fn universal_widths() -> Vec<u32> {
+    width_schedule(u64::MAX)
+}
+
+/// DECOUPLED wait-free 3-coloring of the ring.
+///
+/// ```
+/// use ftcolor_core::decoupled_ring::DecoupledThreeColoring;
+/// use ftcolor_model::decoupled::DecoupledExecution;
+/// use ftcolor_model::prelude::*;
+///
+/// # fn main() -> Result<(), ftcolor_model::ModelError> {
+/// let n = 20;
+/// let topo = Topology::cycle(n)?;
+/// let ids: Vec<u64> = (0..n as u64).map(|i| i * 977 + 11).collect();
+/// let alg = DecoupledThreeColoring::new();
+/// let mut exec = DecoupledExecution::new(&alg, &topo, ids);
+/// let report = exec.run(RandomSubset::new(3, 0.5), 10_000)?;
+/// assert!(report.all_returned());
+/// let colors: Vec<u64> = report.outputs.iter().map(|c| c.unwrap()).collect();
+/// assert!(topo.is_proper_coloring(&colors));
+/// assert!(colors.iter().all(|&c| c <= 2), "three colors");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecoupledThreeColoring {
+    widths: Vec<u32>,
+}
+
+impl DecoupledThreeColoring {
+    /// Creates the algorithm with the universal width schedule.
+    pub fn new() -> Self {
+        DecoupledThreeColoring {
+            widths: universal_widths(),
+        }
+    }
+
+    /// The knowledge radius a process needs before it can decide:
+    /// `P + 3` (reduction rounds plus shift-down rounds).
+    pub fn required_radius(&self) -> usize {
+        self.widths.len() + 3
+    }
+
+    /// Simulates the synchronous algorithm for position `me` given the
+    /// identifiers of the window `me − R ..= me + R` (window case) or of
+    /// the whole ring (when `2R + 1 ≥ n`).
+    fn simulate(&self, me: usize, n: usize, id_at: impl Fn(usize) -> u64) -> u64 {
+        let r = self.required_radius();
+        if 2 * r + 1 >= n {
+            // Whole-ring simulation with wraparound.
+            let mut vals: Vec<u64> = (0..n).map(&id_at).collect();
+            for &w in &self.widths {
+                let next: Vec<u64> = (0..n)
+                    .map(|i| cv_step_fixed(vals[i], vals[(i + 1) % n], w))
+                    .collect();
+                vals = next;
+            }
+            for sub in 0..3u64 {
+                let target = 5 - sub;
+                let next: Vec<u64> = (0..n)
+                    .map(|i| {
+                        if vals[i] == target {
+                            crate::color::mex([vals[(i + n - 1) % n], vals[(i + 1) % n]])
+                        } else {
+                            vals[i]
+                        }
+                    })
+                    .collect();
+                vals = next;
+            }
+            vals[me]
+        } else {
+            // Window simulation: index o ∈ 0..2R+1 is position me−R+o.
+            let len = 2 * r + 1;
+            let mut vals: Vec<u64> = (0..len).map(|o| id_at((me + n - r + o) % n)).collect();
+            // Phase 1 shrinks the window from the right (each value needs
+            // its successor).
+            let mut hi = len; // exclusive upper bound of valid entries
+            for &w in &self.widths {
+                for i in 0..hi - 1 {
+                    vals[i] = cv_step_fixed(vals[i], vals[i + 1], w);
+                }
+                hi -= 1;
+            }
+            // Phase 2 shrinks from both sides (each value needs both
+            // neighbors).
+            let mut lo = 0;
+            for sub in 0..3u64 {
+                let target = 5 - sub;
+                let prev = vals.clone();
+                for i in lo + 1..hi - 1 {
+                    if prev[i] == target {
+                        vals[i] = crate::color::mex([prev[i - 1], prev[i + 1]]);
+                    }
+                }
+                lo += 1;
+                hi -= 1;
+            }
+            debug_assert!((lo..hi).contains(&r), "center must stay valid");
+            vals[r]
+        }
+    }
+}
+
+impl Default for DecoupledThreeColoring {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DecoupledAlgorithm for DecoupledThreeColoring {
+    type Input = u64;
+    type Output = u64;
+
+    fn decide(&self, me: ProcessId, time: Time, k: &Knowledge<'_, u64>) -> Option<u64> {
+        let r = self.required_radius();
+        let n = k.topology().len();
+        // Decide once the ball has radius R — or already covers the whole
+        // ring (small n), in which case the global simulation is possible
+        // immediately.
+        let covered = 2 * k.radius() >= n.saturating_sub(1);
+        if (time as usize) < r && !covered {
+            return None; // wait — safe in DECOUPLED, fatal in the async model
+        }
+        let color = self.simulate(me.index(), n, |pos| {
+            *k.input_of(ProcessId(pos))
+                .expect("radius R ball delivered by the network")
+        });
+        Some(color)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcolor_model::decoupled::DecoupledExecution;
+    use ftcolor_model::inputs;
+    use ftcolor_model::prelude::*;
+
+    fn run_ring(
+        ids: Vec<u64>,
+        schedule: impl Schedule,
+    ) -> (Topology, ftcolor_model::ExecutionReport<u64>) {
+        let topo = Topology::cycle(ids.len()).unwrap();
+        let alg = DecoupledThreeColoring::new();
+        let mut exec = DecoupledExecution::new(&alg, &topo, ids);
+        let report = exec.run(schedule, 100_000).unwrap();
+        (topo, report)
+    }
+
+    #[test]
+    fn three_colors_proper_across_sizes() {
+        for n in [3usize, 5, 8, 14, 15, 16, 40, 200] {
+            let ids = inputs::random_unique(n, 1 << 50, n as u64);
+            let (topo, report) = run_ring(ids, Synchronous::new());
+            assert!(report.all_returned(), "n={n}");
+            let colors: Vec<u64> = report.outputs.iter().map(|c| c.unwrap()).collect();
+            assert!(topo.is_proper_coloring(&colors), "n={n}: {colors:?}");
+            assert!(colors.iter().all(|&c| c <= 2), "n={n}: {colors:?}");
+        }
+    }
+
+    #[test]
+    fn wait_free_in_constant_activations() {
+        let n = 64;
+        let ids = inputs::staircase_poly(n);
+        let (_, report) = run_ring(ids, Synchronous::new());
+        let r = DecoupledThreeColoring::new().required_radius() as u64;
+        assert_eq!(report.max_activations(), r, "decide exactly at radius R");
+    }
+
+    #[test]
+    fn crashes_cannot_block_survivors() {
+        // Crash 80% of the ring at time 1 — in the async model this cuts
+        // every path; here the network keeps relaying and the survivors
+        // 3-color themselves.
+        let n = 30;
+        let ids = inputs::random_unique(n, 10_000, 3);
+        let topo = Topology::cycle(n).unwrap();
+        let alg = DecoupledThreeColoring::new();
+        let crashes = (0..n).filter(|i| i % 5 != 0).map(|i| (ProcessId(i), 1));
+        let sched = CrashPlan::new(Synchronous::new(), crashes);
+        let mut exec = DecoupledExecution::new(&alg, &topo, ids);
+        let report = exec.run(sched, 10_000).unwrap();
+        for i in (0..n).step_by(5) {
+            let c = report.outputs[i].expect("survivor decided");
+            assert!(c <= 2);
+        }
+        assert!(topo.is_proper_partial_coloring(&report.outputs));
+    }
+
+    #[test]
+    fn late_single_activation_decides_at_once() {
+        let n = 20;
+        let ids = inputs::random_unique(n, 10_000, 9);
+        let topo = Topology::cycle(n).unwrap();
+        let alg = DecoupledThreeColoring::new();
+        let mut exec = DecoupledExecution::new(&alg, &topo, ids);
+        // 10 idle steps (the network works alone), then one activation.
+        let mut steps: Vec<Vec<usize>> = vec![vec![]; 10];
+        steps.push(vec![7]);
+        let report = exec.run(FixedSequence::from_indices(steps), 100).unwrap();
+        assert!(report.outputs[7].is_some());
+        assert_eq!(report.activations[7], 1);
+    }
+
+    #[test]
+    fn simulation_agrees_with_the_global_synchronous_run() {
+        // The window simulation must agree with simulating the whole
+        // ring — locality of the synchronous algorithm, checked.
+        let n = 64;
+        let ids = inputs::random_unique(n, 1 << 40, 4);
+        let alg = DecoupledThreeColoring::new();
+        let global: Vec<u64> = (0..n)
+            .map(|v| {
+                // Whole-ring reference.
+                alg.simulate(v, n, |pos| ids[pos])
+            })
+            .collect();
+        // Window path (forced by using a virtual larger radius check):
+        // run the actual executor, which uses windows for n = 64 > 2R+1.
+        let (_, report) = {
+            let topo = Topology::cycle(n).unwrap();
+            let mut exec = DecoupledExecution::new(&alg, &topo, ids.clone());
+            let report = exec.run(Synchronous::new(), 1000).unwrap();
+            (topo, report)
+        };
+        for (v, expected) in global.iter().enumerate() {
+            assert_eq!(report.outputs[v], Some(*expected), "node {v}");
+        }
+    }
+
+    #[test]
+    fn model_separation_three_vs_five() {
+        // The headline of E11: same ring, same ids — 3 colors in
+        // DECOUPLED, 5 needed in the fully asynchronous model (where our
+        // algorithms use exactly {0..4} and Property 2.3 forbids fewer).
+        let n = 12;
+        let ids = inputs::random_unique(n, 1000, 5);
+        let (_, dec) = run_ring(ids.clone(), RandomSubset::new(2, 0.5));
+        let dec_palette = dec.outputs.iter().flatten().copied().max().unwrap();
+        assert!(dec_palette <= 2);
+
+        let topo = Topology::cycle(n).unwrap();
+        let mut exec = Execution::new(&crate::FastFiveColoring, &topo, ids);
+        let rep = exec.run(RandomSubset::new(2, 0.5), 100_000).unwrap();
+        assert!(rep.outputs.iter().flatten().all(|&c| c <= 4));
+    }
+}

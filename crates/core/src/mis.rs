@@ -1,0 +1,378 @@
+//! Candidate **maximal independent set** algorithms — the problem that is
+//! *impossible* wait-free in this model (Property 2.1).
+//!
+//! The paper proves (by reduction to strong symmetry breaking, which is
+//! impossible in wait-free shared memory) that no algorithm solves MIS
+//! on the asynchronous cycle:
+//!
+//! 1. every node that terminates with `Out` has a *terminating* neighbor
+//!    with `In`, and
+//! 2. no two terminating neighbors both output `In`.
+//!
+//! An impossibility cannot be executed; what we can do is implement the
+//! natural candidate algorithms and let the model checker exhibit, for
+//! each, a concrete schedule on which it fails — either violating one of
+//! the two safety conditions or failing wait-freedom (never terminating
+//! while being activated forever). Experiment E7 does exactly this, and
+//! [`ftcolor_checker`'s `ssb` module](https://docs.rs/) carries the
+//! reduction of the paper's proof.
+//!
+//! Each candidate is correct in the synchronous failure-free setting —
+//! the failures are genuinely artifacts of asynchrony and crashes.
+
+use ftcolor_model::{Algorithm, Neighborhood, ProcessId, Step};
+use serde::{Deserialize, Serialize};
+
+/// MIS verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MisOutput {
+    /// The node joins the independent set (the paper's output 1).
+    In,
+    /// The node stays out (the paper's output 0).
+    Out,
+}
+
+/// Register contents of the candidates: identifier plus tentative
+/// verdict (`None` = undecided).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MisReg {
+    /// The input identifier.
+    pub x: u64,
+    /// The tentative verdict published for neighbors to see.
+    pub tentative: Option<MisOutput>,
+}
+
+/// Candidate 1: **LocalMaxMis** — join if you are a local maximum among
+/// the neighbors you can see, with one confirmation round (the same
+/// "publish, re-check, return" pattern that makes the coloring
+/// algorithms correct).
+///
+/// *How it fails (E7, both found automatically by the model checker):*
+///
+/// * **Safety (stale-In retraction).** A node claims tentative `In`
+///   while its bigger neighbor is asleep, then *retracts* on re-check
+///   when that neighbor appears — but its other neighbor has already
+///   committed `Out` against the stale claim. Crash the rest: the `Out`
+///   node has no terminating `In` neighbor, violating MIS condition 1
+///   (3-step counterexample on `C3`).
+/// * **Liveness (starvation).** A process behind a crashed, forever-
+///   undecided bigger register is activated forever without deciding —
+///   violating wait-freedom.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalMaxMis;
+
+impl LocalMaxMis {
+    /// Creates the candidate.
+    pub fn new() -> Self {
+        LocalMaxMis
+    }
+
+    fn desired(x: u64, view: &Neighborhood<'_, MisReg>) -> Option<MisOutput> {
+        if view.awake().any(|r| r.tentative == Some(MisOutput::In)) {
+            Some(MisOutput::Out)
+        } else if view
+            .awake()
+            .all(|r| r.tentative == Some(MisOutput::Out) || r.x < x)
+        {
+            // Local max among still-contending awake neighbors; asleep
+            // neighbors are treated as absent — a wait-free algorithm
+            // cannot wait for them.
+            Some(MisOutput::In)
+        } else {
+            None
+        }
+    }
+}
+
+impl Algorithm for LocalMaxMis {
+    type Input = u64;
+    type State = MisReg;
+    type Reg = MisReg;
+    type Output = MisOutput;
+
+    fn init(&self, _id: ProcessId, input: u64) -> MisReg {
+        MisReg {
+            x: input,
+            tentative: None,
+        }
+    }
+
+    fn publish(&self, state: &MisReg) -> MisReg {
+        *state
+    }
+
+    fn step(&self, state: &mut MisReg, view: &Neighborhood<'_, MisReg>) -> Step<MisOutput> {
+        let want = Self::desired(state.x, view);
+        if let Some(d) = want {
+            if want == state.tentative {
+                // The published tentative survived a re-check: commit.
+                return Step::Return(d);
+            }
+        }
+        state.tentative = want;
+        Step::Continue
+    }
+}
+
+/// Candidate 2: **ImpatientMis** — like [`LocalMaxMis`] but committing
+/// immediately, without the confirmation round.
+///
+/// *How it fails (E7):* a round writes *before* reading, so a verdict
+/// reached in the same round it is computed is never published: a node
+/// returns `In` while its register forever shows "undecided", and a
+/// lower-identifier neighbor waits on the frozen register — activated
+/// forever without terminating. Wait-freedom is violated even under the
+/// fully synchronous schedule, which illustrates why the paper's
+/// algorithms return only values they have already published (Lemma 3.2's
+/// `c_p(t) = c_p(t−1)` characterization).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ImpatientMis;
+
+impl ImpatientMis {
+    /// Creates the candidate.
+    pub fn new() -> Self {
+        ImpatientMis
+    }
+}
+
+impl Algorithm for ImpatientMis {
+    type Input = u64;
+    type State = MisReg;
+    type Reg = MisReg;
+    type Output = MisOutput;
+
+    fn init(&self, _id: ProcessId, input: u64) -> MisReg {
+        MisReg {
+            x: input,
+            tentative: None,
+        }
+    }
+
+    fn publish(&self, state: &MisReg) -> MisReg {
+        *state
+    }
+
+    fn step(&self, state: &mut MisReg, view: &Neighborhood<'_, MisReg>) -> Step<MisOutput> {
+        if view.awake().any(|r| r.tentative == Some(MisOutput::In)) {
+            state.tentative = Some(MisOutput::Out);
+            return Step::Return(MisOutput::Out);
+        }
+        if view
+            .awake()
+            .all(|r| r.tentative == Some(MisOutput::Out) || r.x < state.x)
+        {
+            state.tentative = Some(MisOutput::In);
+            return Step::Return(MisOutput::In);
+        }
+        Step::Continue
+    }
+}
+
+/// Candidate 3: **EagerMis** — publishes its tentative verdict and, at
+/// the next activation, commits it *blindly*, without re-checking the
+/// neighborhood.
+///
+/// *How it fails (E7):* the skipped re-check is exactly what protects
+/// [`LocalMaxMis`] from stale claims. Let `p` claim `In` while its bigger
+/// neighbor `q` is still asleep; when `q` wakes it reads `p`'s register
+/// *before `p` has published the claim* and, seeing only a smaller
+/// undecided neighbor, claims `In` too; both then blind-commit —
+/// two adjacent `In`s, violating MIS condition 2.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EagerMis;
+
+impl EagerMis {
+    /// Creates the candidate.
+    pub fn new() -> Self {
+        EagerMis
+    }
+}
+
+impl Algorithm for EagerMis {
+    type Input = u64;
+    type State = MisReg;
+    type Reg = MisReg;
+    type Output = MisOutput;
+
+    fn init(&self, _id: ProcessId, input: u64) -> MisReg {
+        MisReg {
+            x: input,
+            tentative: None,
+        }
+    }
+
+    fn publish(&self, state: &MisReg) -> MisReg {
+        *state
+    }
+
+    fn step(&self, state: &mut MisReg, view: &Neighborhood<'_, MisReg>) -> Step<MisOutput> {
+        if let Some(d) = state.tentative {
+            // Blind commit: the claim was published this round; return it
+            // without looking at the neighborhood again.
+            return Step::Return(d);
+        }
+        state.tentative = LocalMaxMis::desired(state.x, view);
+        Step::Continue
+    }
+}
+
+/// Checks the two MIS safety conditions on the *terminated* nodes of a
+/// cycle/graph execution. Returns the first violated condition as a
+/// human-readable description, or `None` if the partial output is a
+/// valid "MIS so far".
+///
+/// Condition 1 applies only to executions that have *ended* (no process
+/// will run again); pass the outputs of a finished report.
+pub fn mis_violation(
+    topo: &ftcolor_model::Topology,
+    outputs: &[Option<MisOutput>],
+) -> Option<String> {
+    // Condition 2: no two terminating neighbors both In.
+    for (a, b) in topo.edges() {
+        if outputs[a.index()] == Some(MisOutput::In) && outputs[b.index()] == Some(MisOutput::In) {
+            return Some(format!("adjacent In/In on edge {a}-{b}"));
+        }
+    }
+    // Condition 1: every terminating Out has a terminating In neighbor.
+    for p in topo.nodes() {
+        if outputs[p.index()] == Some(MisOutput::Out)
+            && !topo
+                .neighbors(p)
+                .iter()
+                .any(|q| outputs[q.index()] == Some(MisOutput::In))
+        {
+            return Some(format!("{p} is Out with no terminating In neighbor"));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcolor_model::prelude::*;
+
+    #[test]
+    fn local_max_mis_works_synchronously_failure_free() {
+        // The candidate is *correct* under synchrony — the paper's point
+        // is that asynchrony + crashes break MIS, not that naive code is
+        // silly.
+        for n in [3usize, 4, 5, 8, 11] {
+            let topo = Topology::cycle(n).unwrap();
+            let ids = ftcolor_model::inputs::random_permutation(n, n as u64);
+            let mut exec = Execution::new(&LocalMaxMis, &topo, ids);
+            let outputs = exec.run(Synchronous::new(), 10_000).unwrap().outputs;
+            assert!(outputs.iter().all(|o| o.is_some()), "n={n}");
+            assert_eq!(mis_violation(&topo, &outputs), None, "n={n}: {outputs:?}");
+        }
+    }
+
+    #[test]
+    fn impatient_mis_stalls_even_synchronously() {
+        // The unpublished-verdict flaw: once the local max returns In,
+        // its register forever shows "undecided" and neighbors can never
+        // decide — fuel runs out with processes still working.
+        let topo = Topology::cycle(5).unwrap();
+        let mut exec = Execution::new(&ImpatientMis, &topo, vec![1, 2, 3, 4, 5]);
+        let err = exec.run(Synchronous::new(), 1_000).unwrap_err();
+        assert!(matches!(
+            err,
+            ftcolor_model::ModelError::NonTermination { .. }
+        ));
+    }
+
+    #[test]
+    fn local_max_mis_starves_behind_a_crashed_undecided_neighbor() {
+        // p3 (the global max on C4) is activated once — publishing only
+        // its *initial* undecided register — and then crashes. Its
+        // smaller neighbor p0 sees a bigger, forever-undecided register
+        // and can never decide: activated forever, never terminates.
+        // This is the wait-freedom violation Property 2.1 predicts.
+        let topo = Topology::cycle(4).unwrap();
+        let mut exec = Execution::new(&LocalMaxMis, &topo, vec![1, 2, 3, 4]);
+        exec.step_with(&ActivationSet::solo(ProcessId(3)));
+        assert_eq!(exec.register(ProcessId(3)).unwrap().tentative, None);
+        for _ in 0..200 {
+            exec.step_with(&ActivationSet::solo(ProcessId(0)));
+        }
+        assert_eq!(exec.outputs()[0], None, "p0 starves");
+        assert_eq!(exec.activation_count(ProcessId(0)), 200);
+    }
+
+    #[test]
+    fn eager_mis_commits_adjacent_in_in() {
+        // The documented EagerMis safety violation, concretely on C4 with
+        // ids p0=5, p1=9, p2=2, p3=1:
+        //   t1: p0 runs alone (p1, p3 asleep) → tentative In (unpublished).
+        //   t2: p1 runs: reads p0's register (5, None): smaller and
+        //       undecided → p1 tentative In.
+        //   t3: p0 publishes In and blind-commits In.
+        //   t4: p1 publishes In and blind-commits In.
+        // p0 and p1 are adjacent: condition 2 violated.
+        let topo = Topology::cycle(4).unwrap();
+        let mut exec = Execution::new(&EagerMis, &topo, vec![5, 9, 2, 1]);
+        let sched = FixedSequence::from_indices([vec![0], vec![1], vec![0], vec![1]]);
+        let report = exec.run(sched, 100).unwrap();
+        assert_eq!(report.outputs[0], Some(MisOutput::In));
+        assert_eq!(report.outputs[1], Some(MisOutput::In));
+        let v = mis_violation(&topo, &report.outputs);
+        assert!(
+            v.unwrap().contains("In/In"),
+            "expected an adjacent In/In violation"
+        );
+    }
+
+    #[test]
+    fn eager_mis_is_fine_when_wakeups_are_simultaneous() {
+        // The violation needs staggered wake-ups: under the synchronous
+        // schedule EagerMis behaves like LocalMaxMis and is correct.
+        for n in [3usize, 5, 8] {
+            let topo = Topology::cycle(n).unwrap();
+            let ids = ftcolor_model::inputs::random_permutation(n, 7 * n as u64 + 1);
+            let mut exec = Execution::new(&EagerMis, &topo, ids);
+            let report = exec.run(Synchronous::new(), 10_000).unwrap();
+            assert!(report.all_returned());
+            assert_eq!(mis_violation(&topo, &report.outputs), None, "n={n}");
+        }
+    }
+
+    #[test]
+    fn impatient_mis_livelocks_behind_a_frozen_register() {
+        // p1 (the global max on C3) returns In on its first activation,
+        // but its register forever shows tentative = None. p0 (smaller)
+        // sees a bigger, undecided neighbor and can never decide.
+        let topo = Topology::cycle(3).unwrap();
+        let mut exec = Execution::new(&ImpatientMis, &topo, vec![10, 30, 20]);
+        exec.step_with(&ActivationSet::solo(ProcessId(1)));
+        assert_eq!(exec.outputs()[1], Some(MisOutput::In));
+        // Now p0 is activated many times; it never terminates.
+        for _ in 0..100 {
+            exec.step_with(&ActivationSet::solo(ProcessId(0)));
+        }
+        assert_eq!(
+            exec.outputs()[0],
+            None,
+            "p0 is stuck: wait-freedom violated"
+        );
+        assert_eq!(exec.activation_count(ProcessId(0)), 100);
+    }
+
+    #[test]
+    fn mis_violation_detects_adjacent_in() {
+        let topo = Topology::cycle(4).unwrap();
+        let outs = vec![
+            Some(MisOutput::In),
+            Some(MisOutput::In),
+            Some(MisOutput::Out),
+            Some(MisOutput::Out),
+        ];
+        assert!(mis_violation(&topo, &outs).unwrap().contains("In/In"));
+    }
+
+    #[test]
+    fn mis_violation_accepts_valid_partial() {
+        let topo = Topology::cycle(4).unwrap();
+        let outs = vec![Some(MisOutput::In), Some(MisOutput::Out), None, None];
+        assert_eq!(mis_violation(&topo, &outs), None);
+    }
+}

@@ -1,0 +1,168 @@
+//! The [`Algorithm`] trait — what a distributed algorithm looks like in
+//! the state model.
+//!
+//! An algorithm is a deterministic state machine per process (§2.1). In
+//! each of its asynchronous rounds a process:
+//!
+//! 1. **writes** [`Algorithm::publish`]`(state)` to its register,
+//! 2. **reads** its neighbors' registers — delivered as a
+//!    [`Neighborhood`], where a neighbor that has never written shows up
+//!    as `None` (the paper's `⊥`),
+//! 3. **updates** via [`Algorithm::step`], possibly returning an output.
+//!
+//! The executor guarantees the paper's timing discipline: the write of
+//! step 1 is visible to every process activated at the same time step, and
+//! the values read in step 2 are the most recent writes of each neighbor.
+
+use crate::ids::ProcessId;
+
+/// The outcome of one activation of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step<O> {
+    /// Keep running; the process stays *working* and will publish its
+    /// updated state at its next activation.
+    Continue,
+    /// Terminate with this output. The process's register keeps the value
+    /// written at the start of this round, visible to neighbors forever.
+    Return(O),
+}
+
+impl<O> Step<O> {
+    /// `true` for [`Step::Return`].
+    pub fn is_return(&self) -> bool {
+        matches!(self, Step::Return(_))
+    }
+
+    /// Extracts the output if this is a [`Step::Return`].
+    pub fn into_output(self) -> Option<O> {
+        match self {
+            Step::Continue => None,
+            Step::Return(o) => Some(o),
+        }
+    }
+}
+
+/// What a process sees when it performs a local immediate snapshot: the
+/// published register of each of its graph neighbors, in the topology's
+/// (arbitrary but fixed) neighbor order. `None` is the paper's `⊥` — the
+/// neighbor has not yet performed any round.
+#[derive(Debug)]
+pub struct Neighborhood<'a, R> {
+    regs: &'a [Option<R>],
+}
+
+impl<'a, R> Neighborhood<'a, R> {
+    /// Wraps a slice of neighbor register values (one entry per neighbor).
+    pub fn new(regs: &'a [Option<R>]) -> Self {
+        Neighborhood { regs }
+    }
+
+    /// Number of neighbors (the node's degree).
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// `true` when the node has no neighbors.
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// The raw register of the `i`-th neighbor (`None` = `⊥`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ len()`.
+    pub fn reg(&self, i: usize) -> Option<&R> {
+        self.regs[i].as_ref()
+    }
+
+    /// Iterates over all neighbor registers, `⊥` included.
+    pub fn iter(&self) -> impl Iterator<Item = Option<&R>> + '_ {
+        self.regs.iter().map(|r| r.as_ref())
+    }
+
+    /// Iterates over the registers of *awake* neighbors only (those that
+    /// have written at least once). Most of the paper's conflict sets
+    /// (`C`, `C⁺`, `P⁺`, `N⁺`, `N⁻`) quantify over awake neighbors,
+    /// because a `⊥` register constrains nothing.
+    pub fn awake(&self) -> impl Iterator<Item = &R> + '_ {
+        self.regs.iter().filter_map(|r| r.as_ref())
+    }
+
+    /// `true` when every neighbor has written at least once.
+    pub fn all_awake(&self) -> bool {
+        self.regs.iter().all(|r| r.is_some())
+    }
+}
+
+/// A distributed algorithm in the state model.
+///
+/// One value of the implementing type describes the *code* run by every
+/// process; per-process data lives in [`Algorithm::State`]. This split
+/// lets the executor clone/hash states for model checking without
+/// constraining the algorithm object itself.
+///
+/// See the [crate-level docs](crate) for a complete running example.
+pub trait Algorithm {
+    /// Per-process input (the paper's identifier `X_p`, usually `u64`).
+    type Input;
+    /// Per-process mutable state.
+    type State: Clone + std::fmt::Debug;
+    /// Register contents — what a process writes and neighbors read.
+    type Reg: Clone + PartialEq + std::fmt::Debug;
+    /// The output a process terminates with (a color, a name, …).
+    type Output: Clone + PartialEq + std::fmt::Debug;
+
+    /// Builds the initial state of process `id` from its input. Called
+    /// once per process before the execution starts; the process is still
+    /// *asleep* (register `⊥`) until its first activation.
+    fn init(&self, id: ProcessId, input: Self::Input) -> Self::State;
+
+    /// The value written to the process's register at the start of each of
+    /// its rounds (operation 1 of the round).
+    fn publish(&self, state: &Self::State) -> Self::Reg;
+
+    /// Operations 2–3 of the round: react to the neighborhood snapshot and
+    /// update the state, or terminate.
+    fn step(
+        &self,
+        state: &mut Self::State,
+        view: &Neighborhood<'_, Self::Reg>,
+    ) -> Step<Self::Output>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_helpers() {
+        let c: Step<u8> = Step::Continue;
+        let r: Step<u8> = Step::Return(7);
+        assert!(!c.is_return());
+        assert!(r.is_return());
+        assert_eq!(c.into_output(), None);
+        assert_eq!(r.into_output(), Some(7));
+    }
+
+    #[test]
+    fn neighborhood_awake_filters_bottom() {
+        let regs = vec![Some(1u32), None, Some(3)];
+        let view = Neighborhood::new(&regs);
+        assert_eq!(view.len(), 3);
+        assert!(!view.all_awake());
+        assert_eq!(view.awake().copied().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(view.reg(1), None);
+        assert_eq!(view.reg(2), Some(&3));
+        let seen: Vec<Option<&u32>> = view.iter().collect();
+        assert_eq!(seen, vec![Some(&1), None, Some(&3)]);
+    }
+
+    #[test]
+    fn neighborhood_empty() {
+        let regs: Vec<Option<u8>> = Vec::new();
+        let view = Neighborhood::new(&regs);
+        assert!(view.is_empty());
+        assert!(view.all_awake()); // vacuously
+    }
+}

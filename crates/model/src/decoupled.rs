@@ -1,0 +1,317 @@
+//! The **DECOUPLED** model — the paper's closest relative (§1.4).
+//!
+//! Castañeda et al. \[13\] and Delporte-Gallet et al. \[18\] study a model
+//! that *decouples* computation from communication: the `n` nodes of a
+//! **synchronous, reliable** network are occupied by **asynchronous,
+//! crash-prone** processes. A message emitted at round `r` reaches every
+//! node at distance `d` at round `r + d`, whether or not the processes
+//! on the way are awake; a node's local buffer keeps everything that
+//! ever passed through it. A process that wakes up late finds the
+//! accumulated knowledge waiting.
+//!
+//! Concretely: at wall-clock time `t`, a process knows the inputs of
+//! every node within distance `t` — the network did the propagation, for
+//! free. This makes DECOUPLED strictly stronger than the paper's fully
+//! asynchronous state model, where a slow or crashed node *blocks*
+//! information flow: \[18\] shows every `O(polylog n)`-round LOCAL
+//! algorithm transfers to DECOUPLED at constant overhead, so 3-coloring
+//! the ring stays possible — while in the paper's model 5 colors are
+//! necessary (Property 2.3) and MIS becomes unsolvable.
+//!
+//! This module implements the DECOUPLED substrate (knowledge-ball
+//! executor under the same [`Schedule`] adversaries); the companion
+//! algorithm — wait-free DECOUPLED 3-coloring à la \[13\] — lives in
+//! `ftcolor-core::decoupled_ring`, and experiment E11 measures the model
+//! separation.
+
+use crate::error::ModelError;
+use crate::graph::Topology;
+use crate::ids::{ProcessId, Time};
+use crate::schedule::Schedule;
+use std::collections::VecDeque;
+
+/// What a process can see at one activation: the inputs of every node
+/// within the knowledge radius (= the wall-clock time).
+#[derive(Debug)]
+pub struct Knowledge<'a, I> {
+    topo: &'a Topology,
+    inputs: &'a [I],
+    center: ProcessId,
+    radius: usize,
+}
+
+impl<'a, I> Knowledge<'a, I> {
+    /// The center process.
+    pub fn center(&self) -> ProcessId {
+        self.center
+    }
+
+    /// The knowledge radius (the current time, in this model).
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// The underlying topology (node positions are common knowledge in
+    /// DECOUPLED, as in LOCAL).
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+
+    /// The input of node `q`, if `q` lies within the knowledge ball.
+    pub fn input_of(&self, q: ProcessId) -> Option<&I> {
+        (self.distance(q)? <= self.radius).then(|| &self.inputs[q.index()])
+    }
+
+    /// BFS distance from the center to `q` (`None` if unreachable).
+    pub fn distance(&self, q: ProcessId) -> Option<usize> {
+        if q == self.center {
+            return Some(0);
+        }
+        let n = self.topo.len();
+        let mut dist = vec![usize::MAX; n];
+        dist[self.center.index()] = 0;
+        let mut queue = VecDeque::from([self.center]);
+        while let Some(u) = queue.pop_front() {
+            for &v in self.topo.neighbors(u) {
+                if dist[v.index()] == usize::MAX {
+                    dist[v.index()] = dist[u.index()] + 1;
+                    if v == q {
+                        return Some(dist[v.index()]);
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        (dist[q.index()] != usize::MAX).then(|| dist[q.index()])
+    }
+
+    /// Iterates over `(node, input)` for every node in the knowledge
+    /// ball, in BFS order from the center.
+    pub fn ball(&self) -> Vec<(ProcessId, &I)> {
+        let n = self.topo.len();
+        let mut dist = vec![usize::MAX; n];
+        dist[self.center.index()] = 0;
+        let mut queue = VecDeque::from([self.center]);
+        let mut out = vec![(self.center, &self.inputs[self.center.index()])];
+        while let Some(u) = queue.pop_front() {
+            if dist[u.index()] >= self.radius {
+                continue;
+            }
+            for &v in self.topo.neighbors(u) {
+                if dist[v.index()] == usize::MAX {
+                    dist[v.index()] = dist[u.index()] + 1;
+                    out.push((v, &self.inputs[v.index()]));
+                    queue.push_back(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A DECOUPLED algorithm: at each activation a process sees the current
+/// knowledge ball and either decides or keeps waiting. Waiting is *safe*
+/// in this model — knowledge grows with wall-clock time regardless of
+/// anyone's speed — which is precisely what the fully asynchronous model
+/// takes away.
+pub trait DecoupledAlgorithm {
+    /// Per-node input (identifier).
+    type Input: Clone;
+    /// The decision value.
+    type Output: Clone + PartialEq + std::fmt::Debug;
+
+    /// Inspects the knowledge ball; `Some` decides and terminates.
+    fn decide(
+        &self,
+        me: ProcessId,
+        time: Time,
+        knowledge: &Knowledge<'_, Self::Input>,
+    ) -> Option<Self::Output>;
+}
+
+/// Executor for the DECOUPLED model, reusing the [`Schedule`] adversary
+/// zoo (activation timing and crashes; the *network* is immune to both).
+pub struct DecoupledExecution<'a, A: DecoupledAlgorithm> {
+    alg: &'a A,
+    topo: &'a Topology,
+    inputs: Vec<A::Input>,
+    outputs: Vec<Option<A::Output>>,
+    activations: Vec<u64>,
+    working: Vec<ProcessId>,
+    time: Time,
+}
+
+impl<'a, A: DecoupledAlgorithm> DecoupledExecution<'a, A> {
+    /// Sets up the execution (everyone asleep, time 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the node count.
+    pub fn new(alg: &'a A, topo: &'a Topology, inputs: Vec<A::Input>) -> Self {
+        assert_eq!(inputs.len(), topo.len(), "one input per node");
+        let n = topo.len();
+        DecoupledExecution {
+            alg,
+            topo,
+            inputs,
+            outputs: (0..n).map(|_| None).collect(),
+            activations: vec![0; n],
+            working: (0..n).map(ProcessId).collect(),
+            time: 0,
+        }
+    }
+
+    /// Current time (knowledge radius).
+    pub fn time(&self) -> Time {
+        self.time
+    }
+
+    /// Per-process outputs so far.
+    pub fn outputs(&self) -> &[Option<A::Output>] {
+        &self.outputs
+    }
+
+    /// Runs under `schedule` for at most `fuel` steps.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::NonTermination`] if fuel runs out with processes
+    /// still working and the schedule still active.
+    pub fn run(
+        &mut self,
+        mut schedule: impl Schedule,
+        fuel: u64,
+    ) -> Result<crate::executor::ExecutionReport<A::Output>, ModelError> {
+        let mut crashed = Vec::new();
+        for _ in 0..fuel {
+            if self.working.is_empty() {
+                break;
+            }
+            let Some(set) = schedule.next(self.time + 1, &self.working) else {
+                crashed = self.working.clone();
+                break;
+            };
+            self.time += 1;
+            for p in set.resolve(&self.working) {
+                self.activations[p.index()] += 1;
+                let knowledge = Knowledge {
+                    topo: self.topo,
+                    inputs: &self.inputs,
+                    center: p,
+                    radius: self.time as usize,
+                };
+                if let Some(o) = self.alg.decide(p, self.time, &knowledge) {
+                    self.outputs[p.index()] = Some(o);
+                }
+            }
+            let outputs = &self.outputs;
+            self.working.retain(|p| outputs[p.index()].is_none());
+        }
+        if !self.working.is_empty() && crashed.is_empty() {
+            return Err(ModelError::NonTermination {
+                fuel,
+                still_working: self.working.clone(),
+            });
+        }
+        Ok(crate::executor::ExecutionReport {
+            outputs: self.outputs.clone(),
+            activations: self.activations.clone(),
+            time_steps: self.time,
+            crashed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{CrashPlan, RandomSubset, Synchronous};
+
+    /// Decides once the ball covers the whole ring: output the global
+    /// minimum identifier (a toy "leader election by patience").
+    struct GlobalMin {
+        n: usize,
+    }
+
+    impl DecoupledAlgorithm for GlobalMin {
+        type Input = u64;
+        type Output = u64;
+        fn decide(&self, _me: ProcessId, _t: Time, k: &Knowledge<'_, u64>) -> Option<u64> {
+            (k.radius() >= self.n / 2).then(|| {
+                k.ball()
+                    .iter()
+                    .map(|(_, &x)| x)
+                    .min()
+                    .expect("nonempty ball")
+            })
+        }
+    }
+
+    #[test]
+    fn knowledge_grows_with_time_not_activations() {
+        let topo = Topology::cycle(8).unwrap();
+        let alg = GlobalMin { n: 8 };
+        let ids = vec![5, 3, 9, 1, 7, 6, 2, 8];
+        let mut exec = DecoupledExecution::new(&alg, &topo, ids);
+        // Everyone activated every step: all decide at time n/2 = 4 with
+        // exactly 4 activations.
+        let report = exec.run(Synchronous::new(), 100).unwrap();
+        assert!(report.all_returned());
+        assert!(report.outputs.iter().all(|o| *o == Some(1)));
+        assert_eq!(report.max_activations(), 4);
+    }
+
+    #[test]
+    fn a_process_activated_once_late_decides_immediately() {
+        let topo = Topology::cycle(8).unwrap();
+        let alg = GlobalMin { n: 8 };
+        let ids = vec![5, 3, 9, 1, 7, 6, 2, 8];
+        let mut exec = DecoupledExecution::new(&alg, &topo, ids);
+        // Idle steps advance time (the network runs without processes);
+        // process 0's single activation at time 6 decides on the spot.
+        use crate::schedule::FixedSequence;
+        let mut steps: Vec<Vec<usize>> = vec![vec![]; 5];
+        steps.push(vec![0]);
+        let report = exec.run(FixedSequence::from_indices(steps), 100).unwrap();
+        assert_eq!(report.outputs[0], Some(1));
+        assert_eq!(report.activations[0], 1, "one activation sufficed");
+    }
+
+    #[test]
+    fn crashes_do_not_block_information_flow() {
+        // In the paper's model a crashed chain of nodes cuts the ring;
+        // here the network relays regardless.
+        let topo = Topology::cycle(10).unwrap();
+        let alg = GlobalMin { n: 10 };
+        let ids: Vec<u64> = (0..10).map(|i| (i * 7 + 3) % 23).collect();
+        let min = *ids.iter().min().unwrap();
+        let crashes = (1..9).map(|i| (ProcessId(i), 1));
+        let sched = CrashPlan::new(RandomSubset::new(1, 0.8), crashes);
+        let mut exec = DecoupledExecution::new(&alg, &topo, ids);
+        let report = exec.run(sched, 1000).unwrap();
+        // The two survivors decide with full knowledge.
+        assert_eq!(report.outputs[0], Some(min));
+        assert_eq!(report.outputs[9], Some(min));
+        assert_eq!(report.crashed.len(), 8);
+    }
+
+    #[test]
+    fn knowledge_ball_geometry() {
+        let topo = Topology::cycle(7).unwrap();
+        let inputs: Vec<u64> = (0..7).collect();
+        let k = Knowledge {
+            topo: &topo,
+            inputs: &inputs,
+            center: ProcessId(0),
+            radius: 2,
+        };
+        assert_eq!(k.distance(ProcessId(2)), Some(2));
+        assert_eq!(k.distance(ProcessId(5)), Some(2));
+        assert_eq!(k.distance(ProcessId(3)), Some(3));
+        assert_eq!(k.input_of(ProcessId(6)), Some(&6));
+        assert_eq!(k.input_of(ProcessId(3)), None, "outside the ball");
+        let ball: Vec<usize> = k.ball().iter().map(|(p, _)| p.index()).collect();
+        assert_eq!(ball.len(), 5); // 0, 1, 6, 2, 5
+        assert!(ball.contains(&5) && ball.contains(&2));
+    }
+}

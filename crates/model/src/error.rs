@@ -1,0 +1,132 @@
+//! Error types for the model crate.
+
+use crate::ids::ProcessId;
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing a [`Topology`](crate::graph::Topology).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The requested node count is below the minimum for the family
+    /// (e.g. a cycle needs `n ≥ 3`).
+    TooFewNodes {
+        /// Graph family that was requested.
+        family: &'static str,
+        /// Number of nodes requested.
+        requested: usize,
+        /// Minimum number of nodes for the family.
+        minimum: usize,
+    },
+    /// An edge endpoint is out of range.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the graph.
+        n: usize,
+    },
+    /// A self-loop was supplied; the model has no use for them.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: ProcessId,
+    },
+    /// The same edge was supplied twice.
+    DuplicateEdge {
+        /// One endpoint.
+        a: ProcessId,
+        /// The other endpoint.
+        b: ProcessId,
+    },
+    /// A random-regular construction could not be completed (degree/parity
+    /// constraints make the instance unsatisfiable, e.g. `n·d` odd or
+    /// `d ≥ n`).
+    InfeasibleRegular {
+        /// Requested node count.
+        n: usize,
+        /// Requested degree.
+        d: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::TooFewNodes {
+                family,
+                requested,
+                minimum,
+            } => write!(
+                f,
+                "a {family} needs at least {minimum} nodes, got {requested}"
+            ),
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node index {node} out of range for {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at {node}"),
+            GraphError::DuplicateEdge { a, b } => write!(f, "duplicate edge {a}-{b}"),
+            GraphError::InfeasibleRegular { n, d } => {
+                write!(f, "no {d}-regular graph on {n} nodes exists")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// Error produced while running an execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The execution did not terminate within the supplied fuel (number of
+    /// time steps). For a wait-free algorithm under a fair schedule this
+    /// indicates a bug (or fuel that is genuinely too small).
+    NonTermination {
+        /// The fuel that was exhausted.
+        fuel: u64,
+        /// Processes still working when fuel ran out.
+        still_working: Vec<ProcessId>,
+    },
+    /// The number of inputs does not match the number of nodes.
+    InputLengthMismatch {
+        /// Number of inputs supplied.
+        inputs: usize,
+        /// Number of nodes in the topology.
+        nodes: usize,
+    },
+    /// A topology construction failed.
+    Graph(GraphError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NonTermination {
+                fuel,
+                still_working,
+            } => write!(
+                f,
+                "execution did not terminate within {fuel} steps ({} processes still working)",
+                still_working.len()
+            ),
+            ModelError::InputLengthMismatch { inputs, nodes } => {
+                write!(f, "got {inputs} inputs for {nodes} nodes")
+            }
+            ModelError::Graph(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for ModelError {
+    fn from(e: GraphError) -> Self {
+        ModelError::Graph(e)
+    }
+}

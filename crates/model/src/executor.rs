@@ -1,0 +1,663 @@
+//! The execution engine.
+//!
+//! [`Execution`] drives an [`Algorithm`] over a [`Topology`] under a
+//! [`Schedule`], implementing the paper's round semantics exactly
+//! (§2.1–2.2):
+//!
+//! * a time step activates a set of *working* processes;
+//! * all activated processes **write** first, then all **read**, then all
+//!   **update** — so simultaneously-activated neighbors see each other's
+//!   time-`t` writes (`x̂_p(t) = x_p(t−1)` for `p ∈ σ(t)`, paper Eq. (1));
+//! * a returned process's register keeps its last written value forever;
+//! * a process the schedule stops activating has crashed.
+//!
+//! The engine counts activations per process; the *round complexity* of an
+//! execution (paper §2.2) is the maximum activation count, available as
+//! [`ExecutionReport::max_activations`].
+
+use crate::algorithm::{Algorithm, Neighborhood, Step};
+use crate::error::ModelError;
+use crate::graph::Topology;
+use crate::ids::{ProcessId, Time};
+use crate::schedule::{ActivationSet, Schedule};
+use crate::trace::Trace;
+
+/// The visible status of one process during or after an execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcessStatus<O> {
+    /// Never activated: its register still holds `⊥`.
+    Asleep,
+    /// Activated at least once, has not yet returned.
+    Working,
+    /// Terminated with this output.
+    Returned(O),
+}
+
+impl<O> ProcessStatus<O> {
+    /// `true` unless the process has returned (asleep processes are
+    /// *working* in the paper's sense: their stopping condition is
+    /// unfulfilled).
+    pub fn is_working(&self) -> bool {
+        !matches!(self, ProcessStatus::Returned(_))
+    }
+}
+
+/// A live execution: per-process states, registers, and bookkeeping.
+///
+/// Most callers use [`Execution::run`]; checkers that must observe
+/// intermediate configurations drive [`Execution::step_with`] directly
+/// and inspect the accessors between steps.
+pub struct Execution<'a, A: Algorithm> {
+    alg: &'a A,
+    topo: &'a Topology,
+    states: Vec<A::State>,
+    registers: Vec<Option<A::Reg>>,
+    outputs: Vec<Option<A::Output>>,
+    activations: Vec<u64>,
+    working: Vec<ProcessId>,
+    time: Time,
+    record: bool,
+    recorded: Vec<ActivationSet>,
+}
+
+impl<'a, A: Algorithm> Clone for Execution<'a, A> {
+    fn clone(&self) -> Self {
+        Execution {
+            alg: self.alg,
+            topo: self.topo,
+            states: self.states.clone(),
+            registers: self.registers.clone(),
+            outputs: self.outputs.clone(),
+            activations: self.activations.clone(),
+            working: self.working.clone(),
+            time: self.time,
+            record: self.record,
+            recorded: self.recorded.clone(),
+        }
+    }
+}
+
+impl<'a, A: Algorithm> Execution<'a, A> {
+    /// Sets up an execution in the initial configuration: every process
+    /// asleep, every register `⊥`, states built by [`Algorithm::init`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of nodes; use
+    /// [`Execution::try_new`] for a fallible variant.
+    pub fn new(alg: &'a A, topo: &'a Topology, inputs: Vec<A::Input>) -> Self {
+        Self::try_new(alg, topo, inputs).expect("one input per node")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InputLengthMismatch`] if `inputs.len()`
+    /// differs from the number of nodes.
+    pub fn try_new(
+        alg: &'a A,
+        topo: &'a Topology,
+        inputs: Vec<A::Input>,
+    ) -> Result<Self, ModelError> {
+        if inputs.len() != topo.len() {
+            return Err(ModelError::InputLengthMismatch {
+                inputs: inputs.len(),
+                nodes: topo.len(),
+            });
+        }
+        let states: Vec<A::State> = inputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| alg.init(ProcessId(i), x))
+            .collect();
+        let n = topo.len();
+        Ok(Execution {
+            alg,
+            topo,
+            states,
+            registers: vec![None; n],
+            outputs: (0..n).map(|_| None).collect(),
+            activations: vec![0; n],
+            working: (0..n).map(ProcessId).collect(),
+            time: 0,
+            record: false,
+            recorded: Vec::new(),
+        })
+    }
+
+    /// Enables trace recording: every resolved activation set is kept and
+    /// can be extracted as a replayable [`Trace`] via
+    /// [`Execution::into_trace`] (or read with [`Execution::recorded`]).
+    pub fn record_trace(&mut self, on: bool) -> &mut Self {
+        self.record = on;
+        self
+    }
+
+    /// The topology this execution runs on.
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+
+    /// Current model time (number of steps executed).
+    pub fn time(&self) -> Time {
+        self.time
+    }
+
+    /// The sorted list of processes that have not returned.
+    pub fn working(&self) -> &[ProcessId] {
+        &self.working
+    }
+
+    /// The private state of process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn state(&self, p: ProcessId) -> &A::State {
+        &self.states[p.index()]
+    }
+
+    /// The published register of process `p` (`None` = `⊥`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn register(&self, p: ProcessId) -> Option<&A::Reg> {
+        self.registers[p.index()].as_ref()
+    }
+
+    /// All registers, indexed by process.
+    pub fn registers(&self) -> &[Option<A::Reg>] {
+        &self.registers
+    }
+
+    /// Number of activations process `p` has performed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn activation_count(&self, p: ProcessId) -> u64 {
+        self.activations[p.index()]
+    }
+
+    /// The status of process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn status(&self, p: ProcessId) -> ProcessStatus<A::Output> {
+        match &self.outputs[p.index()] {
+            Some(o) => ProcessStatus::Returned(o.clone()),
+            None if self.activations[p.index()] == 0 => ProcessStatus::Asleep,
+            None => ProcessStatus::Working,
+        }
+    }
+
+    /// Per-process outputs so far (`None` = not returned).
+    pub fn outputs(&self) -> &[Option<A::Output>] {
+        &self.outputs
+    }
+
+    /// `true` once every process has returned.
+    pub fn all_returned(&self) -> bool {
+        self.working.is_empty()
+    }
+
+    /// The activation sets recorded so far (empty unless
+    /// [`Execution::record_trace`] was enabled).
+    pub fn recorded(&self) -> &[ActivationSet] {
+        &self.recorded
+    }
+
+    /// Consumes the execution, yielding the recorded trace.
+    pub fn into_trace(self) -> Trace {
+        Trace::new(self.topo.len(), self.recorded)
+    }
+
+    /// Executes one time step with the given activation set, resolved
+    /// against the working processes. Returns the processes actually
+    /// activated (possibly empty).
+    ///
+    /// This is the three-phase step of §2.1: all writes, then all reads,
+    /// then all updates.
+    pub fn step_with(&mut self, set: &ActivationSet) -> Vec<ProcessId> {
+        self.time += 1;
+        let active = set.resolve(&self.working);
+        if self.record {
+            self.recorded.push(ActivationSet::Only(active.clone()));
+        }
+
+        // Phase 1: all activated processes write.
+        for &p in &active {
+            self.registers[p.index()] = Some(self.alg.publish(&self.states[p.index()]));
+        }
+
+        // Phases 2–3: all activated processes read their neighborhoods
+        // (which include every phase-1 write of this step) and update.
+        let mut scratch: Vec<Option<A::Reg>> = Vec::new();
+        let mut returned_any = false;
+        for &p in &active {
+            scratch.clear();
+            scratch.extend(
+                self.topo
+                    .neighbors(p)
+                    .iter()
+                    .map(|q| self.registers[q.index()].clone()),
+            );
+            let view = Neighborhood::new(&scratch);
+            self.activations[p.index()] += 1;
+            match self.alg.step(&mut self.states[p.index()], &view) {
+                Step::Continue => {}
+                Step::Return(o) => {
+                    self.outputs[p.index()] = Some(o);
+                    returned_any = true;
+                }
+            }
+        }
+        if returned_any {
+            let outputs = &self.outputs;
+            self.working.retain(|p| outputs[p.index()].is_none());
+        }
+        active
+    }
+
+    /// Runs the execution under an **adaptive adversary**: a closure that
+    /// inspects the full configuration (states, registers, outputs) and
+    /// picks the next activation set — strictly stronger than a
+    /// [`Schedule`], which sees only the working set. Returning `None`
+    /// ends the schedule (crashing the remaining processes).
+    ///
+    /// The paper's lower bounds quantify over this adversary class; the
+    /// test suite uses it to drive worst cases that oblivious schedules
+    /// essentially never produce (e.g. "keep the two most-active
+    /// processes in lockstep").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NonTermination`] exactly like
+    /// [`Execution::run`].
+    pub fn run_adaptive(
+        &mut self,
+        mut adversary: impl FnMut(&Execution<'a, A>) -> Option<ActivationSet>,
+        fuel: u64,
+    ) -> Result<ExecutionReport<A::Output>, ModelError> {
+        let mut crashed: Vec<ProcessId> = Vec::new();
+        for _ in 0..fuel {
+            if self.working.is_empty() {
+                break;
+            }
+            match adversary(self) {
+                None => {
+                    crashed = self.working.clone();
+                    break;
+                }
+                Some(set) => {
+                    self.step_with(&set);
+                }
+            }
+        }
+        if !self.working.is_empty() && crashed.is_empty() {
+            return Err(ModelError::NonTermination {
+                fuel,
+                still_working: self.working.clone(),
+            });
+        }
+        Ok(ExecutionReport {
+            outputs: self.outputs.clone(),
+            activations: self.activations.clone(),
+            time_steps: self.time,
+            crashed,
+        })
+    }
+
+    /// Runs the execution under `schedule` until every process has
+    /// returned, the schedule ends (crashing the remaining processes), or
+    /// `fuel` time steps elapse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NonTermination`] if fuel runs out with
+    /// processes still working *and* the schedule still willing to
+    /// activate them — for a wait-free algorithm under a fair schedule
+    /// this indicates a bug.
+    pub fn run(
+        &mut self,
+        mut schedule: impl Schedule,
+        fuel: u64,
+    ) -> Result<ExecutionReport<A::Output>, ModelError> {
+        let mut crashed: Vec<ProcessId> = Vec::new();
+        for _ in 0..fuel {
+            if self.working.is_empty() {
+                break;
+            }
+            match schedule.next(self.time + 1, &self.working) {
+                None => {
+                    crashed = self.working.clone();
+                    break;
+                }
+                Some(set) => {
+                    self.step_with(&set);
+                }
+            }
+        }
+        if !self.working.is_empty() && crashed.is_empty() {
+            return Err(ModelError::NonTermination {
+                fuel,
+                still_working: self.working.clone(),
+            });
+        }
+        Ok(ExecutionReport {
+            outputs: self.outputs.clone(),
+            activations: self.activations.clone(),
+            time_steps: self.time,
+            crashed,
+        })
+    }
+}
+
+/// Summary of a finished (or crashed-out) execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionReport<O> {
+    /// Output of each process (`None` = crashed before returning).
+    pub outputs: Vec<Option<O>>,
+    /// Activation count of each process.
+    pub activations: Vec<u64>,
+    /// Total time steps executed.
+    pub time_steps: u64,
+    /// Processes that crashed (stopped being scheduled while working).
+    pub crashed: Vec<ProcessId>,
+}
+
+impl<O> ExecutionReport<O> {
+    /// The paper's round complexity of this execution: the maximum number
+    /// of activations any process performed while working.
+    pub fn max_activations(&self) -> u64 {
+        self.activations.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of processes that returned an output.
+    pub fn returned_count(&self) -> usize {
+        self.outputs.iter().flatten().count()
+    }
+
+    /// `true` when every process returned (no crashes, no stragglers).
+    pub fn all_returned(&self) -> bool {
+        self.outputs.iter().all(|o| o.is_some())
+    }
+
+    /// Iterates over `(process, output)` pairs of returned processes.
+    pub fn returned(&self) -> impl Iterator<Item = (ProcessId, &O)> + '_ {
+        self.outputs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.as_ref().map(|o| (ProcessId(i), o)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{CrashPlan, FixedSequence, RoundRobin, Synchronous};
+
+    /// Returns its input after being activated `k` times; publishes the
+    /// number of activations performed so far.
+    struct CountDown {
+        k: u64,
+    }
+
+    #[derive(Debug, Clone)]
+    struct CdState {
+        input: u64,
+        seen: u64,
+    }
+
+    impl Algorithm for CountDown {
+        type Input = u64;
+        type State = CdState;
+        type Reg = u64;
+        type Output = u64;
+        fn init(&self, _id: ProcessId, input: u64) -> CdState {
+            CdState { input, seen: 0 }
+        }
+        fn publish(&self, s: &CdState) -> u64 {
+            s.seen
+        }
+        fn step(&self, s: &mut CdState, _view: &Neighborhood<'_, u64>) -> Step<u64> {
+            s.seen += 1;
+            if s.seen >= self.k {
+                Step::Return(s.input)
+            } else {
+                Step::Continue
+            }
+        }
+    }
+
+    /// Publishes its input; returns the sum of awake neighbors' registers
+    /// on its second activation (tests snapshot simultaneity).
+    struct SumNeighbors;
+
+    #[derive(Debug, Clone)]
+    struct SnState {
+        input: u64,
+        rounds: u64,
+        last_sum: u64,
+    }
+
+    impl Algorithm for SumNeighbors {
+        type Input = u64;
+        type State = SnState;
+        type Reg = u64;
+        type Output = u64;
+        fn init(&self, _id: ProcessId, input: u64) -> SnState {
+            SnState {
+                input,
+                rounds: 0,
+                last_sum: 0,
+            }
+        }
+        fn publish(&self, s: &SnState) -> u64 {
+            s.input
+        }
+        fn step(&self, s: &mut SnState, view: &Neighborhood<'_, u64>) -> Step<u64> {
+            s.rounds += 1;
+            s.last_sum = view.awake().sum();
+            if s.rounds >= 2 {
+                Step::Return(s.last_sum)
+            } else {
+                Step::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn synchronous_run_counts_activations() {
+        let topo = Topology::cycle(4).unwrap();
+        let alg = CountDown { k: 3 };
+        let mut exec = Execution::new(&alg, &topo, vec![10, 11, 12, 13]);
+        let report = exec.run(Synchronous::new(), 100).unwrap();
+        assert!(report.all_returned());
+        assert_eq!(report.activations, vec![3, 3, 3, 3]);
+        assert_eq!(report.time_steps, 3);
+        assert_eq!(report.max_activations(), 3);
+        assert_eq!(report.outputs, vec![Some(10), Some(11), Some(12), Some(13)]);
+    }
+
+    #[test]
+    fn round_robin_takes_n_times_more_steps() {
+        let topo = Topology::cycle(3).unwrap();
+        let alg = CountDown { k: 2 };
+        let mut exec = Execution::new(&alg, &topo, vec![0, 1, 2]);
+        let report = exec.run(RoundRobin::new(), 100).unwrap();
+        assert!(report.all_returned());
+        assert_eq!(report.time_steps, 6);
+        assert_eq!(report.max_activations(), 2);
+    }
+
+    #[test]
+    fn simultaneous_neighbors_see_each_others_fresh_writes() {
+        // All three processes of C3 are activated together: at the very
+        // first step each must already see both neighbors' inputs.
+        let topo = Topology::cycle(3).unwrap();
+        let alg = SumNeighbors;
+        let mut exec = Execution::new(&alg, &topo, vec![1, 2, 4]);
+        let report = exec.run(Synchronous::new(), 10).unwrap();
+        assert_eq!(report.outputs, vec![Some(6), Some(5), Some(3)]);
+    }
+
+    #[test]
+    fn asleep_neighbors_read_as_bottom() {
+        // Only process 0 runs; its neighbors never wake, so it sums ⊥+⊥ = 0.
+        let topo = Topology::cycle(3).unwrap();
+        let alg = SumNeighbors;
+        let mut exec = Execution::new(&alg, &topo, vec![1, 2, 4]);
+        let sched = FixedSequence::from_indices([vec![0], vec![0]]);
+        let report = exec.run(sched, 10).unwrap();
+        assert_eq!(report.outputs[0], Some(0));
+        assert_eq!(report.crashed, vec![ProcessId(1), ProcessId(2)]);
+    }
+
+    #[test]
+    fn returned_process_register_stays_visible() {
+        let topo = Topology::cycle(3).unwrap();
+        let alg = CountDown { k: 1 };
+        let mut exec = Execution::new(&alg, &topo, vec![7, 8, 9]);
+        // Process 1 runs once and returns (register now holds 0 = seen
+        // before increment); then process 0 must still read it.
+        exec.step_with(&ActivationSet::solo(ProcessId(1)));
+        assert_eq!(exec.status(ProcessId(1)), ProcessStatus::Returned(8u64));
+        assert_eq!(exec.register(ProcessId(1)), Some(&0));
+        exec.step_with(&ActivationSet::solo(ProcessId(0)));
+        assert_eq!(exec.register(ProcessId(1)), Some(&0), "still visible");
+    }
+
+    #[test]
+    fn activation_of_returned_process_is_ignored() {
+        let topo = Topology::cycle(3).unwrap();
+        let alg = CountDown { k: 1 };
+        let mut exec = Execution::new(&alg, &topo, vec![0, 0, 0]);
+        exec.step_with(&ActivationSet::solo(ProcessId(0)));
+        let active = exec.step_with(&ActivationSet::solo(ProcessId(0)));
+        assert!(active.is_empty());
+        assert_eq!(exec.activation_count(ProcessId(0)), 1);
+    }
+
+    #[test]
+    fn statuses_progress_asleep_working_returned() {
+        let topo = Topology::cycle(3).unwrap();
+        let alg = CountDown { k: 2 };
+        let mut exec = Execution::new(&alg, &topo, vec![5, 5, 5]);
+        assert_eq!(exec.status(ProcessId(0)), ProcessStatus::Asleep);
+        assert!(exec.status(ProcessId(0)).is_working());
+        exec.step_with(&ActivationSet::solo(ProcessId(0)));
+        assert_eq!(exec.status(ProcessId(0)), ProcessStatus::Working);
+        exec.step_with(&ActivationSet::solo(ProcessId(0)));
+        assert_eq!(exec.status(ProcessId(0)), ProcessStatus::Returned(5));
+        assert!(!exec.status(ProcessId(0)).is_working());
+    }
+
+    #[test]
+    fn crash_plan_produces_partial_outputs() {
+        let topo = Topology::cycle(5).unwrap();
+        let alg = CountDown { k: 4 };
+        let mut exec = Execution::new(&alg, &topo, (0..5).collect());
+        let sched = CrashPlan::new(Synchronous::new(), [(ProcessId(2), 2)]);
+        let report = exec.run(sched, 100).unwrap();
+        assert_eq!(report.crashed, vec![ProcessId(2)]);
+        assert_eq!(report.outputs[2], None);
+        assert_eq!(report.returned_count(), 4);
+        assert_eq!(report.activations[2], 1);
+    }
+
+    #[test]
+    fn nontermination_is_reported() {
+        let topo = Topology::cycle(3).unwrap();
+        let alg = CountDown { k: u64::MAX };
+        let mut exec = Execution::new(&alg, &topo, vec![0, 0, 0]);
+        let err = exec.run(Synchronous::new(), 50).unwrap_err();
+        assert!(matches!(err, ModelError::NonTermination { fuel: 50, .. }));
+    }
+
+    #[test]
+    fn input_length_mismatch() {
+        let topo = Topology::cycle(3).unwrap();
+        let alg = CountDown { k: 1 };
+        assert!(matches!(
+            Execution::try_new(&alg, &topo, vec![1, 2]),
+            Err(ModelError::InputLengthMismatch {
+                inputs: 2,
+                nodes: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn trace_recording_captures_resolved_sets() {
+        let topo = Topology::cycle(3).unwrap();
+        let alg = CountDown { k: 1 };
+        let mut exec = Execution::new(&alg, &topo, vec![0, 0, 0]);
+        exec.record_trace(true);
+        exec.run(Synchronous::new(), 10).unwrap();
+        let recorded = exec.recorded().to_vec();
+        assert_eq!(recorded.len(), 1);
+        assert_eq!(recorded[0], ActivationSet::of((0..3).map(ProcessId)));
+    }
+
+    #[test]
+    fn adaptive_adversary_sees_the_configuration() {
+        // An adversary that always activates the process with the
+        // fewest activations — a fair strategy expressed adaptively.
+        let topo = Topology::cycle(4).unwrap();
+        let alg = CountDown { k: 3 };
+        let mut exec = Execution::new(&alg, &topo, vec![0, 1, 2, 3]);
+        let report = exec
+            .run_adaptive(
+                |e| {
+                    let p = e
+                        .working()
+                        .iter()
+                        .copied()
+                        .min_by_key(|&p| e.activation_count(p))?;
+                    Some(ActivationSet::solo(p))
+                },
+                1000,
+            )
+            .unwrap();
+        assert!(report.all_returned());
+        assert_eq!(report.activations, vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn adaptive_adversary_can_crash_everyone() {
+        let topo = Topology::cycle(3).unwrap();
+        let alg = CountDown { k: 10 };
+        let mut exec = Execution::new(&alg, &topo, vec![0, 0, 0]);
+        let mut budget = 4;
+        let report = exec
+            .run_adaptive(
+                |_| {
+                    budget -= 1;
+                    (budget > 0).then_some(ActivationSet::All)
+                },
+                1000,
+            )
+            .unwrap();
+        assert_eq!(report.crashed.len(), 3);
+        assert_eq!(report.returned_count(), 0);
+    }
+
+    #[test]
+    fn cloned_execution_diverges_independently() {
+        let topo = Topology::cycle(3).unwrap();
+        let alg = CountDown { k: 3 };
+        let mut a = Execution::new(&alg, &topo, vec![0, 1, 2]);
+        a.step_with(&ActivationSet::All);
+        let mut b = a.clone();
+        a.step_with(&ActivationSet::solo(ProcessId(0)));
+        assert_eq!(a.activation_count(ProcessId(0)), 2);
+        assert_eq!(b.activation_count(ProcessId(0)), 1);
+        b.step_with(&ActivationSet::All);
+        assert_eq!(b.activation_count(ProcessId(1)), 2);
+        assert_eq!(a.activation_count(ProcessId(1)), 1);
+    }
+}

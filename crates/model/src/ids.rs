@@ -1,0 +1,49 @@
+//! Process identities and model time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a process (equivalently, of the node it occupies) in a
+/// [`Topology`](crate::graph::Topology).
+///
+/// This is the *position* of the process in the graph, not its input
+/// identifier: the paper's identifier `X_p` is an ordinary `u64` handed to
+/// the algorithm as input (see [`crate::inputs`]). A `ProcessId` is stable
+/// for the lifetime of a topology and indexes every per-process array in
+/// this crate.
+///
+/// ```
+/// use ftcolor_model::ProcessId;
+/// let p = ProcessId(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// The underlying array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(i: usize) -> Self {
+        ProcessId(i)
+    }
+}
+
+/// Discrete model time. Time step `t = 1` is the first step at which any
+/// process can be activated; `t = 0` is the initial configuration (all
+/// registers hold `⊥`, paper Eq. (1) sets `x̂_p(0) = ⊥`).
+pub type Time = u64;

@@ -1,0 +1,167 @@
+//! Text rendering of executions — a timeline of who was activated when,
+//! what each register held, and when each process returned.
+//!
+//! Useful for debugging adversarial witnesses and for documentation; the
+//! CLI (`cargo run --bin ftcolor -- trace …`) uses it to pretty-print
+//! replayed executions.
+
+use crate::algorithm::Algorithm;
+use crate::executor::Execution;
+use crate::ids::ProcessId;
+use crate::schedule::{ActivationSet, Schedule};
+use std::fmt::Write as _;
+
+/// Renders an execution timeline by driving `exec` under `schedule` for
+/// at most `max_steps`, producing one row per time step.
+///
+/// Row format: the step number, the activation set, then one cell per
+/// process: its published register after the step (`·` while asleep),
+/// decorated with `←c` on the step it returns `c`.
+///
+/// The closure `cell` controls how a register is displayed (registers
+/// can be wide; show the relevant fields only).
+pub fn render_timeline<A: Algorithm>(
+    exec: &mut Execution<'_, A>,
+    mut schedule: impl Schedule,
+    max_steps: u64,
+    cell: impl Fn(&A::Reg) -> String,
+) -> String {
+    let n = exec.topology().len();
+    let mut out = String::new();
+    let mut header = String::from("  t  activated      ");
+    for i in 0..n {
+        let _ = write!(header, "{:>12}", format!("p{i}"));
+    }
+    out.push_str(&header);
+    out.push('\n');
+    out.push_str(&"-".repeat(header.len()));
+    out.push('\n');
+
+    let mut returned_at: Vec<bool> = vec![false; n];
+    for _ in 0..max_steps {
+        if exec.all_returned() {
+            break;
+        }
+        let Some(set) = schedule.next(exec.time() + 1, exec.working()) else {
+            let _ = writeln!(out, "  (schedule ended; remaining processes crashed)");
+            break;
+        };
+        let active = exec.step_with(&set);
+        let _ = write!(out, "{:>3}  {:<14}", exec.time(), format_set(&active));
+        for (i, seen) in returned_at.iter_mut().enumerate() {
+            let p = ProcessId(i);
+            let mut s = match exec.register(p) {
+                None => "·".to_string(),
+                Some(r) => cell(r),
+            };
+            if !*seen {
+                if let Some(o) = &exec.outputs()[i] {
+                    *seen = true;
+                    s = format!("{s}←{o:?}");
+                }
+            }
+            let _ = write!(out, "{s:>12}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn format_set(active: &[ProcessId]) -> String {
+    if active.is_empty() {
+        return "{}".into();
+    }
+    let inner: Vec<String> = active.iter().map(|p| p.index().to_string()).collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// Renders the final coloring of a cycle as a ring diagram line, e.g.
+/// `0 —1— 2 —0— …` (color shown per node, `✗` for crashed).
+pub fn render_ring_coloring<O: std::fmt::Debug>(outputs: &[Option<O>]) -> String {
+    let cells: Vec<String> = outputs
+        .iter()
+        .map(|o| match o {
+            Some(c) => format!("{c:?}"),
+            None => "✗".to_string(),
+        })
+        .collect();
+    format!("({})", cells.join(" – "))
+}
+
+/// Convenience: one `ActivationSet` per line, for printing witnesses.
+pub fn render_schedule(sets: &[ActivationSet]) -> String {
+    sets.iter()
+        .enumerate()
+        .map(|(i, s)| match s {
+            ActivationSet::All => format!("t{:<3} ALL", i + 1),
+            ActivationSet::Only(v) => {
+                let inner: Vec<String> = v.iter().map(|p| p.index().to_string()).collect();
+                format!("t{:<3} {{{}}}", i + 1, inner.join(","))
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Topology;
+    use crate::schedule::{FixedSequence, Synchronous};
+    use crate::{Neighborhood, Step};
+
+    struct TwoRound;
+    impl Algorithm for TwoRound {
+        type Input = u64;
+        type State = (u64, u64);
+        type Reg = u64;
+        type Output = u64;
+        fn init(&self, _id: ProcessId, x: u64) -> (u64, u64) {
+            (x, 0)
+        }
+        fn publish(&self, s: &(u64, u64)) -> u64 {
+            s.0 + s.1
+        }
+        fn step(&self, s: &mut (u64, u64), _v: &Neighborhood<'_, u64>) -> Step<u64> {
+            s.1 += 1;
+            if s.1 >= 2 {
+                Step::Return(s.0)
+            } else {
+                Step::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_shows_rounds_and_returns() {
+        let topo = Topology::cycle(3).unwrap();
+        let mut exec = Execution::new(&TwoRound, &topo, vec![10, 20, 30]);
+        let text = render_timeline(&mut exec, Synchronous::new(), 10, |r| r.to_string());
+        assert!(text.contains("p0"), "{text}");
+        assert!(text.contains("←10"), "{text}");
+        assert!(text.contains("←30"), "{text}");
+        assert_eq!(text.lines().count(), 2 + 2, "header + rule + 2 steps");
+    }
+
+    #[test]
+    fn timeline_marks_asleep_and_crashes() {
+        let topo = Topology::cycle(3).unwrap();
+        let mut exec = Execution::new(&TwoRound, &topo, vec![1, 2, 3]);
+        let sched = FixedSequence::from_indices([vec![0]]);
+        let text = render_timeline(&mut exec, sched, 10, |r| r.to_string());
+        assert!(text.contains("·"), "asleep marker: {text}");
+        assert!(text.contains("crashed"), "{text}");
+    }
+
+    #[test]
+    fn ring_and_schedule_rendering() {
+        let ring = render_ring_coloring(&[Some(1u64), None, Some(0)]);
+        assert_eq!(ring, "(1 – ✗ – 0)");
+        let sched = render_schedule(&[
+            ActivationSet::All,
+            ActivationSet::of([ProcessId(0), ProcessId(2)]),
+        ]);
+        assert!(sched.contains("t1   ALL"));
+        assert!(sched.contains("{0,2}"));
+    }
+}

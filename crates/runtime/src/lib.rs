@@ -1,0 +1,381 @@
+//! # `ftcolor-runtime` — real threads, real asynchrony
+//!
+//! The simulator in [`ftcolor-model`](ftcolor_model) lets an explicit
+//! adversary pick the schedule. This crate is the complementary
+//! substrate: **one OS thread per process**, with the OS scheduler (plus
+//! optional seeded jitter) supplying genuine, uncontrolled asynchrony.
+//! The same [`Algorithm`] implementations run unchanged.
+//!
+//! ## Fidelity to the model
+//!
+//! A round must be a *local immediate snapshot*: the write of the
+//! process's register and the reads of its neighbors' registers happen
+//! atomically (§2.1). The runtime realizes this by giving every process
+//! a [`parking_lot::Mutex`]-protected register and having each round
+//! lock the process's own register *and its neighbors'* in global index
+//! order (deadlock-free), write, read, and release — exactly an atomic
+//! local snapshot. Rounds of non-adjacent processes proceed in parallel;
+//! rounds of adjacent processes serialize in some order chosen by the
+//! lock contention, which is one of the legal schedules of the model
+//! (simultaneous adjacent activations are a schedule the runtime simply
+//! never picks).
+//!
+//! ## Fault & delay injection
+//!
+//! * [`RunOptions::crash_after`] stops a thread for good after a given
+//!   number of rounds — a fail-stop crash with the register left
+//!   visible, exactly the model's crash.
+//! * [`RunOptions::jitter_us`] sleeps a seeded-random duration between
+//!   rounds, exercising wildly skewed interleavings.
+//! * [`RunOptions::max_rounds`] bounds every thread (necessary because a
+//!   non-wait-free candidate — or the documented Algorithm 2 crash
+//!   livelock — would otherwise spin forever); threads that hit the cap
+//!   are reported, not treated as terminated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ftcolor_model::{Algorithm, Neighborhood, ProcessId, Step, Topology};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Options for a threaded run.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Sleep a uniform-random duration in `[0, jitter_us)` microseconds
+    /// between rounds (0 = no sleeping, just OS nondeterminism).
+    pub jitter_us: u64,
+    /// Crash process `p` after it has performed this many rounds
+    /// (0 = crash before ever running).
+    pub crash_after: HashMap<usize, u64>,
+    /// Hard per-thread round cap (default 100_000). Threads hitting the
+    /// cap are reported via [`ThreadReport::capped`].
+    pub max_rounds: u64,
+    /// Seed for the per-thread jitter generators.
+    pub seed: u64,
+}
+
+impl RunOptions {
+    /// Default options: no jitter, no crashes, 100k round cap.
+    pub fn new() -> Self {
+        RunOptions {
+            jitter_us: 0,
+            crash_after: HashMap::new(),
+            max_rounds: 100_000,
+            seed: 0,
+        }
+    }
+
+    /// Sets the jitter amplitude in microseconds.
+    pub fn jitter(mut self, us: u64) -> Self {
+        self.jitter_us = us;
+        self
+    }
+
+    /// Schedules a crash for process `p` after `rounds` rounds.
+    pub fn crash(mut self, p: usize, rounds: u64) -> Self {
+        self.crash_after.insert(p, rounds);
+        self
+    }
+
+    /// Sets the per-thread round cap.
+    pub fn cap(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds.max(1);
+        self
+    }
+
+    /// Sets the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Outcome of a threaded run.
+#[derive(Debug, Clone)]
+pub struct ThreadReport<O> {
+    /// Output of each process (`None` = crashed or capped before
+    /// returning).
+    pub outputs: Vec<Option<O>>,
+    /// Rounds performed by each process.
+    pub rounds: Vec<u64>,
+    /// Processes that executed their planned crash.
+    pub crashed: Vec<ProcessId>,
+    /// Processes that hit the round cap without returning.
+    pub capped: Vec<ProcessId>,
+}
+
+impl<O> ThreadReport<O> {
+    /// `true` when every process returned an output.
+    pub fn all_returned(&self) -> bool {
+        self.outputs.iter().all(|o| o.is_some())
+    }
+
+    /// Maximum rounds over all processes (round complexity).
+    pub fn max_rounds(&self) -> u64 {
+        self.rounds.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Runs `alg` on `topo` with one OS thread per process.
+///
+/// Blocks until every thread has returned, crashed, or hit the round
+/// cap. The outputs are checked by the caller (e.g. with
+/// [`Topology::is_proper_partial_coloring`]).
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` differs from the number of nodes, or if an
+/// algorithm `step` panics (the panic is propagated).
+pub fn run_threaded<A>(
+    alg: &A,
+    topo: &Topology,
+    inputs: Vec<A::Input>,
+    opts: &RunOptions,
+) -> ThreadReport<A::Output>
+where
+    A: Algorithm + Sync,
+    A::Input: Send,
+    A::State: Send,
+    A::Reg: Send + Sync,
+    A::Output: Send,
+{
+    let n = topo.len();
+    assert_eq!(inputs.len(), n, "one input per node");
+    let registers: Vec<Mutex<Option<A::Reg>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let registers = &registers;
+
+    struct NodeResult<O> {
+        output: Option<O>,
+        rounds: u64,
+        crashed: bool,
+        capped: bool,
+    }
+
+    let results: Vec<NodeResult<A::Output>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, input)| {
+                let opts = opts.clone();
+                scope.spawn(move || {
+                    let p = ProcessId(i);
+                    let mut state = alg.init(p, input);
+                    let mut rng =
+                        StdRng::seed_from_u64(opts.seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+                    let crash_at = opts.crash_after.get(&i).copied();
+                    // Own register + neighbors, in global index order —
+                    // the deadlock-free locking order for the atomic
+                    // local snapshot.
+                    let mut lock_order: Vec<usize> = std::iter::once(i)
+                        .chain(topo.neighbors(p).iter().map(|q| q.index()))
+                        .collect();
+                    lock_order.sort_unstable();
+                    let neighbor_idx: Vec<usize> =
+                        topo.neighbors(p).iter().map(|q| q.index()).collect();
+
+                    let mut rounds = 0u64;
+                    loop {
+                        if crash_at.is_some_and(|c| rounds >= c) {
+                            return NodeResult {
+                                output: None,
+                                rounds,
+                                crashed: true,
+                                capped: false,
+                            };
+                        }
+                        if rounds >= opts.max_rounds {
+                            return NodeResult {
+                                output: None,
+                                rounds,
+                                crashed: false,
+                                capped: true,
+                            };
+                        }
+                        if opts.jitter_us > 0 {
+                            std::thread::sleep(Duration::from_micros(
+                                rng.gen_range(0..opts.jitter_us),
+                            ));
+                        }
+                        // Atomic local snapshot: lock, write, read, unlock.
+                        let step = {
+                            let mut guards: Vec<_> =
+                                lock_order.iter().map(|&j| registers[j].lock()).collect();
+                            let pos_of = |j: usize| {
+                                lock_order.binary_search(&j).expect("locked set contains j")
+                            };
+                            *guards[pos_of(i)] = Some(alg.publish(&state));
+                            let view: Vec<Option<A::Reg>> = neighbor_idx
+                                .iter()
+                                .map(|&j| guards[pos_of(j)].clone())
+                                .collect();
+                            drop(guards);
+                            alg.step(&mut state, &Neighborhood::new(&view))
+                        };
+                        rounds += 1;
+                        if let Step::Return(o) = step {
+                            return NodeResult {
+                                output: Some(o),
+                                rounds,
+                                crashed: false,
+                                capped: false,
+                            };
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect()
+    });
+
+    let mut report = ThreadReport {
+        outputs: Vec::with_capacity(n),
+        rounds: Vec::with_capacity(n),
+        crashed: Vec::new(),
+        capped: Vec::new(),
+    };
+    for (i, r) in results.into_iter().enumerate() {
+        report.outputs.push(r.output);
+        report.rounds.push(r.rounds);
+        if r.crashed {
+            report.crashed.push(ProcessId(i));
+        }
+        if r.capped {
+            report.capped.push(ProcessId(i));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcolor_core::{FastFiveColoring, FiveColoring, SixColoring};
+    use ftcolor_model::inputs;
+
+    #[test]
+    fn six_coloring_on_threads() {
+        for seed in 0..3u64 {
+            let n = 24;
+            let topo = Topology::cycle(n).unwrap();
+            let ids = inputs::random_permutation(n, seed);
+            let report = run_threaded(
+                &SixColoring,
+                &topo,
+                ids,
+                &RunOptions::new().jitter(50).with_seed(seed),
+            );
+            assert!(report.all_returned(), "seed {seed}");
+            assert!(topo.is_proper_partial_coloring(&report.outputs));
+            assert!(report.max_rounds() <= (3 * n as u64) / 2 + 4, "Theorem 3.1");
+        }
+    }
+
+    #[test]
+    fn five_coloring_on_threads() {
+        let n = 16;
+        let topo = Topology::cycle(n).unwrap();
+        let ids = inputs::staircase_poly(n);
+        let report = run_threaded(
+            &FiveColoring,
+            &topo,
+            ids,
+            &RunOptions::new().jitter(20).with_seed(9),
+        );
+        assert!(report.all_returned());
+        assert!(topo.is_proper_partial_coloring(&report.outputs));
+        assert!(report.outputs.iter().flatten().all(|&c| c <= 4));
+    }
+
+    #[test]
+    fn fast_five_coloring_with_crashes_stays_safe() {
+        let n = 20;
+        let topo = Topology::cycle(n).unwrap();
+        let ids = inputs::random_unique(n, 1 << 30, 4);
+        let opts = RunOptions::new()
+            .jitter(30)
+            .with_seed(4)
+            .cap(20_000)
+            .crash(3, 0)
+            .crash(11, 0)
+            .crash(17, 1);
+        let report = run_threaded(&FastFiveColoring, &topo, ids, &opts);
+        assert!(topo.is_proper_partial_coloring(&report.outputs));
+        assert!(report.outputs.iter().flatten().all(|&c| c <= 4));
+        // p3 and p11 (crash at round 0) can never have returned; p17 may
+        // squeeze in a lucky first-round return before its crash.
+        assert!(report.crashed.len() >= 2, "crashed: {:?}", report.crashed);
+        assert_eq!(report.outputs[3], None, "crashed before running");
+        assert_eq!(report.outputs[11], None, "crashed before running");
+        // Survivors not adjacent to the documented livelock pattern
+        // overwhelmingly return; at minimum, *most* processes do.
+        assert!(report.outputs.iter().flatten().count() >= n - 3 - 4);
+    }
+
+    #[test]
+    fn crash_at_zero_never_writes() {
+        let topo = Topology::cycle(3).unwrap();
+        let opts = RunOptions::new().crash(1, 0);
+        let report = run_threaded(&SixColoring, &topo, vec![5, 6, 7], &opts);
+        assert_eq!(report.rounds[1], 0);
+        assert_eq!(report.outputs[1], None);
+        // The other two still finish (wait-freedom).
+        assert!(report.outputs[0].is_some());
+        assert!(report.outputs[2].is_some());
+    }
+
+    #[test]
+    fn cap_is_reported_not_hidden() {
+        /// An algorithm that never returns.
+        struct Forever;
+        impl Algorithm for Forever {
+            type Input = ();
+            type State = u64;
+            type Reg = u64;
+            type Output = ();
+            fn init(&self, _id: ProcessId, _input: ()) -> u64 {
+                0
+            }
+            fn publish(&self, s: &u64) -> u64 {
+                *s
+            }
+            fn step(&self, s: &mut u64, _v: &Neighborhood<'_, u64>) -> Step<()> {
+                *s += 1;
+                Step::Continue
+            }
+        }
+        let topo = Topology::cycle(3).unwrap();
+        let report = run_threaded(
+            &Forever,
+            &topo,
+            vec![(), (), ()],
+            &RunOptions::new().cap(50),
+        );
+        assert_eq!(report.capped.len(), 3);
+        assert_eq!(report.rounds, vec![50, 50, 50]);
+    }
+
+    #[test]
+    fn heavy_contention_no_deadlock() {
+        // n = 3: every pair of processes is adjacent; all rounds contend
+        // on overlapping lock sets. Run many iterations to shake out
+        // ordering bugs.
+        for seed in 0..20u64 {
+            let topo = Topology::cycle(3).unwrap();
+            let report = run_threaded(
+                &FiveColoring,
+                &topo,
+                vec![seed + 10, seed + 20, seed + 5],
+                &RunOptions::new().with_seed(seed),
+            );
+            assert!(report.all_returned(), "seed {seed}");
+            assert!(topo.is_proper_partial_coloring(&report.outputs));
+        }
+    }
+}

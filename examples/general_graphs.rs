@@ -1,0 +1,52 @@
+//! Appendix A in action: wait-free O(Δ²)-coloring of general graphs.
+//!
+//! ```text
+//! cargo run --release --example general_graphs
+//! ```
+//!
+//! Runs Algorithm 4 over a zoo of topologies — a torus, the Petersen
+//! graph, random regular graphs — under asynchronous schedules with
+//! crashes, and reports palette usage against the (Δ+1)(Δ+2)/2 bound.
+
+use ftcolor::core::PairColor;
+use ftcolor::model::inputs;
+use ftcolor::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graphs = vec![
+        Topology::grid(6, 6, true)?,           // torus, Δ = 4
+        Topology::petersen(),                  // 3-regular, girth 5
+        Topology::random_regular(40, 5, 9)?,   // Δ = 5
+        Topology::gnp_bounded(50, 0.1, 7, 4)?, // Δ ≤ 7
+        Topology::star(15)?,                   // hub of degree 14
+    ];
+    println!("graph              n   Δ  palette  used  max-acts  crashes  proper");
+    for topo in &graphs {
+        let n = topo.len();
+        let delta = topo.max_degree() as u64;
+        let ids = inputs::random_permutation(n, 7);
+        let crashes = (0..n).step_by(5).map(|i| (ProcessId(i), 2));
+        let sched = CrashPlan::new(RandomSubset::new(11, 0.5), crashes);
+        let mut exec = Execution::new(&DeltaSquaredColoring, topo, ids);
+        let report = exec.run(sched, 1_000_000)?;
+
+        let used: std::collections::HashSet<PairColor> =
+            report.outputs.iter().flatten().copied().collect();
+        let proper = topo.is_proper_partial_coloring(&report.outputs);
+        println!(
+            "{:<16} {:>3} {:>3} {:>8} {:>5} {:>9} {:>8}  {}",
+            topo.name(),
+            n,
+            delta,
+            PairColor::palette_size(delta),
+            used.len(),
+            report.max_activations(),
+            report.crashed.len(),
+            proper,
+        );
+        assert!(proper);
+        assert!(report.outputs.iter().flatten().all(|c| c.weight() <= delta));
+    }
+    println!("\nevery run proper, every color within the O(Δ²) triangular palette");
+    Ok(())
+}

@@ -1,0 +1,290 @@
+//! `ftcolor` — command-line front end for the reproduction.
+//!
+//! ```text
+//! ftcolor color      --alg alg3 --n 16 --input staircase --sched random --timeline
+//! ftcolor modelcheck --alg alg2 --ids 0,1,2
+//! ftcolor fuzz       --alg alg2 --ids 0,1,2 --generations 200
+//! ```
+//!
+//! Subcommands:
+//!
+//! * `color` — run a coloring algorithm on a ring and print the result
+//!   (optionally as a step-by-step timeline);
+//! * `modelcheck` — exhaustively explore every schedule on a small ring
+//!   and report safety/livelock;
+//! * `fuzz` — evolutionary adversarial schedule search.
+
+use ftcolor::checker::{FuzzConfig, ModelChecker, ScheduleFuzzer};
+use ftcolor::model::render::{render_ring_coloring, render_schedule, render_timeline};
+use ftcolor::model::{inputs, Topology};
+use ftcolor::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_flags(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "color" => cmd_color(&opts),
+        "modelcheck" => cmd_modelcheck(&opts),
+        "fuzz" => cmd_fuzz(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+ftcolor — wait-free coloring of the asynchronous cycle (PODC 2022 reproduction)
+
+USAGE:
+  ftcolor color      [--alg A] [--n N | --ids LIST] [--input KIND] [--sched S] [--seed K] [--timeline]
+  ftcolor modelcheck [--alg A] [--ids LIST] [--max-configs M]
+  ftcolor fuzz       [--alg A] [--n N | --ids LIST] [--generations G] [--seed K]
+
+FLAGS:
+  --alg          alg1 | alg2 | alg2p | alg3 | alg3p    (default alg3)
+  --n            ring size (with --input)              (default 8)
+  --ids          explicit identifiers, e.g. 5,11,7
+  --input        staircase | staircase-poly | random | alternating | organ-pipe
+                                                       (default random)
+  --sched        sync | rr | random | solo | wave      (default random)
+  --seed         u64 seed for inputs/schedules          (default 0)
+  --timeline     print the step-by-step execution
+  --max-configs  exploration cap for modelcheck        (default 2000000)
+  --generations  fuzzer generations                    (default 150)
+";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got `{a}`"));
+        };
+        let value = if matches!(key, "timeline") {
+            "true".to_string()
+        } else {
+            it.next()
+                .ok_or_else(|| format!("--{key} needs a value"))?
+                .clone()
+        };
+        out.insert(key.to_string(), value);
+    }
+    Ok(out)
+}
+
+fn get<'a>(opts: &'a HashMap<String, String>, key: &str, default: &'a str) -> &'a str {
+    opts.get(key).map(String::as_str).unwrap_or(default)
+}
+
+fn parse_ids(opts: &HashMap<String, String>) -> Result<Vec<u64>, String> {
+    if let Some(list) = opts.get("ids") {
+        let ids: Result<Vec<u64>, _> = list.split(',').map(|s| s.trim().parse()).collect();
+        return ids.map_err(|e| format!("bad --ids: {e}"));
+    }
+    let n: usize = get(opts, "n", "8")
+        .parse()
+        .map_err(|e| format!("bad --n: {e}"))?;
+    let seed: u64 = get(opts, "seed", "0")
+        .parse()
+        .map_err(|e| format!("bad --seed: {e}"))?;
+    Ok(match get(opts, "input", "random") {
+        "staircase" => inputs::staircase(n),
+        "staircase-poly" => inputs::staircase_poly(n),
+        "alternating" => inputs::alternating(n),
+        "organ-pipe" => inputs::organ_pipe(n),
+        "random" => inputs::random_unique(n, (n as u64).pow(3).max(64), seed),
+        other => return Err(format!("unknown --input `{other}`")),
+    })
+}
+
+fn make_schedule(kind: &str, n: usize, seed: u64) -> Result<Box<dyn Schedule>, String> {
+    Ok(match kind {
+        "sync" => Box::new(Synchronous::new()),
+        "rr" => Box::new(RoundRobin::new()),
+        "random" => Box::new(RandomSubset::new(seed, 0.5)),
+        "solo" => Box::new(SoloRunner::ascending(n)),
+        "wave" => Box::new(Wave::new(n, 3, 2)),
+        other => return Err(format!("unknown --sched `{other}`")),
+    })
+}
+
+/// Runs one coloring algorithm generically and prints the outcome.
+fn run_and_print<A>(
+    alg: &A,
+    ids: &[u64],
+    sched_kind: &str,
+    seed: u64,
+    timeline: bool,
+    cell: impl Fn(&A::Reg) -> String,
+) -> Result<(), String>
+where
+    A: Algorithm<Input = u64>,
+    A::Output: std::fmt::Debug,
+{
+    let topo = Topology::cycle(ids.len()).map_err(|e| e.to_string())?;
+    let mut exec = Execution::new(alg, &topo, ids.to_vec());
+    if timeline {
+        let sched = make_schedule(sched_kind, ids.len(), seed)?;
+        let text = render_timeline(&mut exec, sched, 100_000, cell);
+        println!("{text}");
+    } else {
+        let sched = make_schedule(sched_kind, ids.len(), seed)?;
+        exec.run(sched, 10_000_000).map_err(|e| e.to_string())?;
+    }
+    println!("coloring: {}", render_ring_coloring(exec.outputs()));
+    println!(
+        "max activations: {}",
+        topo.nodes()
+            .map(|p| exec.activation_count(p))
+            .max()
+            .unwrap_or(0)
+    );
+    let proper = topo.is_proper_partial_coloring(exec.outputs());
+    println!("proper: {proper}");
+    if !proper {
+        return Err("output is not a proper coloring (bug!)".into());
+    }
+    Ok(())
+}
+
+fn cmd_color(opts: &HashMap<String, String>) -> Result<(), String> {
+    let ids = parse_ids(opts)?;
+    let seed: u64 = get(opts, "seed", "0")
+        .parse()
+        .map_err(|e| format!("bad --seed: {e}"))?;
+    let sched = get(opts, "sched", "random");
+    let timeline = opts.contains_key("timeline");
+    println!("ids: {ids:?}");
+    match get(opts, "alg", "alg3") {
+        "alg1" => run_and_print(&SixColoring, &ids, sched, seed, timeline, |r| {
+            format!("{}", r.color)
+        }),
+        "alg2" => run_and_print(&FiveColoring, &ids, sched, seed, timeline, |r| {
+            format!("({},{})", r.a, r.b)
+        }),
+        "alg2p" => run_and_print(&FiveColoringPatched, &ids, sched, seed, timeline, |r| {
+            format!("({},{})c{}", r.a, r.b, r.c)
+        }),
+        "alg3" => run_and_print(&FastFiveColoring, &ids, sched, seed, timeline, |r| {
+            format!("x{}({},{})", r.x, r.a, r.b)
+        }),
+        "alg3p" => run_and_print(&FastFiveColoringPatched, &ids, sched, seed, timeline, |r| {
+            format!("x{}({},{})c{}", r.x, r.a, r.b, r.c)
+        }),
+        other => Err(format!("unknown --alg `{other}`")),
+    }
+}
+
+fn coloring_safety(topo: &Topology, outs: &[Option<u64>]) -> Option<String> {
+    if let Some((a, b)) = topo.first_conflict(outs) {
+        return Some(format!("conflict on edge {a}-{b}"));
+    }
+    outs.iter()
+        .flatten()
+        .find(|&&c| c > 4)
+        .map(|c| format!("color {c} outside the palette"))
+}
+
+fn cmd_modelcheck(opts: &HashMap<String, String>) -> Result<(), String> {
+    let ids = parse_ids(opts)?;
+    if ids.len() > 5 {
+        return Err("modelcheck needs a small instance (≤ 5 processes)".into());
+    }
+    let cap: usize = get(opts, "max-configs", "2000000")
+        .parse()
+        .map_err(|e| format!("bad --max-configs: {e}"))?;
+    let topo = Topology::cycle(ids.len()).map_err(|e| e.to_string())?;
+
+    macro_rules! check {
+        ($alg:expr, $safety:expr) => {{
+            let mc = ModelChecker::new($alg, &topo, ids.clone()).with_max_configs(cap);
+            let o = mc.explore($safety).map_err(|e| e.to_string())?;
+            println!("{o}");
+            if let Some(v) = &o.safety_violation {
+                println!("safety violation: {}", v.description);
+                println!("{}", render_schedule(&v.schedule));
+            }
+            if let Some(lw) = &o.livelock {
+                println!("livelock witness (prefix then repeat cycle):");
+                println!("{}", render_schedule(&lw.prefix));
+                println!("-- cycle --");
+                println!("{}", render_schedule(&lw.cycle));
+            }
+        }};
+    }
+    match get(opts, "alg", "alg2") {
+        "alg1" => check!(&SixColoring, |t: &Topology, o: &[Option<PairColor>]| {
+            t.first_conflict(o)
+                .map(|(a, b)| format!("conflict {a}-{b}"))
+        }),
+        "alg2" => check!(&FiveColoring, coloring_safety),
+        "alg2p" => check!(&FiveColoringPatched, coloring_safety),
+        "alg3p" => check!(&FastFiveColoringPatched, coloring_safety),
+        "alg3" => check!(&FastFiveColoring, coloring_safety),
+        other => return Err(format!("unknown --alg `{other}`")),
+    }
+    Ok(())
+}
+
+fn cmd_fuzz(opts: &HashMap<String, String>) -> Result<(), String> {
+    let ids = parse_ids(opts)?;
+    let seed: u64 = get(opts, "seed", "0")
+        .parse()
+        .map_err(|e| format!("bad --seed: {e}"))?;
+    let generations: usize = get(opts, "generations", "150")
+        .parse()
+        .map_err(|e| format!("bad --generations: {e}"))?;
+    let topo = Topology::cycle(ids.len()).map_err(|e| e.to_string())?;
+    let config = FuzzConfig {
+        generations,
+        seed,
+        ..FuzzConfig::default()
+    };
+
+    macro_rules! fuzz {
+        ($alg:expr) => {{
+            let fz = ScheduleFuzzer::new($alg, &topo, ids.clone(), config.clone());
+            let report = fz.run(coloring_safety);
+            println!(
+                "best score: {} over {} executions",
+                report.best_score, report.evaluated
+            );
+            if report.best_score >= 1000 {
+                println!("starvation found! best schedule:");
+                println!("{}", render_schedule(&report.best_schedule));
+            }
+            if let Some(v) = report.safety_violation {
+                println!("SAFETY VIOLATION: {v}");
+            }
+        }};
+    }
+    match get(opts, "alg", "alg2") {
+        "alg2" => fuzz!(&FiveColoring),
+        "alg2p" => fuzz!(&FiveColoringPatched),
+        "alg3" => fuzz!(&FastFiveColoring),
+        "alg3p" => fuzz!(&FastFiveColoringPatched),
+        other => return Err(format!("unknown --alg `{other}`")),
+    }
+    Ok(())
+}

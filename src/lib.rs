@@ -1,0 +1,29 @@
+//! # `ftcolor` — wait-free coloring of the asynchronous cycle
+//!
+//! Facade crate re-exporting the whole reproduction of
+//! *"Fault Tolerant Coloring of the Asynchronous Cycle"*
+//! (Fraigniaud, Lambein-Monette, Rabie, PODC 2022):
+//!
+//! * [`model`] — the asynchronous state-model substrate (topologies,
+//!   registers, schedules, execution engine),
+//! * [`core`] — Algorithms 1–4 from the paper, the Cole–Vishkin reduction,
+//!   and the baselines (synchronous 3-coloring, shared-memory renaming),
+//! * [`checker`] — invariant checking, chain analysis, exhaustive model
+//!   checking, and statistics,
+//! * [`runtime`] — an OS-thread execution substrate with crash and jitter
+//!   injection.
+//!
+//! See `README.md` for a tour and `examples/` for runnable entry points.
+
+#![forbid(unsafe_code)]
+
+pub use ftcolor_checker as checker;
+pub use ftcolor_core as core;
+pub use ftcolor_model as model;
+pub use ftcolor_runtime as runtime;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use ftcolor_core::prelude::*;
+    pub use ftcolor_model::prelude::*;
+}

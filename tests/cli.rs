@@ -1,0 +1,95 @@
+//! Smoke tests for the `ftcolor` CLI binary: each subcommand runs,
+//! produces the expected markers, and exits cleanly.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ftcolor"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn color_subcommand_produces_a_proper_coloring() {
+    for alg in ["alg1", "alg2", "alg2p", "alg3", "alg3p"] {
+        let (stdout, stderr, ok) = run(&[
+            "color", "--alg", alg, "--n", "10", "--input", "random", "--sched", "random", "--seed",
+            "3",
+        ]);
+        assert!(ok, "{alg}: {stderr}");
+        assert!(stdout.contains("proper: true"), "{alg}: {stdout}");
+        assert!(stdout.contains("coloring:"), "{alg}: {stdout}");
+    }
+}
+
+#[test]
+fn color_with_timeline_renders_steps() {
+    let (stdout, _, ok) = run(&[
+        "color",
+        "--alg",
+        "alg3",
+        "--n",
+        "6",
+        "--input",
+        "staircase",
+        "--sched",
+        "sync",
+        "--timeline",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("activated"), "{stdout}");
+    assert!(stdout.contains("←"), "return marker missing: {stdout}");
+}
+
+#[test]
+fn modelcheck_finds_the_alg2_livelock() {
+    let (stdout, _, ok) = run(&["modelcheck", "--alg", "alg2", "--ids", "0,1,2"]);
+    assert!(ok);
+    assert!(stdout.contains("livelock"), "{stdout}");
+    assert!(stdout.contains("safety=ok"), "{stdout}");
+}
+
+#[test]
+fn modelcheck_certifies_alg1_clean() {
+    let (stdout, _, ok) = run(&["modelcheck", "--alg", "alg1", "--ids", "0,1,2"]);
+    assert!(ok);
+    assert!(stdout.contains("livelock=none"), "{stdout}");
+}
+
+#[test]
+fn fuzz_runs_and_reports() {
+    let (stdout, _, ok) = run(&[
+        "fuzz",
+        "--alg",
+        "alg2p",
+        "--ids",
+        "0,1,2",
+        "--generations",
+        "20",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("best score"), "{stdout}");
+}
+
+#[test]
+fn bad_flags_fail_gracefully() {
+    let (_, stderr, ok) = run(&["color", "--alg", "nope"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown --alg"), "{stderr}");
+    let (_, stderr, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown subcommand"), "{stderr}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let (stdout, _, ok) = run(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"), "{stdout}");
+}

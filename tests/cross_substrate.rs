@@ -1,0 +1,90 @@
+//! Simulator vs OS-thread substrate: the same algorithm objects run on
+//! both, and every claim that is schedule-independent (safety, palette,
+//! activation bounds) must hold on each.
+
+use ftcolor::checker::invariants::{theorem_3_1_bound, theorem_4_4_bound};
+use ftcolor::model::inputs;
+use ftcolor::prelude::*;
+use ftcolor::runtime::{run_threaded, RunOptions};
+
+#[test]
+fn alg1_same_bounds_on_both_substrates() {
+    let n = 20;
+    let ids = inputs::random_permutation(n, 6);
+    let topo = Topology::cycle(n).unwrap();
+
+    let mut exec = Execution::new(&SixColoring, &topo, ids.clone());
+    let sim = exec.run(RandomSubset::new(3, 0.5), 100_000).unwrap();
+    assert!(topo.is_proper_partial_coloring(&sim.outputs));
+    assert!(sim.max_activations() <= theorem_3_1_bound(n));
+
+    let thr = run_threaded(
+        &SixColoring,
+        &topo,
+        ids,
+        &RunOptions::new().jitter(30).with_seed(3),
+    );
+    assert!(thr.all_returned());
+    assert!(topo.is_proper_partial_coloring(&thr.outputs));
+    assert!(thr.max_rounds() <= theorem_3_1_bound(n));
+}
+
+#[test]
+fn alg3_logstar_bound_on_threads() {
+    let n = 64;
+    let ids = inputs::staircase_poly(n);
+    let topo = Topology::cycle(n).unwrap();
+    for seed in 0..3u64 {
+        let thr = run_threaded(
+            &FastFiveColoring,
+            &topo,
+            ids.clone(),
+            &RunOptions::new().jitter(20).with_seed(seed),
+        );
+        assert!(thr.all_returned(), "seed {seed}");
+        assert!(topo.is_proper_partial_coloring(&thr.outputs));
+        assert!(thr.outputs.iter().flatten().all(|&c| c <= 4));
+        assert!(
+            thr.max_rounds() <= theorem_4_4_bound(n),
+            "seed {seed}: {} rounds",
+            thr.max_rounds()
+        );
+    }
+}
+
+#[test]
+fn general_graph_coloring_on_threads() {
+    let topo = Topology::grid(4, 4, true).unwrap();
+    let ids = inputs::random_permutation(16, 2);
+    let thr = run_threaded(
+        &DeltaSquaredColoring,
+        &topo,
+        ids,
+        &RunOptions::new().jitter(50).with_seed(9),
+    );
+    assert!(thr.all_returned());
+    assert!(topo.is_proper_partial_coloring(&thr.outputs));
+    assert!(thr.outputs.iter().flatten().all(|c| c.weight() <= 4));
+}
+
+#[test]
+fn renaming_on_threads_names_are_distinct() {
+    use ftcolor::core::renaming::RankRenaming;
+    let n = 6;
+    let topo = Topology::clique(n).unwrap();
+    for seed in 0..5u64 {
+        let ids = inputs::random_unique(n, 100_000, seed);
+        let thr = run_threaded(
+            &RankRenaming,
+            &topo,
+            ids,
+            &RunOptions::new().jitter(10).with_seed(seed),
+        );
+        assert!(thr.all_returned(), "seed {seed}");
+        let mut names: Vec<u64> = thr.outputs.iter().flatten().copied().collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n, "seed {seed}: duplicate names");
+        assert!(names.iter().all(|&s| s <= 2 * n as u64 - 2));
+    }
+}

@@ -1,0 +1,220 @@
+//! Property-based tests across the whole stack: random rings, random
+//! identifier assignments, random (seeded) schedules — safety must hold
+//! everywhere, and the structural invariants of the paper must never
+//! break.
+
+use ftcolor::checker::chains::ChainAnalysis;
+use ftcolor::model::inputs;
+use ftcolor::prelude::*;
+use proptest::prelude::*;
+
+/// A random ring instance: size, unique ids, schedule seed & density.
+fn instance() -> impl Strategy<Value = (usize, u64, u64)> {
+    (3usize..24, 0u64..u64::MAX / 2, 0u64..10_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn alg1_always_valid((n, idseed, schedseed) in instance()) {
+        let ids = inputs::random_unique(n, (n as u64).pow(3).max(16), idseed);
+        let topo = Topology::cycle(n).unwrap();
+        let mut exec = Execution::new(&SixColoring, &topo, ids);
+        let report = exec.run(RandomSubset::new(schedseed, 0.45), 1_000_000).unwrap();
+        prop_assert!(report.all_returned());
+        prop_assert!(topo.is_proper_partial_coloring(&report.outputs));
+        prop_assert!(report.outputs.iter().flatten().all(|c| c.weight() <= 2));
+        prop_assert!(report.max_activations() <= (3 * n as u64) / 2 + 4);
+    }
+
+    #[test]
+    fn alg2_always_valid((n, idseed, schedseed) in instance()) {
+        let ids = inputs::random_unique(n, (n as u64).pow(3).max(16), idseed);
+        let topo = Topology::cycle(n).unwrap();
+        let mut exec = Execution::new(&FiveColoring, &topo, ids);
+        let report = exec.run(RandomSubset::new(schedseed, 0.45), 1_000_000).unwrap();
+        prop_assert!(report.all_returned());
+        prop_assert!(topo.is_proper_partial_coloring(&report.outputs));
+        prop_assert!(report.outputs.iter().flatten().all(|&c| c <= 4));
+        prop_assert!(report.max_activations() <= 3 * n as u64 + 8);
+    }
+
+    #[test]
+    fn alg3_always_valid_and_identifiers_stay_proper((n, idseed, schedseed) in instance()) {
+        let ids = inputs::random_unique(n, 1 << 40, idseed);
+        let topo = Topology::cycle(n).unwrap();
+        let mut exec = Execution::new(&FastFiveColoring, &topo, ids);
+        let mut sched = RandomSubset::new(schedseed, 0.45);
+        for t in 0..100_000u64 {
+            if exec.all_returned() { break; }
+            let set = sched.next(t + 1, exec.working()).unwrap();
+            exec.step_with(&set);
+            // Lemma 4.5 at every step: adjacent evolving identifiers differ.
+            for (p, q) in topo.edges() {
+                prop_assert_ne!(exec.state(p).x, exec.state(q).x, "{}-{}", p, q);
+            }
+        }
+        prop_assert!(exec.all_returned());
+        prop_assert!(topo.is_proper_partial_coloring(exec.outputs()));
+        prop_assert!(exec.outputs().iter().flatten().all(|&c| c <= 4));
+    }
+
+    #[test]
+    fn crashes_never_break_safety_anywhere(
+        (n, idseed, schedseed) in instance(),
+        crash_mask in 0u32..0xFFFF,
+    ) {
+        let ids = inputs::random_unique(n, (n as u64).pow(3).max(16), idseed);
+        let topo = Topology::cycle(n).unwrap();
+        let crashes = (0..n.min(16))
+            .filter(|i| crash_mask & (1 << i) != 0)
+            .map(|i| (ProcessId(i), (i as u64 % 5) + 1));
+        let mut sched = CrashPlan::new(RandomSubset::new(schedseed, 0.5), crashes);
+        let mut exec = Execution::new(&FiveColoring, &topo, ids);
+        for t in 0..5_000u64 {
+            if exec.all_returned() { break; }
+            let Some(set) = sched.next(t + 1, exec.working()) else { break };
+            exec.step_with(&set);
+            prop_assert!(topo.is_proper_partial_coloring(exec.outputs()));
+        }
+        prop_assert!(exec.outputs().iter().flatten().all(|&c| c <= 4));
+    }
+
+    #[test]
+    fn chain_bounds_hold_for_any_proper_input(n in 4usize..20, seed in 0u64..1000) {
+        let ids = inputs::random_permutation(n, seed);
+        let analysis = ChainAnalysis::for_cycle(&ids);
+        let topo = Topology::cycle(n).unwrap();
+        let mut exec = Execution::new(&SixColoring, &topo, ids);
+        let report = exec.run(Synchronous::new(), 1_000_000).unwrap();
+        for p in 0..n {
+            prop_assert!(
+                report.activations[p] <= analysis.lemma_3_9_bound(p),
+                "p{}: {} > {}", p, report.activations[p], analysis.lemma_3_9_bound(p)
+            );
+        }
+    }
+
+    #[test]
+    fn alg4_valid_on_random_graphs(
+        n in 6usize..30,
+        d in 3usize..6,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(n * d % 2 == 0 && d < n);
+        let topo = Topology::random_regular(n, d, seed).unwrap();
+        let ids = inputs::random_permutation(n, seed + 1);
+        let mut exec = Execution::new(&DeltaSquaredColoring, &topo, ids);
+        let report = exec.run(RandomSubset::new(seed + 2, 0.5), 2_000_000).unwrap();
+        prop_assert!(report.all_returned());
+        prop_assert!(topo.is_proper_partial_coloring(&report.outputs));
+        prop_assert!(report.outputs.iter().flatten().all(|c| c.weight() <= d as u64));
+    }
+
+    #[test]
+    fn renaming_names_always_distinct(n in 2usize..8, idseed in 0u64..1000, schedseed in 0u64..1000) {
+        use ftcolor::core::renaming::RankRenaming;
+        let topo = Topology::clique(n).unwrap();
+        let ids = inputs::random_unique(n, 100_000, idseed);
+        let mut exec = Execution::new(&RankRenaming, &topo, ids);
+        let report = exec.run(RandomSubset::new(schedseed, 0.5), 2_000_000).unwrap();
+        prop_assert!(report.all_returned());
+        let mut names: Vec<u64> = report.outputs.iter().flatten().copied().collect();
+        let len_before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        prop_assert_eq!(names.len(), len_before);
+        prop_assert!(names.iter().all(|&s| s <= 2 * n as u64 - 2));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn patched_alg2_always_valid_and_terminates((n, idseed, schedseed) in instance()) {
+        use ftcolor::core::alg2_patched::FiveColoringPatched;
+        let ids = inputs::random_unique(n, (n as u64).pow(3).max(16), idseed);
+        let topo = Topology::cycle(n).unwrap();
+        let mut exec = Execution::new(&FiveColoringPatched, &topo, ids);
+        let report = exec.run(RandomSubset::new(schedseed, 0.45), 1_000_000).unwrap();
+        prop_assert!(report.all_returned());
+        prop_assert!(topo.is_proper_partial_coloring(&report.outputs));
+        prop_assert!(report.outputs.iter().flatten().all(|&c| c <= 4));
+        prop_assert!(report.max_activations() <= 9 * n as u64 + 24);
+    }
+
+    #[test]
+    fn patched_alg3_always_valid_and_terminates((n, idseed, schedseed) in instance()) {
+        use ftcolor::core::alg3_patched::FastFiveColoringPatched;
+        let ids = inputs::random_unique(n, 1 << 40, idseed);
+        let topo = Topology::cycle(n).unwrap();
+        let mut exec = Execution::new(&FastFiveColoringPatched, &topo, ids);
+        let report = exec.run(RandomSubset::new(schedseed, 0.45), 1_000_000).unwrap();
+        prop_assert!(report.all_returned());
+        prop_assert!(topo.is_proper_partial_coloring(&report.outputs));
+        prop_assert!(report.outputs.iter().flatten().all(|&c| c <= 4));
+    }
+
+    #[test]
+    fn decoupled_three_coloring_always_valid((n, idseed, schedseed) in instance()) {
+        use ftcolor::core::decoupled_ring::DecoupledThreeColoring;
+        use ftcolor::model::decoupled::DecoupledExecution;
+        let ids = inputs::random_unique(n, 1 << 40, idseed);
+        let topo = Topology::cycle(n).unwrap();
+        let alg = DecoupledThreeColoring::new();
+        let mut exec = DecoupledExecution::new(&alg, &topo, ids);
+        let report = exec.run(RandomSubset::new(schedseed, 0.45), 1_000_000).unwrap();
+        prop_assert!(report.all_returned());
+        let colors: Vec<u64> = report.outputs.iter().map(|c| c.unwrap()).collect();
+        prop_assert!(topo.is_proper_coloring(&colors));
+        prop_assert!(colors.iter().all(|&c| c <= 2));
+    }
+
+    #[test]
+    fn stuttered_and_chained_schedules_preserve_validity(
+        (n, idseed, schedseed) in instance(),
+        k in 1u64..5,
+    ) {
+        use ftcolor::model::schedule::{Stutter, Then};
+        let ids = inputs::random_unique(n, (n as u64).pow(3).max(16), idseed);
+        let topo = Topology::cycle(n).unwrap();
+        // An adversarial stuttered random prefix, then a fair synchronous tail.
+        let prefix_sets: Vec<Vec<usize>> = (0..10)
+            .map(|i| vec![(idseed as usize + i) % n])
+            .collect();
+        let sched = Then::new(
+            Stutter::new(FixedSequence::from_indices(prefix_sets), k),
+            RandomSubset::new(schedseed, 0.5),
+        );
+        let mut exec = Execution::new(&SixColoring, &topo, ids);
+        let report = exec.run(sched, 1_000_000).unwrap();
+        prop_assert!(report.all_returned());
+        prop_assert!(topo.is_proper_partial_coloring(&report.outputs));
+        prop_assert!(report.max_activations() <= (3 * n as u64) / 2 + 4);
+    }
+
+    #[test]
+    fn alg4_valid_on_hypercubes_and_bipartite(
+        d in 2usize..6,
+        idseed in 0u64..500,
+        schedseed in 0u64..500,
+    ) {
+        let topo = Topology::hypercube(d).unwrap();
+        let n = topo.len();
+        let ids = inputs::random_permutation(n, idseed);
+        let mut exec = Execution::new(&DeltaSquaredColoring, &topo, ids);
+        let report = exec.run(RandomSubset::new(schedseed, 0.5), 2_000_000).unwrap();
+        prop_assert!(report.all_returned());
+        prop_assert!(topo.is_proper_partial_coloring(&report.outputs));
+        prop_assert!(report.outputs.iter().flatten().all(|c| c.weight() <= d as u64));
+
+        let topo = Topology::complete_bipartite(d, d + 1).unwrap();
+        let ids = inputs::random_permutation(2 * d + 1, idseed + 1);
+        let mut exec = Execution::new(&DeltaSquaredColoring, &topo, ids);
+        let report = exec.run(RandomSubset::new(schedseed + 1, 0.5), 2_000_000).unwrap();
+        prop_assert!(report.all_returned());
+        prop_assert!(topo.is_proper_partial_coloring(&report.outputs));
+    }
+}

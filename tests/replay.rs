@@ -1,0 +1,94 @@
+//! Trace recording, serialization, and deterministic replay across
+//! crates: the model is a deterministic function of (algorithm,
+//! topology, inputs, schedule), so a recorded trace must reproduce an
+//! execution bit-for-bit — including through a JSON round trip.
+
+use ftcolor::model::inputs;
+use ftcolor::model::Trace;
+use ftcolor::prelude::*;
+
+fn record_run<A>(alg: &A, ids: &[u64], seed: u64) -> (Trace, Vec<Option<A::Output>>, Vec<u64>)
+where
+    A: Algorithm<Input = u64>,
+{
+    let topo = Topology::cycle(ids.len()).unwrap();
+    let mut exec = Execution::new(alg, &topo, ids.to_vec());
+    exec.record_trace(true);
+    let report = exec.run(RandomSubset::new(seed, 0.4), 1_000_000).unwrap();
+    (exec.into_trace(), report.outputs, report.activations)
+}
+
+fn replay_run<A>(alg: &A, ids: &[u64], trace: &Trace) -> (Vec<Option<A::Output>>, Vec<u64>)
+where
+    A: Algorithm<Input = u64>,
+{
+    let topo = Topology::cycle(ids.len()).unwrap();
+    let mut exec = Execution::new(alg, &topo, ids.to_vec());
+    let report = exec.run(trace.replay(), 1_000_000).unwrap();
+    (report.outputs, report.activations)
+}
+
+#[test]
+fn alg1_replay_is_bit_identical() {
+    let ids = inputs::random_permutation(11, 5);
+    let (trace, outputs, acts) = record_run(&SixColoring, &ids, 42);
+    let (outputs2, acts2) = replay_run(&SixColoring, &ids, &trace);
+    assert_eq!(outputs, outputs2);
+    assert_eq!(acts, acts2);
+}
+
+#[test]
+fn alg3_replay_survives_json_round_trip() {
+    let ids = inputs::random_unique(9, 1 << 30, 3);
+    let (trace, outputs, acts) = record_run(&FastFiveColoring, &ids, 7);
+
+    let json = serde_json::to_string(&trace).unwrap();
+    let trace2: Trace = serde_json::from_str(&json).unwrap();
+    assert_eq!(trace, trace2);
+
+    let (outputs2, acts2) = replay_run(&FastFiveColoring, &ids, &trace2);
+    assert_eq!(outputs, outputs2);
+    assert_eq!(acts, acts2);
+}
+
+#[test]
+fn crashed_executions_replay_with_crashes() {
+    let n = 10;
+    let ids = inputs::random_permutation(n, 9);
+    let topo = Topology::cycle(n).unwrap();
+    let mut exec = Execution::new(&FiveColoring, &topo, ids.clone());
+    exec.record_trace(true);
+    let sched = CrashPlan::new(
+        RandomSubset::new(4, 0.5),
+        [(ProcessId(2), 1), (ProcessId(7), 3)],
+    );
+    let report = exec.run(sched, 100_000).unwrap();
+    let trace = exec.into_trace();
+
+    let mut exec2 = Execution::new(&FiveColoring, &topo, ids);
+    let report2 = exec2.run(trace.replay(), 100_000).unwrap();
+    assert_eq!(report.outputs, report2.outputs);
+    assert_eq!(report.activations, report2.activations);
+    assert_eq!(report.crashed, report2.crashed);
+    assert_eq!(report2.outputs[2], None, "p2 crashed in the replay too");
+}
+
+#[test]
+fn trace_activation_accounting_matches_execution() {
+    let ids = inputs::random_permutation(8, 1);
+    let topo = Topology::cycle(8).unwrap();
+    let mut exec = Execution::new(&SixColoring, &topo, ids);
+    exec.record_trace(true);
+    let report = exec.run(RoundRobin::new(), 100_000).unwrap();
+    let trace = exec.into_trace();
+    // Under round-robin the trace only ever activates working processes,
+    // so the per-process upper bound is exact.
+    for p in topo.nodes() {
+        assert_eq!(
+            trace.activation_upper_bound(p) as u64,
+            report.activations[p.index()],
+            "{p}"
+        );
+    }
+    assert_eq!(trace.len() as u64, report.time_steps);
+}

@@ -1,0 +1,120 @@
+//! End-to-end checks of the paper's three theorems through the facade
+//! crate: every algorithm × schedule family × ring size, validated with
+//! the shared invariant checker.
+
+use ftcolor::checker::invariants::{
+    check_coloring_report, theorem_3_11_bound, theorem_3_1_bound, theorem_4_4_bound,
+};
+use ftcolor::model::inputs;
+use ftcolor::prelude::*;
+
+fn schedules(n: usize, seed: u64) -> Vec<(&'static str, Box<dyn Schedule>)> {
+    vec![
+        ("sync", Box::new(Synchronous::new())),
+        ("round-robin", Box::new(RoundRobin::new())),
+        ("random", Box::new(RandomSubset::new(seed, 0.5))),
+        ("solo", Box::new(SoloRunner::ascending(n))),
+        ("wave", Box::new(Wave::new(n, 3, 2))),
+    ]
+}
+
+#[test]
+fn theorem_3_1_end_to_end() {
+    for n in [3usize, 7, 20, 64] {
+        for seed in 0..3u64 {
+            let ids = inputs::random_unique(n, (n as u64).pow(3), seed);
+            for (label, sched) in schedules(n, seed + 100) {
+                let topo = Topology::cycle(n).unwrap();
+                let mut exec = Execution::new(&SixColoring, &topo, ids.clone());
+                let report = exec.run(sched, 1_000_000).unwrap();
+                let check = check_coloring_report(
+                    &topo,
+                    &report,
+                    |c| c.flat_index(),
+                    6,
+                    theorem_3_1_bound(n),
+                );
+                assert!(check.ok(), "n={n} seed={seed} {label}: {check}");
+                assert_eq!(check.returned, n);
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem_3_11_end_to_end() {
+    for n in [3usize, 7, 20, 64] {
+        for seed in 0..3u64 {
+            let ids = inputs::random_unique(n, (n as u64).pow(3), seed);
+            for (label, sched) in schedules(n, seed + 200) {
+                let topo = Topology::cycle(n).unwrap();
+                let mut exec = Execution::new(&FiveColoring, &topo, ids.clone());
+                let report = exec.run(sched, 1_000_000).unwrap();
+                let check = check_coloring_report(&topo, &report, |c| *c, 5, theorem_3_11_bound(n));
+                assert!(check.ok(), "n={n} seed={seed} {label}: {check}");
+                assert_eq!(check.returned, n);
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem_4_4_end_to_end() {
+    for n in [3usize, 10, 100, 1000] {
+        for seed in 0..3u64 {
+            let ids = inputs::random_unique(n, 1 << 40, seed);
+            for (label, sched) in schedules(n, seed + 300) {
+                let topo = Topology::cycle(n).unwrap();
+                let mut exec = Execution::new(&FastFiveColoring, &topo, ids.clone());
+                let report = exec.run(sched, 10_000_000).unwrap();
+                let check = check_coloring_report(&topo, &report, |c| *c, 5, theorem_4_4_bound(n));
+                assert!(check.ok(), "n={n} seed={seed} {label}: {check}");
+            }
+        }
+    }
+}
+
+#[test]
+fn headline_contrast_on_staircase() {
+    // The shape of the paper's contribution in one assertion pair.
+    let n = 600;
+    let ids = inputs::staircase_poly(n);
+    let topo = Topology::cycle(n).unwrap();
+
+    let mut slow = Execution::new(&FiveColoring, &topo, ids.clone());
+    let slow_max = slow
+        .run(Synchronous::new(), 100_000)
+        .unwrap()
+        .max_activations();
+
+    let mut fast = Execution::new(&FastFiveColoring, &topo, ids);
+    let fast_max = fast
+        .run(Synchronous::new(), 100_000)
+        .unwrap()
+        .max_activations();
+
+    assert!(slow_max >= n as u64 / 2, "Algorithm 2 linear: {slow_max}");
+    assert!(fast_max <= 60, "Algorithm 3 near-constant: {fast_max}");
+    assert!(fast_max * 5 < slow_max, "order-of-magnitude separation");
+}
+
+#[test]
+fn all_three_algorithms_agree_on_validity_not_outputs() {
+    // Different algorithms color the same ring differently, but all
+    // validly; their activation profiles reflect their complexity class.
+    let n = 50;
+    let ids = inputs::staircase_poly(n);
+    let topo = Topology::cycle(n).unwrap();
+
+    let mut e1 = Execution::new(&SixColoring, &topo, ids.clone());
+    let r1 = e1.run(Synchronous::new(), 100_000).unwrap();
+    let mut e2 = Execution::new(&FiveColoring, &topo, ids.clone());
+    let r2 = e2.run(Synchronous::new(), 100_000).unwrap();
+    let mut e3 = Execution::new(&FastFiveColoring, &topo, ids);
+    let r3 = e3.run(Synchronous::new(), 100_000).unwrap();
+
+    assert!(topo.is_proper_partial_coloring(&r1.outputs));
+    assert!(topo.is_proper_partial_coloring(&r2.outputs));
+    assert!(topo.is_proper_partial_coloring(&r3.outputs));
+    assert!(r3.max_activations() <= r2.max_activations());
+}
