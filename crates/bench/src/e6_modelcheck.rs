@@ -11,7 +11,8 @@
 //!   (wait-free, crashes included), while Algorithms 2/3 exhibit the
 //!   documented crash livelock (DESIGN.md, "Reproduction findings").
 
-use ftcolor_checker::modelcheck::{ModelCheckOutcome, ModelChecker};
+use ftcolor_checker::modelcheck::ModelCheckOutcome;
+use ftcolor_checker::ParallelModelChecker;
 use ftcolor_core::{FastFiveColoring, FiveColoring, FiveColoringPatched, SixColoring};
 use ftcolor_model::Topology;
 use serde::Serialize;
@@ -70,8 +71,12 @@ fn row_from<O: std::fmt::Debug>(
     }
 }
 
-/// Runs the exhaustive explorations. `max_configs` caps each instance.
-pub fn run(max_configs: usize) -> Vec<Row> {
+/// Runs the exhaustive explorations. `max_configs` caps each instance;
+/// `jobs` is the worker-thread count (`0` = all CPUs). The parallel
+/// checker is bit-identical to the sequential one, so every cell of the
+/// E6 table is independent of `jobs` — see `benches/e6_modelcheck.rs`
+/// for the thread-scaling measurement.
+pub fn run(max_configs: usize, jobs: usize) -> Vec<Row> {
     let mut rows = Vec::new();
     let instances: Vec<(String, Vec<u64>)> = vec![
         ("C3 ids=[0,1,2]".into(), vec![0, 1, 2]),
@@ -82,7 +87,9 @@ pub fn run(max_configs: usize) -> Vec<Row> {
     for (label, ids) in &instances {
         let topo = Topology::cycle(ids.len()).unwrap();
 
-        let mc = ModelChecker::new(&SixColoring, &topo, ids.clone()).with_max_configs(max_configs);
+        let mc = ParallelModelChecker::new(&SixColoring, &topo, ids.clone())
+            .with_max_configs(max_configs)
+            .with_jobs(jobs);
         let o = mc
             .explore(|topo, outputs| {
                 if let Some((a, b)) = topo.first_conflict(outputs) {
@@ -98,18 +105,22 @@ pub fn run(max_configs: usize) -> Vec<Row> {
         let mut row = row_from("Alg1 (6-coloring)", label.clone(), &o);
         // Algorithm 1's configuration graph is acyclic: compute the
         // exact worst-case round complexity over all schedules.
-        row.exact_worst = ModelChecker::new(&SixColoring, &topo, ids.clone())
+        row.exact_worst = ParallelModelChecker::new(&SixColoring, &topo, ids.clone())
             .with_max_configs(max_configs)
+            .with_jobs(jobs)
             .exact_worst_case()
             .unwrap();
         rows.push(row);
 
-        let mc = ModelChecker::new(&FiveColoring, &topo, ids.clone()).with_max_configs(max_configs);
+        let mc = ParallelModelChecker::new(&FiveColoring, &topo, ids.clone())
+            .with_max_configs(max_configs)
+            .with_jobs(jobs);
         let o = mc.explore(coloring_safety_u64).unwrap();
         rows.push(row_from("Alg2 (5-coloring)", label.clone(), &o));
 
-        let mc =
-            ModelChecker::new(&FastFiveColoring, &topo, ids.clone()).with_max_configs(max_configs);
+        let mc = ParallelModelChecker::new(&FastFiveColoring, &topo, ids.clone())
+            .with_max_configs(max_configs)
+            .with_jobs(jobs);
         let o = mc.explore(coloring_safety_u64).unwrap();
         rows.push(row_from("Alg3 (fast 5-coloring)", label.clone(), &o));
 
@@ -119,8 +130,9 @@ pub fn run(max_configs: usize) -> Vec<Row> {
         // so "livelock: none" here is expected and `complete: false`
         // reflects the truncation honestly).
         let patched_cap = max_configs.min(400_000);
-        let mc = ModelChecker::new(&FiveColoringPatched, &topo, ids.clone())
-            .with_max_configs(patched_cap);
+        let mc = ParallelModelChecker::new(&FiveColoringPatched, &topo, ids.clone())
+            .with_max_configs(patched_cap)
+            .with_jobs(jobs);
         let o = mc.explore(coloring_safety_u64).unwrap();
         rows.push(row_from("Alg2-patched", label.clone(), &o));
     }
@@ -175,7 +187,7 @@ mod tests {
 
     #[test]
     fn exhaustive_small_instances() {
-        let rows = run(3_000_000);
+        let rows = run(3_000_000, 0);
         for r in &rows {
             assert!(r.safety_ok, "safety must hold everywhere: {r:?}");
         }

@@ -7,8 +7,8 @@
 //! proof maps the failures onto SSB, the problem whose impossibility
 //! drives Property 2.1.
 
-use ftcolor_checker::modelcheck::ModelChecker;
 use ftcolor_checker::ssb::{ssb_outputs, ssb_violation};
+use ftcolor_checker::ParallelModelChecker;
 use ftcolor_core::mis::{mis_violation, EagerMis, ImpatientMis, LocalMaxMis, MisOutput};
 use ftcolor_model::prelude::*;
 use serde::Serialize;
@@ -31,15 +31,17 @@ pub struct Row {
     pub fails: bool,
 }
 
-fn check<A>(candidate: &'static str, alg: &A, ids: Vec<u64>) -> Row
+fn check<A>(candidate: &'static str, alg: &A, ids: Vec<u64>, jobs: usize) -> Row
 where
-    A: Algorithm<Input = u64, Output = MisOutput>,
-    A::State: Eq + std::hash::Hash,
-    A::Reg: Eq + std::hash::Hash,
+    A: Algorithm<Input = u64, Output = MisOutput> + Sync,
+    A::State: Eq + std::hash::Hash + Send + Sync,
+    A::Reg: Eq + std::hash::Hash + Send + Sync,
 {
     let topo = Topology::cycle(ids.len()).unwrap();
     let label = format!("C{} ids={ids:?}", ids.len());
-    let mc = ModelChecker::new(alg, &topo, ids).with_max_configs(2_000_000);
+    let mc = ParallelModelChecker::new(alg, &topo, ids)
+        .with_max_configs(2_000_000)
+        .with_jobs(jobs);
     let o = mc.explore(mis_violation).unwrap();
     Row {
         candidate,
@@ -51,13 +53,15 @@ where
     }
 }
 
-/// Model-checks all three candidates on C3 and C4.
-pub fn run() -> Vec<Row> {
+/// Model-checks all three candidates on C3 and C4 with `jobs` worker
+/// threads (`0` = all CPUs); the verdicts are identical for every
+/// thread count.
+pub fn run(jobs: usize) -> Vec<Row> {
     let mut rows = Vec::new();
     for ids in [vec![1u64, 2, 3], vec![2, 7, 4, 9]] {
-        rows.push(check("LocalMaxMis", &LocalMaxMis, ids.clone()));
-        rows.push(check("EagerMis", &EagerMis, ids.clone()));
-        rows.push(check("ImpatientMis", &ImpatientMis, ids));
+        rows.push(check("LocalMaxMis", &LocalMaxMis, ids.clone(), jobs));
+        rows.push(check("EagerMis", &EagerMis, ids.clone(), jobs));
+        rows.push(check("ImpatientMis", &ImpatientMis, ids, jobs));
     }
     rows
 }
@@ -164,7 +168,7 @@ mod tests {
 
     #[test]
     fn every_candidate_fails() {
-        let rows = run();
+        let rows = run(0);
         assert_eq!(rows.len(), 6);
         for r in &rows {
             assert!(r.fails, "Property 2.1 predicts failure: {r:?}");

@@ -52,6 +52,11 @@ pub struct FuzzConfig {
     pub loops: usize,
     /// Length of the replayed tail.
     pub tail: usize,
+    /// Worker threads for genome evaluation; `1` evaluates inline, `0`
+    /// means one worker per available CPU. Evaluation is pure per
+    /// genome and results are merged in genome order, so the report is
+    /// identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for FuzzConfig {
@@ -65,6 +70,7 @@ impl Default for FuzzConfig {
             objective: Objective::StragglerActivations,
             loops: 40,
             tail: 6,
+            jobs: 1,
         }
     }
 }
@@ -195,11 +201,75 @@ where
         (score, violation)
     }
 
+    /// Evaluates every genome with the configured number of worker
+    /// threads, returning results *in genome order*. Each evaluation is
+    /// a pure function of its genome, so claiming indices from a shared
+    /// atomic counter and reassembling by index yields exactly the
+    /// sequential result list — the only thing the thread schedule can
+    /// affect is wall-clock time.
+    fn evaluate_all(
+        &self,
+        genomes: &[Vec<ActivationSet>],
+        safety: &(impl Fn(&Topology, &[Option<A::Output>]) -> Option<String> + Sync),
+    ) -> Vec<(u64, Option<String>)>
+    where
+        A: Sync,
+        A::Input: Sync,
+    {
+        let jobs = if self.config.jobs == 0 {
+            crate::parallel::default_jobs()
+        } else {
+            self.config.jobs
+        }
+        .min(genomes.len())
+        .max(1);
+        if jobs == 1 {
+            return genomes.iter().map(|g| self.evaluate(g, safety)).collect();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut parts = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    let next = &next;
+                    s.spawn(move |_| {
+                        let mut local: Vec<(usize, (u64, Option<String>))> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= genomes.len() {
+                                break;
+                            }
+                            local.push((i, self.evaluate(&genomes[i], safety)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fuzzer worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("fuzzer worker panicked");
+        let mut results: Vec<Option<(u64, Option<String>)>> =
+            (0..genomes.len()).map(|_| None).collect();
+        for (i, r) in parts.drain(..).flatten() {
+            results[i] = Some(r);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every genome evaluated exactly once"))
+            .collect()
+    }
+
     /// Runs the evolutionary search.
     pub fn run(
         &self,
-        safety: impl Fn(&Topology, &[Option<A::Output>]) -> Option<String>,
-    ) -> FuzzReport {
+        safety: impl Fn(&Topology, &[Option<A::Output>]) -> Option<String> + Sync,
+    ) -> FuzzReport
+    where
+        A: Sync,
+        A::Input: Sync,
+    {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut population: Vec<Vec<ActivationSet>> = self.seed_corpus();
         population.truncate(self.config.population.saturating_sub(2));
@@ -211,17 +281,18 @@ where
         let mut evaluated = 0u64;
 
         for _gen in 0..self.config.generations {
-            let mut scored: Vec<(u64, Vec<ActivationSet>)> = population
-                .drain(..)
-                .map(|g| {
-                    evaluated += 1;
-                    let (s, v) = self.evaluate(&g, &safety);
-                    if first_violation.is_none() {
-                        first_violation = v;
-                    }
-                    (s, g)
-                })
-                .collect();
+            let genomes: Vec<Vec<ActivationSet>> = std::mem::take(&mut population);
+            let results = self.evaluate_all(&genomes, &safety);
+            evaluated += genomes.len() as u64;
+            let mut scored: Vec<(u64, Vec<ActivationSet>)> = Vec::with_capacity(genomes.len());
+            for (g, (s, v)) in genomes.into_iter().zip(results) {
+                if first_violation.is_none() {
+                    first_violation = v;
+                }
+                scored.push((s, g));
+            }
+            // Stable sort on a list built in genome order: ties resolve
+            // exactly as in a sequential evaluation pass.
             scored.sort_by_key(|(s, _)| std::cmp::Reverse(*s));
             if scored[0].0 > best.0 {
                 best = scored[0].clone();
@@ -365,5 +436,34 @@ mod tests {
             report.safety_violation.is_some(),
             "fuzzer should stumble on the EagerMis In/In violation"
         );
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential() {
+        let topo = Topology::cycle(3).unwrap();
+        let base = FuzzConfig {
+            horizon: 60,
+            generations: 30,
+            seed: 7,
+            ..FuzzConfig::default()
+        };
+        let seq =
+            ScheduleFuzzer::new(&FiveColoring, &topo, vec![0, 1, 2], base.clone()).run(no_safety);
+        for jobs in [2, 8] {
+            let par = ScheduleFuzzer::new(
+                &FiveColoring,
+                &topo,
+                vec![0, 1, 2],
+                FuzzConfig {
+                    jobs,
+                    ..base.clone()
+                },
+            )
+            .run(no_safety);
+            assert_eq!(seq.best_score, par.best_score, "jobs={jobs}");
+            assert_eq!(seq.best_schedule, par.best_schedule, "jobs={jobs}");
+            assert_eq!(seq.evaluated, par.evaluated, "jobs={jobs}");
+            assert_eq!(seq.safety_violation, par.safety_violation, "jobs={jobs}");
+        }
     }
 }

@@ -15,6 +15,9 @@
 //!   is just "no further activations"), checks a safety predicate at
 //!   every configuration, and detects livelocks as cycles in the
 //!   configuration graph;
+//! * [`parallel`] — a multi-threaded frontier-expansion engine for the
+//!   same exploration, bit-identical to [`modelcheck`] at any thread
+//!   count;
 //! * [`adversary`] — a randomized schedule fuzzer for instances beyond
 //!   exhaustive reach: evolves activation-set genomes toward starvation
 //!   or safety violations;
@@ -29,11 +32,13 @@ pub mod adversary;
 pub mod chains;
 pub mod invariants;
 pub mod modelcheck;
+pub mod parallel;
 pub mod ssb;
 pub mod stats;
 
 pub use adversary::{FuzzConfig, FuzzReport, Objective, ScheduleFuzzer};
 pub use chains::ChainAnalysis;
 pub use invariants::{check_coloring_report, ColoringCheck};
-pub use modelcheck::{ModelCheckOutcome, ModelChecker};
+pub use modelcheck::{LivelockWitness, ModelCheckOutcome, ModelChecker, SafetyViolation};
+pub use parallel::ParallelModelChecker;
 pub use stats::Summary;

@@ -28,12 +28,13 @@
 
 use ftcolor_model::schedule::ActivationSet;
 use ftcolor_model::{Algorithm, Execution, Topology};
-use std::collections::{HashMap, VecDeque};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::hash::Hash;
 
 /// A safety violation found at a reachable configuration.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SafetyViolation {
     /// Human-readable description produced by the safety predicate.
     pub description: String,
@@ -44,7 +45,7 @@ pub struct SafetyViolation {
 
 /// A wait-freedom violation: a reachable cycle in the configuration
 /// graph.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LivelockWitness {
     /// Activation sets leading from the initial configuration to the
     /// cycle entry.
@@ -55,7 +56,11 @@ pub struct LivelockWitness {
 }
 
 /// Result of an exhaustive exploration.
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq` so differential harnesses can assert that two
+/// explorations (e.g. sequential vs. parallel) produced *identical*
+/// results, field for field.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelCheckOutcome<O> {
     /// Number of distinct reachable configurations.
     pub configs: usize,
@@ -67,7 +72,9 @@ pub struct ModelCheckOutcome<O> {
     pub safety_violation: Option<SafetyViolation>,
     /// A livelock witness, if the configuration graph has a cycle.
     pub livelock: Option<LivelockWitness>,
-    /// Every distinct output value observed across all configurations.
+    /// Every distinct output value observed across all configurations,
+    /// in first-seen BFS order (deterministic: exploration order is a
+    /// pure function of the instance, never of hashing or thread count).
     pub outputs_seen: Vec<O>,
     /// Whether exploration was truncated by the configuration cap (all
     /// reported facts still hold for the explored subgraph).
@@ -154,11 +161,142 @@ pub fn all_nonempty_subsets(working: &[ftcolor_model::ProcessId]) -> Vec<Activat
         .collect()
 }
 
-type ConfigKey<A> = (
+pub(crate) type ConfigKey<A> = (
     Vec<<A as Algorithm>::State>,
     Vec<Option<<A as Algorithm>::Reg>>,
     Vec<Option<<A as Algorithm>::Output>>,
 );
+
+/// The full configuration key of an execution: private states, register
+/// contents, and outputs of every process.
+pub(crate) fn key_of<A: Algorithm>(exec: &Execution<'_, A>) -> ConfigKey<A> {
+    let n = exec.topology().len();
+    (
+        (0..n)
+            .map(|i| exec.state(ftcolor_model::ProcessId(i)).clone())
+            .collect(),
+        exec.registers().to_vec(),
+        exec.outputs().to_vec(),
+    )
+}
+
+/// Walks the BFS parent chain from node `id` back to the root, returning
+/// the activation-set schedule that reaches `id` from the initial
+/// configuration.
+pub(crate) fn schedule_to(
+    parents: &[Option<(usize, ActivationSet)>],
+    mut id: usize,
+) -> Vec<ActivationSet> {
+    let mut sched = Vec::new();
+    while let Some((p, set)) = &parents[id] {
+        sched.push(set.clone());
+        id = *p;
+    }
+    sched.reverse();
+    sched
+}
+
+/// Finds a cycle in the configuration graph via iterative DFS with
+/// tri-color marking; returns the cycle entry node and the activation
+/// sets around the cycle.
+///
+/// Invariant used for witness extraction: after taking edge index `ei`
+/// out of node `u`, the stack entry stores `ei + 1`, so the edge from
+/// `stack[w]` toward `stack[w+1]` (or the closing back edge, for the top
+/// entry) is always `edges[node][stored_ei − 1]`.
+pub(crate) fn find_cycle(
+    edges: &[Vec<(usize, ActivationSet)>],
+) -> Option<(usize, Vec<ActivationSet>)> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let n = edges.len();
+    let mut color = vec![Color::White; n];
+    for start in 0..n {
+        if color[start] != Color::White {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = Color::Gray;
+        while let Some(&(u, ei)) = stack.last() {
+            if ei >= edges[u].len() {
+                color[u] = Color::Black;
+                stack.pop();
+                continue;
+            }
+            stack.last_mut().expect("nonempty").1 = ei + 1;
+            let v = edges[u][ei].0;
+            match color[v] {
+                Color::White => {
+                    color[v] = Color::Gray;
+                    stack.push((v, 0));
+                }
+                Color::Gray => {
+                    // Back edge u → v closes the cycle v … u → v.
+                    let pos = stack
+                        .iter()
+                        .position(|&(w, _)| w == v)
+                        .expect("gray node is on the stack");
+                    let cycle = stack[pos..]
+                        .iter()
+                        .map(|&(node, next_ei)| edges[node][next_ei - 1].1.clone())
+                        .collect();
+                    return Some((v, cycle));
+                }
+                Color::Black => {}
+            }
+        }
+    }
+    None
+}
+
+/// Exact worst-case per-process activation count over all paths of an
+/// **acyclic** configuration graph with `n` processes: topological order
+/// via Kahn's algorithm, then a per-process max-activation DP. Returns
+/// `None` when the graph has a cycle (unbounded worst case).
+pub(crate) fn worst_case_from_graph(
+    edges: &[Vec<(usize, ActivationSet)>],
+    n: usize,
+) -> Option<u64> {
+    let m = edges.len();
+    let mut indeg = vec![0usize; m];
+    for outs in edges {
+        for &(v, _) in outs {
+            indeg[v] += 1;
+        }
+    }
+    let mut order = Vec::with_capacity(m);
+    let mut q: VecDeque<usize> = (0..m).filter(|&v| indeg[v] == 0).collect();
+    while let Some(u) = q.pop_front() {
+        order.push(u);
+        for &(v, _) in &edges[u] {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                q.push_back(v);
+            }
+        }
+    }
+    if order.len() != m {
+        return None; // cyclic
+    }
+
+    let mut best: Vec<Vec<u64>> = vec![vec![0; n]; m];
+    let mut answer = 0u64;
+    for &u in &order {
+        answer = answer.max(best[u].iter().copied().max().unwrap_or(0));
+        let from = best[u].clone();
+        for (v, set) in edges[u].clone() {
+            for (i, slot) in best[v].iter_mut().enumerate() {
+                let inc = u64::from(set.activates(ftcolor_model::ProcessId(i)));
+                *slot = (*slot).max(from[i] + inc);
+            }
+        }
+    }
+    Some(answer)
+}
 
 impl<'a, A: Algorithm> ModelChecker<'a, A>
 where
@@ -185,14 +323,7 @@ where
     }
 
     fn key_of(exec: &Execution<'_, A>) -> ConfigKey<A> {
-        let n = exec.topology().len();
-        (
-            (0..n)
-                .map(|i| exec.state(ftcolor_model::ProcessId(i)).clone())
-                .collect(),
-            exec.registers().to_vec(),
-            exec.outputs().to_vec(),
-        )
+        key_of(exec)
     }
 
     /// Enumerates every non-empty subset of the working processes.
@@ -229,7 +360,7 @@ where
             outputs_seen: Vec::new(),
             truncated: false,
         };
-        let mut outputs_seen: HashMap<A::Output, ()> = HashMap::new();
+        let mut seen_set: HashSet<A::Output> = HashSet::new();
 
         visited.insert(Self::key_of(&root), 0);
         edges.push(Vec::new());
@@ -237,21 +368,13 @@ where
         queue.push_back((0, root.clone()));
         outcome.configs = 1;
 
-        let schedule_to = |parents: &Vec<Option<(usize, ActivationSet)>>, mut id: usize| {
-            let mut sched = Vec::new();
-            while let Some((p, set)) = &parents[id] {
-                sched.push(set.clone());
-                id = *p;
-            }
-            sched.reverse();
-            sched
-        };
-
         while let Some((id, exec)) = queue.pop_front() {
             // Safety at this configuration (covers the crash-everything-
             // here execution).
             for o in exec.outputs().iter().flatten() {
-                outputs_seen.entry(o.clone()).or_insert(());
+                if seen_set.insert(o.clone()) {
+                    outcome.outputs_seen.push(o.clone());
+                }
             }
             if outcome.safety_violation.is_none() {
                 if let Some(desc) = safety(self.topo, exec.outputs()) {
@@ -290,67 +413,11 @@ where
             }
         }
 
-        outcome.outputs_seen = outputs_seen.into_keys().collect();
-        outcome.livelock = Self::find_cycle(&edges).map(|(entry, cycle)| LivelockWitness {
+        outcome.livelock = find_cycle(&edges).map(|(entry, cycle)| LivelockWitness {
             prefix: schedule_to(&parents, entry),
             cycle,
         });
         Ok(outcome)
-    }
-
-    /// Finds a cycle in the configuration graph via iterative DFS with
-    /// tri-color marking; returns the cycle entry node and the activation
-    /// sets around the cycle.
-    ///
-    /// Invariant used for witness extraction: after taking edge index
-    /// `ei` out of node `u`, the stack entry stores `ei + 1`, so the edge
-    /// from `stack[w]` toward `stack[w+1]` (or the closing back edge, for
-    /// the top entry) is always `edges[node][stored_ei − 1]`.
-    fn find_cycle(edges: &[Vec<(usize, ActivationSet)>]) -> Option<(usize, Vec<ActivationSet>)> {
-        #[derive(Clone, Copy, PartialEq)]
-        enum Color {
-            White,
-            Gray,
-            Black,
-        }
-        let n = edges.len();
-        let mut color = vec![Color::White; n];
-        for start in 0..n {
-            if color[start] != Color::White {
-                continue;
-            }
-            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
-            color[start] = Color::Gray;
-            while let Some(&(u, ei)) = stack.last() {
-                if ei >= edges[u].len() {
-                    color[u] = Color::Black;
-                    stack.pop();
-                    continue;
-                }
-                stack.last_mut().expect("nonempty").1 = ei + 1;
-                let v = edges[u][ei].0;
-                match color[v] {
-                    Color::White => {
-                        color[v] = Color::Gray;
-                        stack.push((v, 0));
-                    }
-                    Color::Gray => {
-                        // Back edge u → v closes the cycle v … u → v.
-                        let pos = stack
-                            .iter()
-                            .position(|&(w, _)| w == v)
-                            .expect("gray node is on the stack");
-                        let cycle = stack[pos..]
-                            .iter()
-                            .map(|&(node, next_ei)| edges[node][next_ei - 1].1.clone())
-                            .collect();
-                        return Some((v, cycle));
-                    }
-                    Color::Black => {}
-                }
-            }
-        }
-        None
     }
 }
 
@@ -559,44 +626,9 @@ where
             }
         }
 
-        // Topological order via Kahn's algorithm; a leftover node means
-        // a cycle (not wait-free): unbounded worst case.
-        let m = edges.len();
-        let mut indeg = vec![0usize; m];
-        for outs in &edges {
-            for &(v, _) in outs {
-                indeg[v] += 1;
-            }
-        }
-        let mut order = Vec::with_capacity(m);
-        let mut q: VecDeque<usize> = (0..m).filter(|&v| indeg[v] == 0).collect();
-        while let Some(u) = q.pop_front() {
-            order.push(u);
-            for &(v, _) in &edges[u] {
-                indeg[v] -= 1;
-                if indeg[v] == 0 {
-                    q.push_back(v);
-                }
-            }
-        }
-        if order.len() != m {
-            return Ok(None); // cyclic
-        }
-
-        // DP: per-process maximum activation count along any path.
-        let mut best: Vec<Vec<u64>> = vec![vec![0; n]; m];
-        let mut answer = 0u64;
-        for &u in &order {
-            answer = answer.max(best[u].iter().copied().max().unwrap_or(0));
-            let from = best[u].clone();
-            for (v, set) in edges[u].clone() {
-                for (i, slot) in best[v].iter_mut().enumerate() {
-                    let inc = u64::from(set.activates(ftcolor_model::ProcessId(i)));
-                    *slot = (*slot).max(from[i] + inc);
-                }
-            }
-        }
-        Ok(Some(answer))
+        // Topological order + per-process max-activation DP; `None` when
+        // the graph is cyclic (not wait-free): unbounded worst case.
+        Ok(worst_case_from_graph(&edges, n))
     }
 }
 

@@ -1,0 +1,619 @@
+//! Multi-threaded frontier expansion for the exhaustive model checker.
+//!
+//! [`ParallelModelChecker`] explores the same reachable-configuration
+//! graph as the sequential [`crate::ModelChecker`] and produces
+//! **bit-identical** outcomes — same [`crate::modelcheck::SafetyViolation`],
+//! same [`crate::modelcheck::LivelockWitness`], same `outputs_seen`
+//! order, same `exact_worst_case` — regardless of thread count. That
+//! guarantee is what makes the parallel checker *usable as evidence*:
+//! a counterexample or a bound computed at `--jobs 8` is exactly the one
+//! the audited single-threaded checker would print.
+//!
+//! # How determinism survives parallelism
+//!
+//! The sequential checker's FIFO BFS dequeues nodes in configuration-id
+//! order, and ids are assigned in (parent id, activation-subset index)
+//! order — so the whole exploration is a pure function of the instance.
+//! The parallel engine replays exactly that order with a
+//! **level-synchronized BFS**:
+//!
+//! 1. **Expand (parallel).** The current frontier (one BFS level) is
+//!    split into per-worker index ranges; workers claim chunks from
+//!    their own range and *steal* from the back of the largest remaining
+//!    range when they run dry. For each node a worker computes the
+//!    expensive part — the safety predicate, the terminal check, and one
+//!    stepped-and-keyed successor per activation subset — consulting the
+//!    sharded visited-set (hash-partitioned by `ConfigKey`, one
+//!    `parking_lot::Mutex`-guarded shard each) to classify successors
+//!    already discovered in previous levels. The visited-set is *frozen*
+//!    during this phase, so reads race with nothing.
+//! 2. **Merge (sequential, canonical order).** Workers' results are
+//!    reassembled by frontier index and folded in ascending node-id
+//!    order, replaying the sequential checker's exact bookkeeping:
+//!    first-seen output collection, lowest-id-wins safety violation
+//!    (lexicographically smallest counterexample — BFS parent chains
+//!    order witnesses by (length, discovery order)), terminal counting,
+//!    the configuration-cap check, and new-id assignment in (parent,
+//!    subset) order. Duplicates discovered concurrently within one level
+//!    are resolved here, deterministically, never by race outcome.
+//!
+//! Cycle detection and the worst-case DP then run on the resulting edge
+//! list, which is identical to the sequential one — so every downstream
+//! artifact is too.
+
+use crate::modelcheck::{
+    all_nonempty_subsets, find_cycle, key_of, schedule_to, worst_case_from_graph, ConfigKey,
+    LivelockWitness, ModelCheckError, ModelCheckOutcome, SafetyViolation,
+};
+use ftcolor_model::schedule::ActivationSet;
+use ftcolor_model::{Algorithm, Execution, Topology};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher, Hash};
+
+/// Number of hash-partitioned shards in the visited-set. A power of two
+/// comfortably above any realistic worker count, so shard collisions
+/// between concurrent readers are rare.
+const SHARDS: usize = 64;
+
+/// A visited-set hash-partitioned into independently locked shards.
+///
+/// Shard choice hashes the `ConfigKey` with a **fixed-seed** hasher, so
+/// the partition is a pure function of the key — identical across runs,
+/// threads, and machines.
+struct ShardedMap<K> {
+    shards: Vec<Mutex<HashMap<K, usize>>>,
+}
+
+impl<K: Eq + Hash> ShardedMap<K> {
+    fn new() -> Self {
+        ShardedMap {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> usize {
+        // BuildHasherDefault<DefaultHasher> is seed-free: deterministic.
+        (BuildHasherDefault::<DefaultHasher>::default().hash_one(key) as usize) % SHARDS
+    }
+
+    fn get(&self, key: &K) -> Option<usize> {
+        self.shards[self.shard_of(key)].lock().get(key).copied()
+    }
+
+    fn insert(&self, key: K, id: usize) {
+        self.shards[self.shard_of(&key)].lock().insert(key, id);
+    }
+}
+
+/// One successor computed during the parallel expand phase.
+///
+/// `Fresh` is by far the common case in a growing exploration, so the
+/// size skew against tiny `Known` doesn't justify boxing it (that would
+/// put an allocation on the hot path of every expanded successor).
+#[allow(clippy::large_enum_variant)]
+enum Child<'a, A: Algorithm> {
+    /// The configuration was already visited in an earlier level.
+    Known(usize, ActivationSet),
+    /// Not yet in the visited-set at expand time; the merge phase
+    /// resolves same-level duplicates and assigns the canonical id.
+    Fresh(ConfigKey<A>, ActivationSet, Execution<'a, A>),
+}
+
+/// Everything the merge phase needs about one expanded frontier node.
+struct Expansion<'a, A: Algorithm> {
+    /// Outputs present at this configuration, in process order.
+    outputs: Vec<A::Output>,
+    /// Safety-predicate result at this configuration.
+    violation: Option<String>,
+    /// Every process has returned: no successors.
+    terminal: bool,
+    /// Successors in activation-subset (mask) order; empty when terminal
+    /// or when expansion is globally disabled (cap already reached).
+    children: Vec<Child<'a, A>>,
+}
+
+/// Fully merged exploration result; shared by `explore` and
+/// `exact_worst_case`.
+struct GraphResult<'a, A: Algorithm> {
+    edges: Vec<Vec<(usize, ActivationSet)>>,
+    parents: Vec<Option<(usize, ActivationSet)>>,
+    configs: usize,
+    edge_count: usize,
+    fully_terminated: usize,
+    truncated: bool,
+    /// Lowest-id violating configuration and its description.
+    first_violation: Option<(usize, String)>,
+    outputs_seen: Vec<A::Output>,
+    _keep: std::marker::PhantomData<&'a A>,
+}
+
+/// A per-worker index range over the frontier, claimable from the front
+/// by its owner and stealable from the back by idle workers.
+struct RangeQueue {
+    range: Mutex<(usize, usize)>,
+}
+
+impl RangeQueue {
+    fn new(lo: usize, hi: usize) -> Self {
+        RangeQueue {
+            range: Mutex::new((lo, hi)),
+        }
+    }
+
+    /// Owner side: claim up to `chunk` indices from the front.
+    fn claim(&self, chunk: usize) -> Option<std::ops::Range<usize>> {
+        let mut r = self.range.lock();
+        if r.0 >= r.1 {
+            return None;
+        }
+        let end = (r.0 + chunk).min(r.1);
+        let claimed = r.0..end;
+        r.0 = end;
+        Some(claimed)
+    }
+
+    /// Thief side: steal the back half of the remaining range.
+    fn steal(&self) -> Option<std::ops::Range<usize>> {
+        let mut r = self.range.lock();
+        let len = r.1.saturating_sub(r.0);
+        if len < 2 {
+            return None; // leave trivial remainders to their owner
+        }
+        let mid = r.0 + len / 2;
+        let stolen = mid..r.1;
+        r.1 = mid;
+        Some(stolen)
+    }
+}
+
+/// Multi-threaded drop-in for [`crate::ModelChecker`].
+///
+/// ```
+/// use ftcolor_checker::{ModelChecker, ParallelModelChecker};
+/// use ftcolor_core::SixColoring;
+/// use ftcolor_model::Topology;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let topo = Topology::cycle(3)?;
+/// let safety = |topo: &Topology, outs: &[Option<_>]| {
+///     topo.first_conflict(outs).map(|(a, b)| format!("{a}-{b}"))
+/// };
+/// let seq = ModelChecker::new(&SixColoring, &topo, vec![0, 1, 2]).explore(safety)?;
+/// let par = ParallelModelChecker::new(&SixColoring, &topo, vec![0, 1, 2])
+///     .with_jobs(4)
+///     .explore(safety)?;
+/// assert_eq!(seq, par); // bit-identical, whatever the thread count
+/// # Ok(())
+/// # }
+/// ```
+pub struct ParallelModelChecker<'a, A: Algorithm> {
+    alg: &'a A,
+    topo: &'a Topology,
+    inputs: Vec<A::Input>,
+    max_configs: usize,
+    jobs: usize,
+}
+
+impl<'a, A: Algorithm + Sync> ParallelModelChecker<'a, A>
+where
+    A::State: Eq + Hash + Send + Sync,
+    A::Reg: Eq + Hash + Send + Sync,
+    A::Output: Eq + Hash + Send + Sync,
+    A::Input: Clone + Sync,
+{
+    /// Creates a checker with the default configuration cap (2,000,000)
+    /// and one worker per available CPU.
+    pub fn new(alg: &'a A, topo: &'a Topology, inputs: Vec<A::Input>) -> Self {
+        ParallelModelChecker {
+            alg,
+            topo,
+            inputs,
+            max_configs: 2_000_000,
+            jobs: default_jobs(),
+        }
+    }
+
+    /// Overrides the configuration cap; exploration beyond it returns a
+    /// truncated (but still sound for the explored part) outcome.
+    pub fn with_max_configs(mut self, cap: usize) -> Self {
+        self.max_configs = cap.max(1);
+        self
+    }
+
+    /// Sets the worker count; `0` means one worker per available CPU.
+    /// The outcome is identical for every value — only wall-clock
+    /// changes.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = if jobs == 0 { default_jobs() } else { jobs };
+        self
+    }
+
+    /// The worker count this checker will use.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Explores the reachable configuration graph with `jobs` workers,
+    /// checking `safety` at every configuration and searching for
+    /// livelock cycles. Output is bit-identical to
+    /// [`crate::ModelChecker::explore`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelCheckError::InputLengthMismatch`] when inputs
+    /// don't match the topology.
+    pub fn explore(
+        &self,
+        safety: impl Fn(&Topology, &[Option<A::Output>]) -> Option<String> + Sync,
+    ) -> Result<ModelCheckOutcome<A::Output>, ModelCheckError> {
+        let g = self.explore_graph(&safety, true)?;
+        let safety_violation = g
+            .first_violation
+            .as_ref()
+            .map(|(id, desc)| SafetyViolation {
+                description: desc.clone(),
+                schedule: schedule_to(&g.parents, *id),
+            });
+        let livelock = find_cycle(&g.edges).map(|(entry, cycle)| LivelockWitness {
+            prefix: schedule_to(&g.parents, entry),
+            cycle,
+        });
+        Ok(ModelCheckOutcome {
+            configs: g.configs,
+            edges: g.edge_count,
+            fully_terminated_configs: g.fully_terminated,
+            safety_violation,
+            livelock,
+            outputs_seen: g.outputs_seen,
+            truncated: g.truncated,
+        })
+    }
+
+    /// Exact worst-case round complexity over all schedules, computed on
+    /// the parallel-explored graph. Identical to
+    /// [`crate::ModelChecker::exact_worst_case`]: `None` when the graph
+    /// is cyclic or exploration was truncated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelCheckError::InputLengthMismatch`] when inputs
+    /// don't match the topology.
+    pub fn exact_worst_case(&self) -> Result<Option<u64>, ModelCheckError> {
+        let g = self.explore_graph(&|_: &Topology, _: &[Option<A::Output>]| None, false)?;
+        if g.truncated {
+            return Ok(None); // truncated: cannot certify
+        }
+        Ok(worst_case_from_graph(&g.edges, self.topo.len()))
+    }
+
+    /// Level-synchronized BFS: parallel expand, canonical sequential
+    /// merge. See the module docs for why this reproduces the
+    /// sequential exploration exactly.
+    fn explore_graph(
+        &self,
+        safety: &(impl Fn(&Topology, &[Option<A::Output>]) -> Option<String> + Sync),
+        track_outputs: bool,
+    ) -> Result<GraphResult<'a, A>, ModelCheckError> {
+        let root = Execution::try_new(self.alg, self.topo, self.inputs.clone())
+            .map_err(|_| ModelCheckError::InputLengthMismatch)?;
+
+        let visited: ShardedMap<ConfigKey<A>> = ShardedMap::new();
+        visited.insert(key_of(&root), 0);
+
+        let mut g = GraphResult {
+            edges: vec![Vec::new()],
+            parents: vec![None],
+            configs: 1,
+            edge_count: 0,
+            fully_terminated: 0,
+            truncated: false,
+            first_violation: None,
+            outputs_seen: Vec::new(),
+            _keep: std::marker::PhantomData,
+        };
+        let mut seen_set: HashSet<A::Output> = HashSet::new();
+
+        let mut frontier: Vec<(usize, Execution<'a, A>)> = vec![(0, root)];
+        while !frontier.is_empty() {
+            // Once the cap has been reached, no node of this or any later
+            // level may expand (the sequential checker would flag each as
+            // truncated) — skip the successor work entirely.
+            let expand = g.configs < self.max_configs;
+            let results = self.expand_level(&frontier, safety, &visited, expand, track_outputs);
+
+            // ---- merge, in ascending node-id order ----
+            let mut next_frontier: Vec<(usize, Execution<'a, A>)> = Vec::new();
+            for ((id, _), result) in frontier.iter().zip(results) {
+                let id = *id;
+                if track_outputs {
+                    for o in result.outputs {
+                        if seen_set.insert(o.clone()) {
+                            g.outputs_seen.push(o);
+                        }
+                    }
+                }
+                if g.first_violation.is_none() {
+                    if let Some(desc) = result.violation {
+                        g.first_violation = Some((id, desc));
+                    }
+                }
+                if result.terminal {
+                    g.fully_terminated += 1;
+                    continue;
+                }
+                if g.configs >= self.max_configs {
+                    g.truncated = true;
+                    continue;
+                }
+                for child in result.children {
+                    let (next_id, set) = match child {
+                        Child::Known(nid, set) => (nid, set),
+                        Child::Fresh(key, set, exec) => match visited.get(&key) {
+                            // Discovered by an earlier node of this level.
+                            Some(nid) => (nid, set),
+                            None => {
+                                let nid = g.edges.len();
+                                visited.insert(key, nid);
+                                g.edges.push(Vec::new());
+                                g.parents.push(Some((id, set.clone())));
+                                next_frontier.push((nid, exec));
+                                g.configs += 1;
+                                (nid, set)
+                            }
+                        },
+                    };
+                    g.edges[id].push((next_id, set));
+                    g.edge_count += 1;
+                }
+            }
+            frontier = next_frontier;
+        }
+        Ok(g)
+    }
+
+    /// The parallel phase: expands every frontier node, returning one
+    /// [`Expansion`] per node *in frontier order*. The visited-set is
+    /// only read here, never written.
+    fn expand_level(
+        &self,
+        frontier: &[(usize, Execution<'a, A>)],
+        safety: &(impl Fn(&Topology, &[Option<A::Output>]) -> Option<String> + Sync),
+        visited: &ShardedMap<ConfigKey<A>>,
+        expand: bool,
+        track_outputs: bool,
+    ) -> Vec<Expansion<'a, A>> {
+        let expand_one = |(_, exec): &(usize, Execution<'a, A>)| -> Expansion<'a, A> {
+            let outputs = if track_outputs {
+                exec.outputs().iter().flatten().cloned().collect()
+            } else {
+                Vec::new()
+            };
+            // The predicate is pure, so evaluating it at configurations
+            // the sequential checker would skip (those after the first
+            // violation) changes nothing observable.
+            let violation = safety(self.topo, exec.outputs());
+            let terminal = exec.all_returned();
+            let mut children = Vec::new();
+            if !terminal && expand {
+                for set in all_nonempty_subsets(exec.working()) {
+                    let mut next = exec.clone();
+                    next.step_with(&set);
+                    let key = key_of(&next);
+                    children.push(match visited.get(&key) {
+                        Some(nid) => Child::Known(nid, set),
+                        None => Child::Fresh(key, set, next),
+                    });
+                }
+            }
+            Expansion {
+                outputs,
+                violation,
+                terminal,
+                children,
+            }
+        };
+
+        let workers = self.jobs.min(frontier.len()).max(1);
+        if workers == 1 {
+            return frontier.iter().map(expand_one).collect();
+        }
+
+        // Per-worker index ranges with back-half stealing: worker w owns
+        // an even slice of the frontier and raids the fullest remaining
+        // range when its own is exhausted.
+        let queues: Vec<RangeQueue> = (0..workers)
+            .map(|w| {
+                let lo = frontier.len() * w / workers;
+                let hi = frontier.len() * (w + 1) / workers;
+                RangeQueue::new(lo, hi)
+            })
+            .collect();
+        let chunk = (frontier.len() / (workers * 8)).max(1);
+
+        let mut results: Vec<Option<Expansion<'a, A>>> =
+            (0..frontier.len()).map(|_| None).collect();
+        let mut parts = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let queues = &queues;
+                    let expand_one = &expand_one;
+                    s.spawn(move |_| {
+                        let mut local: Vec<(usize, Expansion<'a, A>)> = Vec::new();
+                        let mut run = |range: std::ops::Range<usize>| {
+                            for i in range {
+                                local.push((i, expand_one(&frontier[i])));
+                            }
+                        };
+                        loop {
+                            if let Some(range) = queues[w].claim(chunk) {
+                                run(range);
+                                continue;
+                            }
+                            // Own range dry: steal from whoever has the
+                            // most left (scan order fixed, outcome not —
+                            // but results are reassembled by index, so
+                            // scheduling can't leak into the output).
+                            let victim = (0..workers).filter(|&v| v != w).max_by_key(|&v| {
+                                let r = queues[v].range.lock();
+                                r.1.saturating_sub(r.0)
+                            });
+                            match victim.and_then(|v| queues[v].steal()) {
+                                Some(range) => run(range),
+                                None => break,
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("model-check worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("model-check worker panicked");
+
+        for (i, expansion) in parts.drain(..).flatten() {
+            results[i] = Some(expansion);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every frontier index expanded exactly once"))
+            .collect()
+    }
+}
+
+/// One worker per available CPU (at least one).
+pub(crate) fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelChecker;
+    use ftcolor_core::mis::{mis_violation, EagerMis};
+    use ftcolor_core::{FiveColoring, SixColoring};
+
+    fn coloring_safety(
+        palette: u64,
+    ) -> impl Fn(&Topology, &[Option<u64>]) -> Option<String> + Sync {
+        move |topo, outputs| {
+            if let Some((a, b)) = topo.first_conflict(outputs) {
+                return Some(format!("conflict on edge {a}-{b}"));
+            }
+            outputs
+                .iter()
+                .flatten()
+                .find(|&&c| c >= palette)
+                .map(|c| format!("color {c} outside palette"))
+        }
+    }
+
+    fn pair_safety(
+        max_weight: u64,
+    ) -> impl Fn(&Topology, &[Option<ftcolor_core::PairColor>]) -> Option<String> + Sync {
+        move |topo, outputs| {
+            if let Some((a, b)) = topo.first_conflict(outputs) {
+                return Some(format!("conflict on edge {a}-{b}"));
+            }
+            outputs
+                .iter()
+                .flatten()
+                .find(|c| c.weight() > max_weight)
+                .map(|c| format!("color {c} outside palette"))
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_clean_instance() {
+        let topo = Topology::cycle(3).unwrap();
+        let seq = ModelChecker::new(&SixColoring, &topo, vec![0, 1, 2])
+            .explore(pair_safety(2))
+            .unwrap();
+        for jobs in [1, 2, 8] {
+            let par = ParallelModelChecker::new(&SixColoring, &topo, vec![0, 1, 2])
+                .with_jobs(jobs)
+                .explore(pair_safety(2))
+                .unwrap();
+            assert_eq!(seq, par, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_livelock_witness() {
+        let topo = Topology::cycle(3).unwrap();
+        let seq = ModelChecker::new(&FiveColoring, &topo, vec![0, 1, 2])
+            .explore(coloring_safety(5))
+            .unwrap();
+        let par = ParallelModelChecker::new(&FiveColoring, &topo, vec![0, 1, 2])
+            .with_jobs(4)
+            .explore(coloring_safety(5))
+            .unwrap();
+        assert_eq!(seq.livelock, par.livelock);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn matches_sequential_safety_witness_and_worst_case() {
+        let topo = Topology::cycle(4).unwrap();
+        let seq_mc = ModelChecker::new(&EagerMis, &topo, vec![5, 9, 2, 1]);
+        let par_mc = ParallelModelChecker::new(&EagerMis, &topo, vec![5, 9, 2, 1]).with_jobs(3);
+        let seq = seq_mc.explore(mis_violation).unwrap();
+        let par = par_mc.explore(mis_violation).unwrap();
+        assert_eq!(seq.safety_violation, par.safety_violation);
+        assert_eq!(seq, par);
+
+        let topo3 = Topology::cycle(3).unwrap();
+        let seq_w = ModelChecker::new(&SixColoring, &topo3, vec![0, 1, 2])
+            .exact_worst_case()
+            .unwrap();
+        let par_w = ParallelModelChecker::new(&SixColoring, &topo3, vec![0, 1, 2])
+            .with_jobs(4)
+            .exact_worst_case()
+            .unwrap();
+        assert_eq!(seq_w, par_w);
+        assert!(seq_w.is_some());
+    }
+
+    #[test]
+    fn truncation_is_reproduced_exactly() {
+        let topo = Topology::cycle(4).unwrap();
+        for cap in [1, 7, 50, 333] {
+            let seq = ModelChecker::new(&FiveColoring, &topo, vec![0, 1, 2, 3])
+                .with_max_configs(cap)
+                .explore(coloring_safety(5))
+                .unwrap();
+            let par = ParallelModelChecker::new(&FiveColoring, &topo, vec![0, 1, 2, 3])
+                .with_max_configs(cap)
+                .with_jobs(4)
+                .explore(coloring_safety(5))
+                .unwrap();
+            assert!(seq.truncated && par.truncated, "cap={cap}");
+            assert_eq!(seq, par, "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn jobs_zero_means_auto() {
+        let topo = Topology::cycle(3).unwrap();
+        let mc = ParallelModelChecker::new(&SixColoring, &topo, vec![0, 1, 2]).with_jobs(0);
+        assert!(mc.jobs() >= 1);
+    }
+
+    #[test]
+    fn range_queue_claims_and_steals_disjointly() {
+        let q = RangeQueue::new(0, 100);
+        let a = q.claim(10).unwrap();
+        let b = q.steal().unwrap();
+        let c = q.claim(1000).unwrap();
+        assert_eq!(a, 0..10);
+        assert_eq!(b, 55..100);
+        assert_eq!(c, 10..55);
+        assert!(q.claim(1).is_none());
+        assert!(q.steal().is_none());
+    }
+}

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! ftcolor color      --alg alg3 --n 16 --input staircase --sched random --timeline
-//! ftcolor modelcheck --alg alg2 --ids 0,1,2
-//! ftcolor fuzz       --alg alg2 --ids 0,1,2 --generations 200
+//! ftcolor modelcheck --alg alg2 --ids 0,1,2 --jobs 4
+//! ftcolor fuzz       --alg alg2 --ids 0,1,2 --generations 200 --jobs 4
 //! ```
 //!
 //! Subcommands:
@@ -14,7 +14,7 @@
 //!   and report safety/livelock;
 //! * `fuzz` — evolutionary adversarial schedule search.
 
-use ftcolor::checker::{FuzzConfig, ModelChecker, ScheduleFuzzer};
+use ftcolor::checker::{FuzzConfig, ParallelModelChecker, ScheduleFuzzer};
 use ftcolor::model::render::{render_ring_coloring, render_schedule, render_timeline};
 use ftcolor::model::{inputs, Topology};
 use ftcolor::prelude::*;
@@ -58,8 +58,8 @@ ftcolor — wait-free coloring of the asynchronous cycle (PODC 2022 reproduction
 
 USAGE:
   ftcolor color      [--alg A] [--n N | --ids LIST] [--input KIND] [--sched S] [--seed K] [--timeline]
-  ftcolor modelcheck [--alg A] [--ids LIST] [--max-configs M]
-  ftcolor fuzz       [--alg A] [--n N | --ids LIST] [--generations G] [--seed K]
+  ftcolor modelcheck [--alg A] [--ids LIST] [--max-configs M] [--jobs J]
+  ftcolor fuzz       [--alg A] [--n N | --ids LIST] [--generations G] [--seed K] [--jobs J]
 
 FLAGS:
   --alg          alg1 | alg2 | alg2p | alg3 | alg3p    (default alg3)
@@ -72,7 +72,16 @@ FLAGS:
   --timeline     print the step-by-step execution
   --max-configs  exploration cap for modelcheck        (default 2000000)
   --generations  fuzzer generations                    (default 150)
+  --jobs         worker threads; 0 = all CPUs           (default 1)
+                 results are identical for every value
 ";
+
+/// Parses `--jobs` (default 1 worker; `0` means all CPUs downstream).
+fn parse_jobs(opts: &HashMap<String, String>) -> Result<usize, String> {
+    get(opts, "jobs", "1")
+        .parse()
+        .map_err(|e| format!("bad --jobs: {e}"))
+}
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -214,11 +223,14 @@ fn cmd_modelcheck(opts: &HashMap<String, String>) -> Result<(), String> {
     let cap: usize = get(opts, "max-configs", "2000000")
         .parse()
         .map_err(|e| format!("bad --max-configs: {e}"))?;
+    let jobs = parse_jobs(opts)?;
     let topo = Topology::cycle(ids.len()).map_err(|e| e.to_string())?;
 
     macro_rules! check {
         ($alg:expr, $safety:expr) => {{
-            let mc = ModelChecker::new($alg, &topo, ids.clone()).with_max_configs(cap);
+            let mc = ParallelModelChecker::new($alg, &topo, ids.clone())
+                .with_max_configs(cap)
+                .with_jobs(jobs);
             let o = mc.explore($safety).map_err(|e| e.to_string())?;
             println!("{o}");
             if let Some(v) = &o.safety_violation {
@@ -255,10 +267,12 @@ fn cmd_fuzz(opts: &HashMap<String, String>) -> Result<(), String> {
     let generations: usize = get(opts, "generations", "150")
         .parse()
         .map_err(|e| format!("bad --generations: {e}"))?;
+    let jobs = parse_jobs(opts)?;
     let topo = Topology::cycle(ids.len()).map_err(|e| e.to_string())?;
     let config = FuzzConfig {
         generations,
         seed,
+        jobs,
         ..FuzzConfig::default()
     };
 

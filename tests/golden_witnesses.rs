@@ -1,0 +1,131 @@
+//! Golden-witness regression tests.
+//!
+//! The two canonical counterexamples of the reproduction — Algorithm 2's
+//! crash livelock on C3 and EagerMis's adjacent In/In safety violation
+//! on C4 — are committed as JSON fixtures under `tests/fixtures/`. These
+//! tests assert the model checker still finds *exactly* those witnesses
+//! (same schedules, same shape), and that the fixtures replay to the
+//! failure they claim — so a checker regression that silently changes
+//! exploration order, witness minimality, or witness correctness fails
+//! here even if the checker still reports "found".
+//!
+//! To bless a new golden after an *intentional* checker change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_witnesses
+//! ```
+
+use ftcolor::checker::{LivelockWitness, ModelChecker, SafetyViolation};
+use ftcolor::core::mis::{mis_violation, EagerMis};
+use ftcolor::core::FiveColoring;
+use ftcolor::model::{Execution, Topology};
+use std::path::Path;
+
+fn fixture_path(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Loads the fixture, or rewrites it when `UPDATE_GOLDEN` is set.
+fn golden<T: serde::Serialize + serde::Deserialize>(name: &str, current: &T) -> T {
+    let path = fixture_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let json = serde_json::to_string_pretty(&serde_json::to_value(current).unwrap()).unwrap();
+        std::fs::write(&path, json + "\n").unwrap();
+    }
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {path:?} ({e}); run with UPDATE_GOLDEN=1"));
+    serde_json::from_str(&json).unwrap()
+}
+
+fn coloring_safety(topo: &Topology, outs: &[Option<u64>]) -> Option<String> {
+    if let Some((a, b)) = topo.first_conflict(outs) {
+        return Some(format!("conflict on edge {a}-{b}"));
+    }
+    outs.iter()
+        .flatten()
+        .find(|&&c| c > 4)
+        .map(|c| format!("color {c} outside the palette"))
+}
+
+#[test]
+fn alg2_c3_livelock_witness_is_stable() {
+    let topo = Topology::cycle(3).unwrap();
+    let outcome = ModelChecker::new(&FiveColoring, &topo, vec![0, 1, 2])
+        .explore(coloring_safety)
+        .unwrap();
+    let found = outcome.livelock.expect("the C3 livelock must be found");
+    let gold: LivelockWitness = golden("alg2_c3_livelock.json", &found);
+
+    assert_eq!(
+        gold.prefix.len(),
+        found.prefix.len(),
+        "livelock prefix length changed"
+    );
+    assert_eq!(
+        gold.cycle.len(),
+        found.cycle.len(),
+        "livelock cycle length changed"
+    );
+    assert_eq!(gold, found, "the livelock witness itself changed");
+
+    // The fixture must actually BE a livelock: replaying the prefix and
+    // then one full cycle returns the execution to the same
+    // configuration, with some process still working (starved).
+    let mut exec = Execution::new(&FiveColoring, &topo, vec![0, 1, 2]);
+    for set in &gold.prefix {
+        exec.step_with(set);
+    }
+    let states_at_entry: Vec<String> = topo
+        .nodes()
+        .map(|p| format!("{:?}", exec.state(p)))
+        .collect();
+    assert!(!exec.all_returned(), "livelock entry has a working process");
+    for _ in 0..3 {
+        for set in &gold.cycle {
+            exec.step_with(set);
+        }
+        let states_now: Vec<String> = topo
+            .nodes()
+            .map(|p| format!("{:?}", exec.state(p)))
+            .collect();
+        assert_eq!(
+            states_at_entry, states_now,
+            "replaying the cycle must return to the entry configuration"
+        );
+    }
+}
+
+#[test]
+fn eager_mis_c4_violation_witness_is_stable() {
+    let topo = Topology::cycle(4).unwrap();
+    let ids = vec![5u64, 9, 2, 1];
+    let outcome = ModelChecker::new(&EagerMis, &topo, ids.clone())
+        .explore(mis_violation)
+        .unwrap();
+    let found = outcome
+        .safety_violation
+        .expect("the In/In violation must be found");
+    let gold: SafetyViolation = golden("eager_mis_c4_violation.json", &found);
+
+    assert_eq!(
+        gold.schedule.len(),
+        found.schedule.len(),
+        "violation witness length changed (BFS finds the shortest first)"
+    );
+    assert_eq!(
+        gold.description, found.description,
+        "violation kind changed"
+    );
+    assert_eq!(gold, found, "the violation witness itself changed");
+
+    // The fixture must actually reach the violation it describes.
+    let mut exec = Execution::new(&EagerMis, &topo, ids);
+    for set in &gold.schedule {
+        exec.step_with(set);
+    }
+    let v = mis_violation(&topo, exec.outputs())
+        .expect("replaying the witness schedule reproduces the violation");
+    assert_eq!(v, gold.description);
+}

@@ -5,12 +5,37 @@
 
 use ftcolor::checker::chains::ChainAnalysis;
 use ftcolor::model::inputs;
+use ftcolor::model::trace::Trace;
 use ftcolor::prelude::*;
 use proptest::prelude::*;
 
 /// A random ring instance: size, unique ids, schedule seed & density.
 fn instance() -> impl Strategy<Value = (usize, u64, u64)> {
     (3usize..24, 0u64..u64::MAX / 2, 0u64..10_000)
+}
+
+/// A pseudo-random trace over `n` processes, derived from `seed` with a
+/// splitmix-style generator: mixes `All` steps, solos, and arbitrary
+/// subsets (duplicates included — `ActivationSet::of` normalizes).
+fn random_trace(n: usize, len: usize, seed: u64) -> Trace {
+    let mut s = seed;
+    let mut next = move || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        s >> 33
+    };
+    let steps = (0..len)
+        .map(|_| match next() % 4 {
+            0 => ActivationSet::All,
+            1 => ActivationSet::solo(ProcessId(next() as usize % n)),
+            _ => {
+                let k = 1 + next() as usize % n;
+                ActivationSet::of((0..k).map(|_| ProcessId(next() as usize % n)))
+            }
+        })
+        .collect();
+    Trace::new(n, steps)
 }
 
 proptest! {
@@ -216,5 +241,77 @@ proptest! {
         let report = exec.run(RandomSubset::new(schedseed + 1, 0.5), 2_000_000).unwrap();
         prop_assert!(report.all_returned());
         prop_assert!(topo.is_proper_partial_coloring(&report.outputs));
+    }
+
+    #[test]
+    fn trace_json_round_trip_replays_identically(
+        n in 3usize..8,
+        len in 1usize..40,
+        traceseed in 0u64..u64::MAX / 2,
+        idseed in 0u64..10_000,
+    ) {
+        // Serialize → deserialize → replay must reproduce the original
+        // execution configuration-for-configuration, not merely parse.
+        let trace = random_trace(n, len, traceseed);
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&trace, &back);
+
+        let ids = inputs::random_unique(n, (n as u64).pow(3).max(16), idseed);
+        let topo = Topology::cycle(n).unwrap();
+        let mut a = Execution::new(&FiveColoring, &topo, ids.clone());
+        let mut b = Execution::new(&FiveColoring, &topo, ids);
+        for (t, (sa, sb)) in trace.steps().iter().zip(back.steps()).enumerate() {
+            prop_assert_eq!(sa, sb, "deserialized step {} differs", t);
+            a.step_with(sa);
+            b.step_with(sb);
+            prop_assert_eq!(a.outputs(), b.outputs(), "outputs diverged at step {}", t);
+            prop_assert_eq!(a.working(), b.working(), "working set diverged at step {}", t);
+        }
+        for p in topo.nodes() {
+            prop_assert_eq!(a.activation_count(p), b.activation_count(p), "{}", p);
+            prop_assert_eq!(
+                format!("{:?}", a.state(p)),
+                format!("{:?}", b.state(p)),
+                "state of {} diverged after replay", p
+            );
+        }
+    }
+
+    #[test]
+    fn executor_is_deterministic(
+        (n, idseed, schedseed) in instance(),
+    ) {
+        // Same algorithm, topology, inputs, and schedule seed ⇒ the two
+        // runs must pass through identical configuration sequences. This
+        // is the foundation the model checker, the fuzzer, and the trace
+        // format all rest on.
+        let ids = inputs::random_unique(n, 1 << 40, idseed);
+        let topo = Topology::cycle(n).unwrap();
+        let mut a = Execution::new(&FastFiveColoring, &topo, ids.clone());
+        let mut b = Execution::new(&FastFiveColoring, &topo, ids);
+        let mut s1 = RandomSubset::new(schedseed, 0.45);
+        let mut s2 = RandomSubset::new(schedseed, 0.45);
+        for t in 1..=2_000u64 {
+            if a.all_returned() {
+                break;
+            }
+            let set1 = s1.next(t, a.working()).unwrap();
+            let set2 = s2.next(t, b.working()).unwrap();
+            prop_assert_eq!(&set1, &set2, "schedules diverged at t={}", t);
+            a.step_with(&set1);
+            b.step_with(&set2);
+            prop_assert_eq!(a.outputs(), b.outputs(), "outputs diverged at t={}", t);
+            prop_assert_eq!(a.working(), b.working(), "working set diverged at t={}", t);
+        }
+        prop_assert_eq!(a.all_returned(), b.all_returned());
+        for p in topo.nodes() {
+            prop_assert_eq!(a.activation_count(p), b.activation_count(p), "{}", p);
+            prop_assert_eq!(
+                format!("{:?}", a.state(p)),
+                format!("{:?}", b.state(p)),
+                "state of {} diverged", p
+            );
+        }
     }
 }

@@ -1,0 +1,268 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-declaration surface this workspace uses
+//! (`criterion_group!` / `criterion_main!`, `benchmark_group`,
+//! `sample_size`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`) with a simple wall-clock harness: per benchmark it warms
+//! up briefly, takes `sample_size` timed samples, and prints
+//! `time: [min mean max]` in criterion's familiar format.
+//!
+//! When cargo invokes a bench binary in *test* mode (`cargo test
+//! --benches` passes `--test`), every benchmark body runs exactly once
+//! with no timing loop, matching upstream behavior.
+
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterized benchmark, rendered as `name/param`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/param`.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{param}", name.into()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to each benchmark body; [`Bencher::iter`] runs the timing loop.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing one duration per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+
+        // Warm-up: find an iteration count that makes one sample take a
+        // measurable amount of time (~25ms), without spending more than
+        // ~250ms probing.
+        let mut iters = 1u64;
+        let probe_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(25)
+                || probe_start.elapsed() >= Duration::from_millis(250)
+            {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        self.iters_per_sample = iters;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo passes `--test` when benches run under `cargo test`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group("");
+        g.sample_size(100);
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = self.full_id(&id.into().id);
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        report(&full, &b);
+        self
+    }
+
+    /// Benchmarks `f(input)` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (upstream renders summary plots here; we don't).
+    pub fn finish(self) {}
+
+    fn full_id(&self, id: &str) -> String {
+        if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{id}", self.name)
+        }
+    }
+}
+
+fn report(id: &str, b: &Bencher) {
+    if b.test_mode {
+        println!("Testing {id} ... ok");
+        return;
+    }
+    if b.samples.is_empty() {
+        println!("{id}: no samples (Bencher::iter never called)");
+        return;
+    }
+    let per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / b.iters_per_sample as f64)
+        .collect();
+    let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().copied().fold(0.0f64, f64::max);
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "{id:<40} time:   [{} {} {}]",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max)
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+/// Declares a group runner: `criterion_group!(benches, f1, f2)` defines
+/// `fn benches()` that runs each `fi(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_smoke() {
+        let mut c = Criterion { test_mode: true };
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        let mut runs = 0;
+        g.bench_function("direct", |b| b.iter(|| runs += 1));
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+        assert_eq!(runs, 1, "test mode runs the body exactly once");
+    }
+
+    #[test]
+    fn timing_mode_collects_samples() {
+        let mut c = Criterion { test_mode: false };
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(5);
+        g.bench_function("spin", |b| b.iter(|| black_box((0..100u64).sum::<u64>())));
+        g.finish();
+    }
+}

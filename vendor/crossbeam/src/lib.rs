@@ -1,0 +1,104 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` — the only crossbeam API this
+//! workspace uses — implemented on top of `std::thread::scope` (stable
+//! since 1.63). The signature mirrors crossbeam's: the closure receives
+//! `&Scope`, spawned closures receive `&Scope` again (so they can spawn
+//! siblings), and `scope` returns `thread::Result<R>`. `std`'s scope
+//! re-raises any panic from a thread that was never `join`ed when the
+//! scope closes; catching that unwind reproduces crossbeam's "`Err` iff
+//! an unobserved child panicked" contract.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads.
+pub mod thread {
+    /// Result of a scope or a joined thread: `Err` carries a panic payload.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Handle for spawning threads tied to the enclosing scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Owned handle to one spawned thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread that may borrow from the enclosing scope. The
+        /// closure receives the scope again, so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload if it panicked).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined
+    /// before this returns. Returns `Err` if an unjoined thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[test]
+        fn spawn_and_join_borrowing_locals() {
+            let data = [1u64, 2, 3, 4];
+            let total = AtomicU64::new(0);
+            let result = scope(|s| {
+                let mut handles = Vec::new();
+                for chunk in data.chunks(2) {
+                    handles.push(s.spawn(|_| chunk.iter().sum::<u64>()));
+                }
+                for h in handles {
+                    total.fetch_add(h.join().unwrap(), Ordering::Relaxed);
+                }
+                42
+            });
+            assert_eq!(result.unwrap(), 42);
+            assert_eq!(total.load(Ordering::Relaxed), 10);
+        }
+
+        #[test]
+        fn nested_spawn_from_child() {
+            let result = scope(|s| {
+                s.spawn(|s2| s2.spawn(|_| 7u32).join().unwrap())
+                    .join()
+                    .unwrap()
+            });
+            assert_eq!(result.unwrap(), 7);
+        }
+
+        #[test]
+        fn unjoined_panic_surfaces_as_err() {
+            let result = scope(|s| {
+                s.spawn::<_, ()>(|_| panic!("child panic"));
+            });
+            assert!(result.is_err());
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of upstream serde's visitor-based data model, this shim uses a
+//! concrete [`Value`] tree: [`Serialize`] renders a type into a `Value`
+//! and [`Deserialize`] rebuilds it from one. The companion `serde_json`
+//! shim converts `Value` to and from JSON text using the same conventions
+//! as upstream (`externally tagged` enums, objects for named structs,
+//! transparent newtypes), so JSON produced by the real crates parses here
+//! and vice versa for the shapes this workspace uses.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A parsed/serializable JSON-like value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; a vec of pairs so field order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, kept in the widest lossless representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Anything with a fraction or exponent.
+    Float(f64),
+}
+
+/// Error raised when a [`Value`] does not match the expected shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` into the [`Value`] data model.
+pub trait Serialize {
+    /// The value-model encoding of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuilds `Self` from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parses `Self` out of `v`, or explains why the shape is wrong.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ------------------------------------------------------------ Value helpers
+// (used by the serde_derive shim's generated code)
+
+/// Borrowed view of an object's fields with by-name lookup.
+pub struct ObjectRef<'a>(&'a [(String, Value)]);
+
+const NULL: Value = Value::Null;
+
+impl<'a> ObjectRef<'a> {
+    /// The field named `name`; absent fields read as `Null` so that
+    /// `Option` fields tolerate omission.
+    pub fn field(&self, name: &str, ty: &str) -> Result<&'a Value, Error> {
+        let _ = ty;
+        Ok(self
+            .0
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap_or(&NULL))
+    }
+}
+
+impl Value {
+    /// Asserts this value is `null` (unit structs).
+    pub fn expect_null(&self, ty: &str) -> Result<(), Error> {
+        match self {
+            Value::Null => Ok(()),
+            other => Err(Error::custom(format!(
+                "expected null for {ty}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asserts this value is an array of exactly `n` elements.
+    pub fn expect_array(&self, n: usize, ty: &str) -> Result<&[Value], Error> {
+        match self {
+            Value::Array(items) if items.len() == n => Ok(items),
+            Value::Array(items) => Err(Error::custom(format!(
+                "expected {n} elements for {ty}, got {}",
+                items.len()
+            ))),
+            other => Err(Error::custom(format!(
+                "expected an array for {ty}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asserts this value is an object.
+    pub fn expect_object(&self, ty: &str) -> Result<ObjectRef<'_>, Error> {
+        match self {
+            Value::Object(pairs) => Ok(ObjectRef(pairs)),
+            other => Err(Error::custom(format!(
+                "expected an object for {ty}, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ------------------------------------------------------------ primitive impls
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(Number::PosInt(n)) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} overflows {}", stringify!($t)))),
+                    other => Err(Error::custom(format!(
+                        "expected a non-negative integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self < 0 {
+                    Value::Number(Number::NegInt(*self as i64))
+                } else {
+                    Value::Number(Number::PosInt(*self as u64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: i128 = match v {
+                    Value::Number(Number::PosInt(n)) => *n as i128,
+                    Value::Number(Number::NegInt(n)) => *n as i128,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected an integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!("{wide} overflows {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(Number::Float(x)) => Ok(*x),
+            Value::Number(Number::PosInt(n)) => Ok(*n as f64),
+            Value::Number(Number::NegInt(n)) => Ok(*n as f64),
+            other => Err(Error::custom(format!("expected a number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected a bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected a string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected an array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.expect_array(2, "2-tuple")?;
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.expect_array(3, "3-tuple")?;
+        Ok((
+            A::from_value(&items[0])?,
+            B::from_value(&items[1])?,
+            C::from_value(&items[2])?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        for n in [0u64, 1, u64::MAX] {
+            assert_eq!(u64::from_value(&n.to_value()).unwrap(), n);
+        }
+        for n in [i64::MIN, -1, 0, i64::MAX] {
+            assert_eq!(i64::from_value(&n.to_value()).unwrap(), n);
+        }
+        assert_eq!(
+            Option::<u32>::from_value(&None::<u32>.to_value()).unwrap(),
+            None
+        );
+        assert_eq!(
+            Vec::<u8>::from_value(&vec![1u8, 2, 3].to_value()).unwrap(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(
+            String::from_value(&"hi".to_value()).unwrap(),
+            "hi".to_string()
+        );
+    }
+
+    #[test]
+    fn missing_object_field_reads_as_null() {
+        let v = Value::Object(vec![("a".into(), Value::Bool(true))]);
+        let obj = v.expect_object("T").unwrap();
+        assert_eq!(obj.field("b", "T").unwrap(), &Value::Null);
+        assert_eq!(
+            Option::<bool>::from_value(obj.field("b", "T").unwrap()).unwrap(),
+            None
+        );
+    }
+}

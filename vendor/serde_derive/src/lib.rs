@@ -1,0 +1,391 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde` crate's value-model `Serialize` /
+//! `Deserialize` traits for the shapes this workspace actually uses:
+//! unit / tuple / named-field structs and enums whose variants are unit,
+//! tuple, or named-field — all without generics and without `#[serde]`
+//! attributes. The JSON encoding mirrors upstream serde's externally
+//! tagged defaults (named struct → object, newtype → inner value, unit
+//! variant → string, data variant → single-key object).
+//!
+//! Parsing is done directly on the token stream (no `syn`/`quote`,
+//! which are unavailable offline); unsupported shapes produce a
+//! `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return format!("compile_error!({msg:?});").parse().unwrap(),
+    };
+    let code = match (&item, mode) {
+        (Item::Struct { name, fields }, Mode::Serialize) => struct_ser(name, fields),
+        (Item::Struct { name, fields }, Mode::Deserialize) => struct_de(name, fields),
+        (Item::Enum { name, variants }, Mode::Serialize) => enum_ser(name, variants),
+        (Item::Enum { name, variants }, Mode::Deserialize) => enum_de(name, variants),
+    };
+    code.parse().unwrap()
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected a type name, got {other:?}")),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim: generic type `{name}` is not supported by the offline derive"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unsupported struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("expected `struct` or `enum`, got `{other}`")),
+    }
+}
+
+fn skip_attrs_and_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    toks.next(); // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skips a type (field type position) up to a top-level `,`, tracking
+/// angle-bracket depth so `HashMap<K, V>` commas don't end the field.
+fn skip_type(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth = 0i32;
+    while let Some(tt) = toks.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                toks.next();
+                return;
+            }
+            _ => {}
+        }
+        toks.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        match toks.next() {
+            None => return Ok(fields),
+            Some(TokenTree::Ident(i)) => {
+                fields.push(i.to_string());
+                match toks.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => skip_type(&mut toks),
+                    other => return Err(format!("expected `:` after field, got {other:?}")),
+                }
+            }
+            other => return Err(format!("expected a field name, got {other:?}")),
+        }
+    }
+}
+
+/// Counts the comma-separated types of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(ref p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(ref p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(ref p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    count + usize::from(saw_tokens)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected a variant name, got {other:?}")),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream())?;
+                toks.next();
+                Fields::Named(f)
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err("serde shim: explicit enum discriminants are not supported".into());
+        }
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn struct_ser(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => {
+            let items: Vec<String> = names
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", items.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{
+            fn to_value(&self) -> ::serde::Value {{ {body} }}
+        }}"
+    )
+}
+
+fn struct_de(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("{{ __v.expect_null({name:?})?; Ok({name}) }}"),
+        Fields::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "{{ let __a = __v.expect_array({n}, {name:?})?; Ok({name}({})) }}",
+                items.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let items: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(__o.field({f:?}, {name:?})?)?")
+                })
+                .collect();
+            format!(
+                "{{ let __o = __v.expect_object({name:?})?; Ok({name} {{ {} }}) }}",
+                items.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{
+            fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{ {body} }}
+        }}"
+    )
+}
+
+fn enum_ser(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                Fields::Unit => format!(
+                    "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),"
+                ),
+                Fields::Tuple(1) => format!(
+                    "{name}::{vn}(__f0) => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Serialize::to_value(__f0))]),"
+                ),
+                Fields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                        .collect();
+                    format!(
+                        "{name}::{vn}({}) => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Value::Array(vec![{}]))]),",
+                        binds.join(", "),
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let items: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))"))
+                        .collect();
+                    format!(
+                        "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Value::Object(vec![{}]))]),",
+                        items.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{
+            fn to_value(&self) -> ::serde::Value {{ match self {{ {} }} }}
+        }}",
+        arms.join("\n")
+    )
+}
+
+fn enum_de(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| format!("{:?} => return Ok({name}::{}),", v.name, v.name))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                Fields::Unit => None,
+                Fields::Tuple(1) => Some(format!(
+                    "{vn:?} => return Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),"
+                )),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "{vn:?} => {{ let __a = __inner.expect_array({n}, {name:?})?; return Ok({name}::{vn}({})); }}",
+                        items.join(", ")
+                    ))
+                }
+                Fields::Named(fields) => {
+                    let items: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: ::serde::Deserialize::from_value(__fo.field({f:?}, {name:?})?)?")
+                        })
+                        .collect();
+                    Some(format!(
+                        "{vn:?} => {{ let __fo = __inner.expect_object({name:?})?; return Ok({name}::{vn} {{ {} }}); }}",
+                        items.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{
+            fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{
+                match __v {{
+                    ::serde::Value::String(__s) => {{
+                        match __s.as_str() {{ {units} _ => {{}} }}
+                        Err(::serde::Error::custom(format!(\"unknown {name} variant {{__s}}\")))
+                    }}
+                    ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{
+                        let (__tag, __inner) = (&__pairs[0].0, &__pairs[0].1);
+                        match __tag.as_str() {{ {datas} _ => {{}} }}
+                        Err(::serde::Error::custom(format!(\"unknown {name} variant {{__tag}}\")))
+                    }}
+                    __other => Err(::serde::Error::custom(format!(\"expected a {name} variant, got {{__other:?}}\"))),
+                }}
+            }}
+        }}",
+        units = unit_arms.join("\n"),
+        datas = data_arms.join("\n"),
+    )
+}
