@@ -84,6 +84,9 @@ pub struct FuzzReport {
     pub best_schedule: Vec<ActivationSet>,
     /// Safety-violation description, if the predicate ever fired.
     pub safety_violation: Option<String>,
+    /// The genome whose replay produced [`FuzzReport::safety_violation`]
+    /// — a replayable witness suitable for the counterexample shrinker.
+    pub violating_schedule: Option<Vec<ActivationSet>>,
     /// Total executions evaluated.
     pub evaluated: u64,
 }
@@ -287,7 +290,9 @@ where
             let mut scored: Vec<(u64, Vec<ActivationSet>)> = Vec::with_capacity(genomes.len());
             for (g, (s, v)) in genomes.into_iter().zip(results) {
                 if first_violation.is_none() {
-                    first_violation = v;
+                    if let Some(v) = v {
+                        first_violation = Some((v, g.clone()));
+                    }
                 }
                 scored.push((s, g));
             }
@@ -319,10 +324,15 @@ where
                 population.push(child);
             }
         }
+        let (safety_violation, violating_schedule) = match first_violation {
+            Some((v, g)) => (Some(v), Some(g)),
+            None => (None, None),
+        };
         FuzzReport {
             best_score: best.0,
             best_schedule: best.1,
-            safety_violation: first_violation,
+            safety_violation,
+            violating_schedule,
             evaluated,
         }
     }
@@ -436,6 +446,13 @@ mod tests {
             report.safety_violation.is_some(),
             "fuzzer should stumble on the EagerMis In/In violation"
         );
+        // The reported genome is a replayable witness of that violation.
+        let genome = report.violating_schedule.expect("violating genome");
+        let mut exec = Execution::new(&EagerMis, &topo, vec![5, 9, 2, 1]);
+        for set in &genome {
+            exec.step_with(set);
+        }
+        assert!(mis_violation(&topo, exec.outputs()).is_some());
     }
 
     #[test]
@@ -464,6 +481,10 @@ mod tests {
             assert_eq!(seq.best_schedule, par.best_schedule, "jobs={jobs}");
             assert_eq!(seq.evaluated, par.evaluated, "jobs={jobs}");
             assert_eq!(seq.safety_violation, par.safety_violation, "jobs={jobs}");
+            assert_eq!(
+                seq.violating_schedule, par.violating_schedule,
+                "jobs={jobs}"
+            );
         }
     }
 }

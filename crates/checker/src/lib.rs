@@ -21,6 +21,9 @@
 //! * [`adversary`] — a randomized schedule fuzzer for instances beyond
 //!   exhaustive reach: evolves activation-set genomes toward starvation
 //!   or safety violations;
+//! * [`shrink`] — a deterministic delta-debugging shrinker that reduces
+//!   witness schedules (safety violations, livelocks, bound overruns) to
+//!   locally minimal replayable form, with parallel candidate replay;
 //! * [`stats`] — small summary statistics for the experiment harness;
 //! * [`ssb`] — the strong-symmetry-breaking reduction of Property 2.1,
 //!   used to exhibit why MIS is not wait-free solvable.
@@ -33,6 +36,7 @@ pub mod chains;
 pub mod invariants;
 pub mod modelcheck;
 pub mod parallel;
+pub mod shrink;
 pub mod ssb;
 pub mod stats;
 
@@ -41,4 +45,5 @@ pub use chains::ChainAnalysis;
 pub use invariants::{check_coloring_report, ColoringCheck};
 pub use modelcheck::{LivelockWitness, ModelCheckOutcome, ModelChecker, SafetyViolation};
 pub use parallel::ParallelModelChecker;
+pub use shrink::{ShrinkStats, Shrinker, ShrunkLivelock, ShrunkSchedule, Witness, WitnessFixture};
 pub use stats::Summary;

@@ -7,6 +7,9 @@
 //! debugging adversarial counterexamples found by the model checker and
 //! for persisting interesting executions as JSON.
 
+use crate::algorithm::Algorithm;
+use crate::executor::Execution;
+use crate::graph::Topology;
 use crate::ids::ProcessId;
 use crate::ids::Time;
 use crate::schedule::{ActivationSet, FixedSequence, Schedule};
@@ -43,6 +46,33 @@ impl Trace {
     /// The recorded activation sets.
     pub fn steps(&self) -> &[ActivationSet] {
         &self.steps
+    }
+
+    /// Consumes the trace, yielding its activation sets.
+    pub fn into_steps(self) -> Vec<ActivationSet> {
+        self.steps
+    }
+
+    /// Replays `sets` on a fresh execution of `alg` and records the
+    /// *resolved* activation sets — the canonical form of a schedule:
+    /// every step an explicit sorted [`ActivationSet::Only`] listing
+    /// exactly the processes the executor activated (symbolic `All`
+    /// steps materialized, returned/absent processes filtered out).
+    /// Replaying the result reproduces the same execution
+    /// configuration-for-configuration; the counterexample shrinker
+    /// normalizes witnesses through this before minimizing them.
+    pub fn recorded_from<A: Algorithm>(
+        alg: &A,
+        topo: &Topology,
+        inputs: Vec<A::Input>,
+        sets: &[ActivationSet],
+    ) -> Trace {
+        let mut exec = Execution::new(alg, topo, inputs);
+        exec.record_trace(true);
+        for set in sets {
+            exec.step_with(set);
+        }
+        exec.into_trace()
     }
 
     /// Total number of (process, step) activation slots in the trace.

@@ -11,10 +11,18 @@
 //! * `color` — run a coloring algorithm on a ring and print the result
 //!   (optionally as a step-by-step timeline);
 //! * `modelcheck` — exhaustively explore every schedule on a small ring
-//!   and report safety/livelock;
-//! * `fuzz` — evolutionary adversarial schedule search.
+//!   and report safety/livelock (witnesses are delta-debugged before
+//!   being surfaced);
+//! * `fuzz` — evolutionary adversarial schedule search (violating
+//!   genomes are likewise shrunk);
+//! * `shrink` — delta-debug a witness file to locally minimal form.
 
-use ftcolor::checker::{FuzzConfig, ParallelModelChecker, ScheduleFuzzer};
+use ftcolor::checker::shrink::WITNESS_SCHEMA;
+use ftcolor::checker::{
+    FuzzConfig, LivelockWitness, ParallelModelChecker, SafetyViolation, ScheduleFuzzer, Shrinker,
+    Witness, WitnessFixture,
+};
+use ftcolor::core::mis::{mis_violation, EagerMis};
 use ftcolor::model::render::{render_ring_coloring, render_schedule, render_timeline};
 use ftcolor::model::{inputs, Topology};
 use ftcolor::prelude::*;
@@ -38,6 +46,7 @@ fn main() -> ExitCode {
         "color" => cmd_color(&opts),
         "modelcheck" => cmd_modelcheck(&opts),
         "fuzz" => cmd_fuzz(&opts),
+        "shrink" => cmd_shrink(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -60,9 +69,11 @@ USAGE:
   ftcolor color      [--alg A] [--n N | --ids LIST] [--input KIND] [--sched S] [--seed K] [--timeline]
   ftcolor modelcheck [--alg A] [--ids LIST] [--max-configs M] [--jobs J]
   ftcolor fuzz       [--alg A] [--n N | --ids LIST] [--generations G] [--seed K] [--jobs J]
+  ftcolor shrink     --in FILE [--out FILE] [--alg A] [--ids LIST] [--bound B] [--jobs J]
 
 FLAGS:
   --alg          alg1 | alg2 | alg2p | alg3 | alg3p    (default alg3)
+                 (shrink also accepts eagermis)
   --n            ring size (with --input)              (default 8)
   --ids          explicit identifiers, e.g. 5,11,7
   --input        staircase | staircase-poly | random | alternating | organ-pipe
@@ -74,6 +85,12 @@ FLAGS:
   --generations  fuzzer generations                    (default 150)
   --jobs         worker threads; 0 = all CPUs           (default 1)
                  results are identical for every value
+  --in           shrink input: a witness fixture ({schema, alg, ids, raw,
+                 shrunk}), a bare safety violation ({description, schedule}),
+                 a bare livelock witness ({prefix, cycle}), or a trace
+                 ({n, steps}); fixtures carry --alg/--ids themselves
+  --out          write the shrunk result as a witness fixture JSON
+  --bound        shrink a trace as an activation-bound overrun (> B)
 ";
 
 /// Parses `--jobs` (default 1 worker; `0` means all CPUs downstream).
@@ -228,20 +245,38 @@ fn cmd_modelcheck(opts: &HashMap<String, String>) -> Result<(), String> {
 
     macro_rules! check {
         ($alg:expr, $safety:expr) => {{
+            let safety = $safety;
             let mc = ParallelModelChecker::new($alg, &topo, ids.clone())
                 .with_max_configs(cap)
                 .with_jobs(jobs);
-            let o = mc.explore($safety).map_err(|e| e.to_string())?;
+            let o = mc.explore(&safety).map_err(|e| e.to_string())?;
             println!("{o}");
+            let sh = Shrinker::new($alg, &topo, ids.clone()).with_jobs(jobs);
             if let Some(v) = &o.safety_violation {
                 println!("safety violation: {}", v.description);
                 println!("{}", render_schedule(&v.schedule));
+                if let Some(s) = sh.shrink_safety(&v.schedule, &safety) {
+                    println!(
+                        "shrunk witness ({} -> {} activation slots, {} replays):",
+                        s.stats.original_slots, s.stats.shrunk_slots, s.stats.replays
+                    );
+                    println!("{}", render_schedule(&s.schedule));
+                }
             }
             if let Some(lw) = &o.livelock {
                 println!("livelock witness (prefix then repeat cycle):");
                 println!("{}", render_schedule(&lw.prefix));
                 println!("-- cycle --");
                 println!("{}", render_schedule(&lw.cycle));
+                if let Some(s) = sh.shrink_livelock(lw) {
+                    println!(
+                        "shrunk witness ({} -> {} activation slots, {} replays):",
+                        s.stats.original_slots, s.stats.shrunk_slots, s.stats.replays
+                    );
+                    println!("{}", render_schedule(&s.witness.prefix));
+                    println!("-- cycle --");
+                    println!("{}", render_schedule(&s.witness.cycle));
+                }
             }
         }};
     }
@@ -288,8 +323,18 @@ fn cmd_fuzz(opts: &HashMap<String, String>) -> Result<(), String> {
                 println!("starvation found! best schedule:");
                 println!("{}", render_schedule(&report.best_schedule));
             }
-            if let Some(v) = report.safety_violation {
+            if let Some(v) = &report.safety_violation {
                 println!("SAFETY VIOLATION: {v}");
+                if let Some(genome) = &report.violating_schedule {
+                    let sh = Shrinker::new($alg, &topo, ids.clone()).with_jobs(jobs);
+                    if let Some(s) = sh.shrink_safety(genome, &coloring_safety) {
+                        println!(
+                            "shrunk witness ({} -> {} activation slots, {} replays):",
+                            s.stats.original_slots, s.stats.shrunk_slots, s.stats.replays
+                        );
+                        println!("{}", render_schedule(&s.schedule));
+                    }
+                }
             }
         }};
     }
@@ -299,6 +344,236 @@ fn cmd_fuzz(opts: &HashMap<String, String>) -> Result<(), String> {
         "alg3" => fuzz!(&FastFiveColoring),
         "alg3p" => fuzz!(&FastFiveColoringPatched),
         other => return Err(format!("unknown --alg `{other}`")),
+    }
+    Ok(())
+}
+
+/// What `--in` turned out to hold: a ready witness, or a bare schedule
+/// (trace) whose violation class is determined by `--bound`/the
+/// algorithm's safety predicate.
+enum ShrinkInput {
+    Witness(Witness),
+    Schedule(Vec<ActivationSet>),
+}
+
+fn cmd_shrink(opts: &HashMap<String, String>) -> Result<(), String> {
+    let path = opts.get("in").ok_or("shrink needs --in <file>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value: serde::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path} is not JSON: {e}"))?;
+    let serde::Value::Object(pairs) = &value else {
+        return Err(format!("{path} must hold a JSON object"));
+    };
+    let has = |k: &str| pairs.iter().any(|(key, _)| key == k);
+
+    // Shape-detect the four accepted formats; fixtures are
+    // self-describing, everything else takes --alg/--ids from the flags.
+    let (alg_name, ids, input) = if has("schema") {
+        let fx: WitnessFixture = serde_json::from_value(value.clone())
+            .map_err(|e| format!("{path} is not a witness fixture: {e}"))?;
+        (fx.alg, fx.ids, ShrinkInput::Witness(fx.raw))
+    } else {
+        let alg = get(opts, "alg", "alg2").to_string();
+        let ids = parse_ids(opts)?;
+        let input = if has("description") {
+            let v: SafetyViolation = serde_json::from_value(value.clone())
+                .map_err(|e| format!("{path} is not a safety violation: {e}"))?;
+            ShrinkInput::Witness(Witness::Safety(v))
+        } else if has("prefix") {
+            let lw: LivelockWitness = serde_json::from_value(value.clone())
+                .map_err(|e| format!("{path} is not a livelock witness: {e}"))?;
+            ShrinkInput::Witness(Witness::Livelock(lw))
+        } else if has("steps") {
+            let tr: Trace = serde_json::from_value(value.clone())
+                .map_err(|e| format!("{path} is not a trace: {e}"))?;
+            ShrinkInput::Schedule(tr.into_steps())
+        } else {
+            return Err(format!(
+                "{path}: unrecognized witness shape (expected a fixture, a safety \
+                 violation, a livelock witness, or a trace)"
+            ));
+        };
+        (alg, ids, input)
+    };
+
+    let jobs = parse_jobs(opts)?;
+    let bound: Option<u64> = match opts.get("bound") {
+        Some(b) => Some(b.parse().map_err(|e| format!("bad --bound: {e}"))?),
+        None => None,
+    };
+    let out = opts.get("out").map(String::as_str);
+
+    match alg_name.as_str() {
+        "alg1" => shrink_and_report(
+            &SixColoring,
+            &alg_name,
+            &ids,
+            jobs,
+            bound,
+            &input,
+            out,
+            |t: &Topology, o: &[Option<PairColor>]| {
+                t.first_conflict(o)
+                    .map(|(a, b)| format!("conflict {a}-{b}"))
+            },
+        ),
+        "alg2" => shrink_and_report(
+            &FiveColoring,
+            &alg_name,
+            &ids,
+            jobs,
+            bound,
+            &input,
+            out,
+            coloring_safety,
+        ),
+        "alg2p" => shrink_and_report(
+            &FiveColoringPatched,
+            &alg_name,
+            &ids,
+            jobs,
+            bound,
+            &input,
+            out,
+            coloring_safety,
+        ),
+        "alg3" => shrink_and_report(
+            &FastFiveColoring,
+            &alg_name,
+            &ids,
+            jobs,
+            bound,
+            &input,
+            out,
+            coloring_safety,
+        ),
+        "alg3p" => shrink_and_report(
+            &FastFiveColoringPatched,
+            &alg_name,
+            &ids,
+            jobs,
+            bound,
+            &input,
+            out,
+            coloring_safety,
+        ),
+        "eagermis" => shrink_and_report(
+            &EagerMis,
+            &alg_name,
+            &ids,
+            jobs,
+            bound,
+            &input,
+            out,
+            mis_violation,
+        ),
+        other => Err(format!("unknown --alg `{other}`")),
+    }
+}
+
+/// Shrinks `input` on `alg`, prints the minimal witness, replay-verifies
+/// it, and optionally writes a schema-v2 fixture to `out`.
+#[allow(clippy::too_many_arguments)]
+fn shrink_and_report<A>(
+    alg: &A,
+    alg_name: &str,
+    ids: &[u64],
+    jobs: usize,
+    bound: Option<u64>,
+    input: &ShrinkInput,
+    out: Option<&str>,
+    safety: impl Fn(&Topology, &[Option<A::Output>]) -> Option<String> + Sync,
+) -> Result<(), String>
+where
+    A: Algorithm<Input = u64> + Sync,
+    A::State: Eq,
+    A::Reg: Eq,
+    A::Output: Eq,
+{
+    let topo = Topology::cycle(ids.len()).map_err(|e| e.to_string())?;
+    let sh = Shrinker::new(alg, &topo, ids.to_vec()).with_jobs(jobs);
+    let (raw, shrunk, stats) = match input {
+        ShrinkInput::Witness(w) => {
+            let (s, stats) = sh.shrink_witness(w, &safety).ok_or(
+                "input witness does not reproduce its violation class on this \
+                 instance (check --alg/--ids)",
+            )?;
+            (w.clone(), s, stats)
+        }
+        ShrinkInput::Schedule(steps) => match bound {
+            Some(b) => {
+                let s = sh
+                    .shrink_overrun(steps, b)
+                    .ok_or(format!("trace never exceeds the bound {b}"))?;
+                let desc = format!("activation bound overrun (> {b})");
+                (
+                    Witness::Safety(SafetyViolation {
+                        description: desc.clone(),
+                        schedule: steps.clone(),
+                    }),
+                    Witness::Safety(SafetyViolation {
+                        description: desc,
+                        schedule: s.schedule,
+                    }),
+                    s.stats,
+                )
+            }
+            None => {
+                let s = sh.shrink_safety(steps, &safety).ok_or(
+                    "trace does not reproduce a safety violation (pass --bound to \
+                     shrink an activation-bound overrun instead)",
+                )?;
+                let desc = s.description.clone().unwrap_or_default();
+                (
+                    Witness::Safety(SafetyViolation {
+                        description: desc.clone(),
+                        schedule: steps.clone(),
+                    }),
+                    Witness::Safety(SafetyViolation {
+                        description: desc,
+                        schedule: s.schedule,
+                    }),
+                    s.stats,
+                )
+            }
+        },
+    };
+    // Independent replay check of the shrunk form (overrun witnesses are
+    // outside `reproduces`' two classes; shrink_overrun verified them).
+    if bound.is_none() && !sh.reproduces(&shrunk, &safety) {
+        return Err("internal error: shrunk witness failed replay verification".into());
+    }
+    let class = match &shrunk {
+        Witness::Safety(_) => "safety",
+        Witness::Livelock(_) => "livelock",
+    };
+    println!("class: {class}");
+    println!(
+        "activation slots: {} -> {} ({} candidate replays)",
+        stats.original_slots, stats.shrunk_slots, stats.replays
+    );
+    match &shrunk {
+        Witness::Safety(v) => {
+            println!("description: {}", v.description);
+            println!("{}", render_schedule(&v.schedule));
+        }
+        Witness::Livelock(lw) => {
+            println!("{}", render_schedule(&lw.prefix));
+            println!("-- cycle --");
+            println!("{}", render_schedule(&lw.cycle));
+        }
+    }
+    if let Some(out) = out {
+        let fixture = WitnessFixture {
+            schema: WITNESS_SCHEMA.to_string(),
+            alg: alg_name.to_string(),
+            ids: ids.to_vec(),
+            raw,
+            shrunk,
+        };
+        let json = serde_json::to_string_pretty(&fixture).map_err(|e| e.to_string())?;
+        std::fs::write(out, json + "\n").map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote {out}");
     }
     Ok(())
 }

@@ -78,6 +78,110 @@ fn fuzz_runs_and_reports() {
 }
 
 #[test]
+fn modelcheck_prints_a_shrunk_witness() {
+    let (stdout, _, ok) = run(&[
+        "modelcheck",
+        "--alg",
+        "alg2",
+        "--ids",
+        "0,1,2",
+        "--jobs",
+        "2",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("shrunk witness"), "{stdout}");
+    assert!(stdout.contains("-- cycle --"), "{stdout}");
+}
+
+#[test]
+fn shrink_round_trips_through_the_fixture_format() {
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/eager_mis_c4_violation.json"
+    );
+    let dir = std::env::temp_dir().join(format!("ftcolor-shrink-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let min1 = dir.join("min1.json");
+    let min2 = dir.join("min2.json");
+
+    // Shrink the committed fixture (self-describing: no --alg/--ids).
+    let (stdout, stderr, ok) = run(&["shrink", "--in", fixture, "--out", min1.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("class: safety"), "{stdout}");
+    assert!(stdout.contains("activation slots:"), "{stdout}");
+
+    // The output is itself valid shrink input at a different --jobs
+    // value, and re-shrinking is a no-op (idempotent local minimum).
+    let (stdout2, stderr2, ok2) = run(&[
+        "shrink",
+        "--in",
+        min1.to_str().unwrap(),
+        "--out",
+        min2.to_str().unwrap(),
+        "--jobs",
+        "4",
+    ]);
+    assert!(ok2, "{stderr2}");
+    assert!(stdout2.contains("class: safety"), "{stdout2}");
+    let a = std::fs::read_to_string(&min1).unwrap();
+    let b = std::fs::read_to_string(&min2).unwrap();
+    assert_eq!(a, b, "re-shrinking a minimal fixture must be a no-op");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shrink_accepts_bare_witnesses_with_explicit_instance() {
+    let dir = std::env::temp_dir().join(format!("ftcolor-shrink-bare-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bare = dir.join("bare.json");
+    // A bare safety violation (no schema wrapper): the EagerMis In/In
+    // witness, written by hand.
+    std::fs::write(
+        &bare,
+        r#"{"description": "adjacent In/In on edge p0-p1",
+            "schedule": [{"Only": [0]}, {"Only": [1]}, {"Only": [0, 1]}]}"#,
+    )
+    .unwrap();
+    let (stdout, stderr, ok) = run(&[
+        "shrink",
+        "--in",
+        bare.to_str().unwrap(),
+        "--alg",
+        "eagermis",
+        "--ids",
+        "5,9,2,1",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("class: safety"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shrink_rejects_non_reproducing_input() {
+    let dir = std::env::temp_dir().join(format!("ftcolor-shrink-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.json");
+    std::fs::write(
+        &bad,
+        r#"{"description": "nothing", "schedule": [{"Only": [0]}]}"#,
+    )
+    .unwrap();
+    // alg2p never violates safety, so this witness cannot reproduce.
+    let (_, stderr, ok) = run(&[
+        "shrink",
+        "--in",
+        bad.to_str().unwrap(),
+        "--alg",
+        "alg2p",
+        "--ids",
+        "0,1,2",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("does not reproduce"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_flags_fail_gracefully() {
     let (_, stderr, ok) = run(&["color", "--alg", "nope"]);
     assert!(!ok);

@@ -1,8 +1,15 @@
 //! Simulator vs OS-thread substrate: the same algorithm objects run on
 //! both, and every claim that is schedule-independent (safety, palette,
 //! activation bounds) must hold on each.
+//!
+//! The conformance matrix at the bottom drives {Alg1, Alg2-patched} ×
+//! {C5, C8} × {no-crash, 1-crash} × seeds through *both* substrates and
+//! applies one shared invariant oracle to each run — the threaded
+//! runtime with `crash_after` plans gets no weaker checking than the
+//! simulator with `CrashPlan` schedules.
 
 use ftcolor::checker::invariants::{theorem_3_1_bound, theorem_4_4_bound};
+use ftcolor::core::PairColor;
 use ftcolor::model::inputs;
 use ftcolor::prelude::*;
 use ftcolor::runtime::{run_threaded, RunOptions};
@@ -65,6 +72,128 @@ fn general_graph_coloring_on_threads() {
     assert!(thr.all_returned());
     assert!(topo.is_proper_partial_coloring(&thr.outputs));
     assert!(thr.outputs.iter().flatten().all(|c| c.weight() <= 4));
+}
+
+// --------------------------------------------------------------------
+// Conformance suite: one oracle, two substrates.
+// --------------------------------------------------------------------
+
+/// The shared invariant oracle both substrates must satisfy:
+/// * the partial output is a proper coloring;
+/// * every color drawn is inside the algorithm's palette;
+/// * every process that was NOT crashed returned an output (wait-freedom
+///   — crashed processes may or may not have returned before the crash).
+fn conformance_oracle<T: PartialEq + std::fmt::Debug>(
+    label: &str,
+    topo: &Topology,
+    outputs: &[Option<T>],
+    crashed: &[ProcessId],
+    palette_ok: &dyn Fn(&T) -> bool,
+) {
+    assert!(
+        topo.is_proper_partial_coloring(outputs),
+        "{label}: improper partial coloring: {outputs:?}"
+    );
+    for p in topo.nodes() {
+        let out = &outputs[p.index()];
+        if !crashed.contains(&p) {
+            assert!(out.is_some(), "{label}: working process {p} never returned");
+        }
+        if let Some(c) = out {
+            assert!(
+                palette_ok(c),
+                "{label}: {p} colored outside the palette: {c:?}"
+            );
+        }
+    }
+}
+
+/// Runs one (algorithm, instance, crash plan, seed) cell of the matrix
+/// through the simulator (a `CrashPlan` over a seeded random schedule)
+/// and through the OS-thread runtime (`crash_after`), applying
+/// [`conformance_oracle`] to both runs.
+fn conformance_case<A>(
+    alg: &A,
+    name: &str,
+    topo: &Topology,
+    ids: &[u64],
+    seed: u64,
+    crash: Option<(usize, u64)>,
+    palette_ok: &dyn Fn(&A::Output) -> bool,
+) where
+    A: Algorithm<Input = u64> + Sync,
+    A::State: Send,
+    A::Reg: Send + Sync,
+    A::Output: Send + std::fmt::Debug,
+{
+    let n = topo.len();
+    let label = format!(
+        "{name} on C{n} seed {seed} crash {:?}",
+        crash.map(|(p, _)| p)
+    );
+
+    // Simulator substrate.
+    let mut exec = Execution::new(alg, topo, ids.to_vec());
+    let crashes = crash.map(|(p, t)| (ProcessId(p), t + 1));
+    let sched = CrashPlan::new(RandomSubset::new(seed, 0.6), crashes);
+    let report = exec
+        .run(sched, 1_000_000)
+        .unwrap_or_else(|e| panic!("{label} (sim): {e:?}"));
+    conformance_oracle(
+        &format!("{label} (sim)"),
+        topo,
+        &report.outputs,
+        &report.crashed,
+        palette_ok,
+    );
+
+    // Threaded substrate.
+    let mut opts = RunOptions::new().jitter(15).with_seed(seed);
+    if let Some((p, rounds)) = crash {
+        opts = opts.crash(p, rounds);
+    }
+    let thr = run_threaded(alg, topo, ids.to_vec(), &opts);
+    assert!(thr.capped.is_empty(), "{label} (thr): processes capped");
+    conformance_oracle(
+        &format!("{label} (thr)"),
+        topo,
+        &thr.outputs,
+        &thr.crashed,
+        palette_ok,
+    );
+}
+
+/// {Alg1, Alg2-patched} × {C5, C8} × {no-crash, 1-crash} × 3 seeds, the
+/// same oracle on both substrates.
+#[test]
+fn conformance_matrix_alg1_and_alg2p_on_both_substrates() {
+    for &n in &[5usize, 8] {
+        let topo = Topology::cycle(n).unwrap();
+        for seed in 0..3u64 {
+            let ids = inputs::random_unique(n, 10_000, seed);
+            let one_crash = Some(((seed as usize + n) % n, 2 + seed % 3));
+            for crash in [None, one_crash] {
+                conformance_case(
+                    &SixColoring,
+                    "alg1",
+                    &topo,
+                    &ids,
+                    seed,
+                    crash,
+                    &|c: &PairColor| c.weight() <= 2,
+                );
+                conformance_case(
+                    &FiveColoringPatched,
+                    "alg2p",
+                    &topo,
+                    &ids,
+                    seed,
+                    crash,
+                    &|&c: &u64| c <= 4,
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -1,24 +1,46 @@
-//! Golden-witness regression tests.
+//! Golden-witness regression tests over schema-v2 shrink-aware fixtures.
 //!
 //! The two canonical counterexamples of the reproduction — Algorithm 2's
 //! crash livelock on C3 and EagerMis's adjacent In/In safety violation
-//! on C4 — are committed as JSON fixtures under `tests/fixtures/`. These
-//! tests assert the model checker still finds *exactly* those witnesses
-//! (same schedules, same shape), and that the fixtures replay to the
-//! failure they claim — so a checker regression that silently changes
-//! exploration order, witness minimality, or witness correctness fails
-//! here even if the checker still reports "found".
+//! on C4 — are committed as JSON fixtures under `tests/fixtures/`.
 //!
-//! To bless a new golden after an *intentional* checker change:
+//! ## Fixture schema (`ftcolor-witness/2`)
+//!
+//! ```text
+//! {
+//!   "schema": "<self-describing schema line>",
+//!   "alg":    "<CLI algorithm name: alg1|alg2|alg2p|alg3|alg3p|eagermis>",
+//!   "ids":    [<per-process input identifiers in process order>],
+//!   "raw":    <witness exactly as the model checker reported it>,
+//!   "shrunk": <the delta-debugged locally minimal witness>
+//! }
+//! ```
+//!
+//! where each witness is either
+//! `{"Safety": {"description": "...", "schedule": [<activation sets>]}}` or
+//! `{"Livelock": {"prefix": [...], "cycle": [...]}}`, and an activation
+//! set is `{"Only": [<process indices>]}` or the string `"All"`.
+//!
+//! The tests assert that the checker still finds *exactly* the committed
+//! raw witness, that the shrinker still produces *exactly* the committed
+//! shrunk witness, that both forms replay to the violation they claim,
+//! and that the shrunk form is locally minimal (removing any single
+//! activation breaks reproduction). A regression that silently changes
+//! exploration order, shrink behavior, or witness correctness fails here
+//! even if the checker still reports "found".
+//!
+//! To bless new goldens after an *intentional* change:
 //!
 //! ```text
 //! UPDATE_GOLDEN=1 cargo test --test golden_witnesses
 //! ```
 
-use ftcolor::checker::{LivelockWitness, ModelChecker, SafetyViolation};
+use ftcolor::checker::shrink::WITNESS_SCHEMA;
+use ftcolor::checker::{ModelChecker, Shrinker, Witness, WitnessFixture};
 use ftcolor::core::mis::{mis_violation, EagerMis};
 use ftcolor::core::FiveColoring;
-use ftcolor::model::{Execution, Topology};
+use ftcolor::model::schedule::ActivationSet;
+use ftcolor::model::{Algorithm, Execution, Topology};
 use std::path::Path;
 
 fn fixture_path(name: &str) -> std::path::PathBuf {
@@ -49,41 +71,125 @@ fn coloring_safety(topo: &Topology, outs: &[Option<u64>]) -> Option<String> {
         .map(|c| format!("color {c} outside the palette"))
 }
 
+/// Every schedule obtained by deleting exactly one (step, process)
+/// activation slot; emptied steps are dropped.
+fn single_removals(sched: &[ActivationSet]) -> Vec<Vec<ActivationSet>> {
+    let mut out = Vec::new();
+    for (si, set) in sched.iter().enumerate() {
+        let ActivationSet::Only(v) = set else {
+            continue;
+        };
+        for j in 0..v.len() {
+            let mut cand = sched.to_vec();
+            let mut nv = v.clone();
+            nv.remove(j);
+            if nv.is_empty() {
+                cand.remove(si);
+            } else {
+                cand[si] = ActivationSet::Only(nv);
+            }
+            out.push(cand);
+        }
+    }
+    out
+}
+
+/// Asserts the shrunk witness is locally minimal: no single-activation
+/// deletion (in the schedule, or in the livelock prefix/cycle) still
+/// reproduces the violation class.
+fn assert_locally_minimal<A>(
+    sh: &Shrinker<'_, A>,
+    witness: &Witness,
+    safety: &(impl Fn(&Topology, &[Option<A::Output>]) -> Option<String> + Sync),
+) where
+    A: Algorithm + Sync,
+    A::State: Eq,
+    A::Reg: Eq,
+    A::Output: Eq,
+    A::Input: Clone + Sync,
+{
+    match witness {
+        Witness::Safety(v) => {
+            for cand in single_removals(&v.schedule) {
+                let w = Witness::Safety(ftcolor::checker::SafetyViolation {
+                    description: v.description.clone(),
+                    schedule: cand,
+                });
+                assert!(!sh.reproduces(&w, safety), "shrunk witness not minimal");
+            }
+        }
+        Witness::Livelock(lw) => {
+            for cand in single_removals(&lw.prefix) {
+                let w = Witness::Livelock(ftcolor::checker::LivelockWitness {
+                    prefix: cand,
+                    cycle: lw.cycle.clone(),
+                });
+                assert!(!sh.reproduces(&w, safety), "shrunk prefix not minimal");
+            }
+            for cand in single_removals(&lw.cycle) {
+                let w = Witness::Livelock(ftcolor::checker::LivelockWitness {
+                    prefix: lw.prefix.clone(),
+                    cycle: cand,
+                });
+                assert!(!sh.reproduces(&w, safety), "shrunk cycle not minimal");
+            }
+        }
+    }
+}
+
 #[test]
-fn alg2_c3_livelock_witness_is_stable() {
+fn alg2_c3_livelock_fixture_is_stable_and_minimal() {
     let topo = Topology::cycle(3).unwrap();
-    let outcome = ModelChecker::new(&FiveColoring, &topo, vec![0, 1, 2])
+    let ids = vec![0u64, 1, 2];
+    let outcome = ModelChecker::new(&FiveColoring, &topo, ids.clone())
         .explore(coloring_safety)
         .unwrap();
     let found = outcome.livelock.expect("the C3 livelock must be found");
-    let gold: LivelockWitness = golden("alg2_c3_livelock.json", &found);
+    let sh = Shrinker::new(&FiveColoring, &topo, ids.clone());
+    let shrunk = sh
+        .shrink_livelock(&found)
+        .expect("the raw livelock reproduces");
+    let current = WitnessFixture {
+        schema: WITNESS_SCHEMA.to_string(),
+        alg: "alg2".to_string(),
+        ids: ids.clone(),
+        raw: Witness::Livelock(found.clone()),
+        shrunk: Witness::Livelock(shrunk.witness.clone()),
+    };
+    let gold: WitnessFixture = golden("alg2_c3_livelock.json", &current);
+    assert_eq!(gold, current, "the livelock fixture changed");
 
-    assert_eq!(
-        gold.prefix.len(),
-        found.prefix.len(),
-        "livelock prefix length changed"
+    // Acceptance: the shrunk livelock is strictly shorter than the raw
+    // adversary output.
+    assert!(
+        gold.shrunk.slots(3) < gold.raw.slots(3),
+        "shrunk livelock ({} slots) must be strictly shorter than raw ({})",
+        gold.shrunk.slots(3),
+        gold.raw.slots(3)
     );
-    assert_eq!(
-        gold.cycle.len(),
-        found.cycle.len(),
-        "livelock cycle length changed"
-    );
-    assert_eq!(gold, found, "the livelock witness itself changed");
 
-    // The fixture must actually BE a livelock: replaying the prefix and
-    // then one full cycle returns the execution to the same
-    // configuration, with some process still working (starved).
-    let mut exec = Execution::new(&FiveColoring, &topo, vec![0, 1, 2]);
-    for set in &gold.prefix {
+    // Both forms replay to a livelock.
+    assert!(sh.reproduces(&gold.raw, &coloring_safety));
+    assert!(sh.reproduces(&gold.shrunk, &coloring_safety));
+    assert_locally_minimal(&sh, &gold.shrunk, &coloring_safety);
+
+    // Belt and braces beyond `reproduces`: the raw fixture's cycle
+    // really loops the execution (three consecutive laps land on the
+    // same states), with someone starved.
+    let Witness::Livelock(lw) = &gold.raw else {
+        panic!("raw C3 witness must be a livelock")
+    };
+    let mut exec = Execution::new(&FiveColoring, &topo, ids);
+    for set in &lw.prefix {
         exec.step_with(set);
     }
+    assert!(!exec.all_returned(), "livelock entry has a working process");
     let states_at_entry: Vec<String> = topo
         .nodes()
         .map(|p| format!("{:?}", exec.state(p)))
         .collect();
-    assert!(!exec.all_returned(), "livelock entry has a working process");
     for _ in 0..3 {
-        for set in &gold.cycle {
+        for set in &lw.cycle {
             exec.step_with(set);
         }
         let states_now: Vec<String> = topo
@@ -98,7 +204,7 @@ fn alg2_c3_livelock_witness_is_stable() {
 }
 
 #[test]
-fn eager_mis_c4_violation_witness_is_stable() {
+fn eager_mis_c4_violation_fixture_is_stable_and_minimal() {
     let topo = Topology::cycle(4).unwrap();
     let ids = vec![5u64, 9, 2, 1];
     let outcome = ModelChecker::new(&EagerMis, &topo, ids.clone())
@@ -107,25 +213,34 @@ fn eager_mis_c4_violation_witness_is_stable() {
     let found = outcome
         .safety_violation
         .expect("the In/In violation must be found");
-    let gold: SafetyViolation = golden("eager_mis_c4_violation.json", &found);
+    let sh = Shrinker::new(&EagerMis, &topo, ids.clone());
+    let (shrunk, _) = sh
+        .shrink_witness(&Witness::Safety(found.clone()), &mis_violation)
+        .expect("the raw violation reproduces");
+    let current = WitnessFixture {
+        schema: WITNESS_SCHEMA.to_string(),
+        alg: "eagermis".to_string(),
+        ids: ids.clone(),
+        raw: Witness::Safety(found.clone()),
+        shrunk,
+    };
+    let gold: WitnessFixture = golden("eager_mis_c4_violation.json", &current);
+    assert_eq!(gold, current, "the violation fixture changed");
 
-    assert_eq!(
-        gold.schedule.len(),
-        found.schedule.len(),
-        "violation witness length changed (BFS finds the shortest first)"
-    );
-    assert_eq!(
-        gold.description, found.description,
-        "violation kind changed"
-    );
-    assert_eq!(gold, found, "the violation witness itself changed");
+    assert!(gold.shrunk.slots(4) <= gold.raw.slots(4));
+    assert!(sh.reproduces(&gold.raw, &mis_violation));
+    assert!(sh.reproduces(&gold.shrunk, &mis_violation));
+    assert_locally_minimal(&sh, &gold.shrunk, &mis_violation);
 
-    // The fixture must actually reach the violation it describes.
+    // The raw fixture still reaches exactly the violation it describes.
+    let Witness::Safety(v) = &gold.raw else {
+        panic!("raw C4 witness must be a safety violation")
+    };
     let mut exec = Execution::new(&EagerMis, &topo, ids);
-    for set in &gold.schedule {
+    for set in &v.schedule {
         exec.step_with(set);
     }
-    let v = mis_violation(&topo, exec.outputs())
+    let got = mis_violation(&topo, exec.outputs())
         .expect("replaying the witness schedule reproduces the violation");
-    assert_eq!(v, gold.description);
+    assert_eq!(got, v.description);
 }

@@ -315,3 +315,102 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn crash_plan_composition_respects_crash_times(
+        n in 3usize..10,
+        schedseed in 0u64..10_000,
+        crash_mask in 1u32..0xFF,
+        horizon in 20u64..120,
+    ) {
+        use std::collections::HashMap;
+        // Crash times overlaid on an arbitrary inner schedule: process i
+        // with a set mask bit crashes at a pseudo-random time within the
+        // horizon.
+        let crashes: Vec<(ProcessId, Time)> = (0..n)
+            .filter(|i| crash_mask & (1 << (i % 8)) != 0)
+            .map(|i| (ProcessId(i), (i as u64 * 13 + schedseed) % horizon + 1))
+            .collect();
+        let crash_at: HashMap<ProcessId, Time> = crashes.iter().copied().collect();
+        let mut sched = CrashPlan::new(RandomSubset::new(schedseed, 0.7), crashes);
+        let working: Vec<ProcessId> = (0..n).map(ProcessId).collect();
+        let mut ended_at = None;
+        for t in 1..=horizon {
+            match sched.next(t, &working) {
+                None => { ended_at = Some(t); break; }
+                Some(set) => {
+                    // A process with crash time T is never activated at
+                    // any t >= T, whatever the inner schedule proposed.
+                    for (&p, &tc) in &crash_at {
+                        prop_assert!(
+                            t < tc || !set.resolve(&working).contains(&p),
+                            "{} crashed at {} but was activated at {}", p, tc, t
+                        );
+                    }
+                }
+            }
+        }
+        // Once every working process has crashed, the composed schedule
+        // must end (return None) no later than the latest crash time.
+        if crash_at.len() == n {
+            let tmax = *crash_at.values().max().unwrap();
+            prop_assert!(
+                matches!(ended_at, Some(t) if t <= tmax),
+                "all processes crash by t={} but the plan ran on (ended_at={:?})",
+                tmax, ended_at
+            );
+        }
+    }
+
+    #[test]
+    fn shrinker_is_sound_and_deterministic(
+        traceseed in 0u64..u64::MAX / 2,
+        len in 4usize..30,
+        bound in 1u64..4,
+    ) {
+        use ftcolor::checker::Shrinker;
+        use ftcolor::core::mis::{mis_violation, EagerMis};
+        let topo = Topology::cycle(4).unwrap();
+        let ids = vec![5u64, 9, 2, 1];
+        let steps = random_trace(4, len, traceseed).into_steps();
+
+        // Safety class: whenever the random schedule happens to drive
+        // EagerMis into its In/In violation, the shrunk schedule must
+        // reproduce the same violation class, and shrinking the same
+        // witness twice gives the identical result.
+        let sh = Shrinker::new(&EagerMis, &topo, ids.clone());
+        if let Some(out) = sh.shrink_safety(&steps, &mis_violation) {
+            let mut exec = Execution::new(&EagerMis, &topo, ids.clone());
+            for set in &out.schedule {
+                exec.step_with(set);
+            }
+            prop_assert!(
+                mis_violation(&topo, exec.outputs()).is_some(),
+                "shrunk witness lost the violation"
+            );
+            let again = sh.shrink_safety(&steps, &mis_violation).unwrap();
+            prop_assert_eq!(&out.schedule, &again.schedule);
+            prop_assert_eq!(out.stats, again.stats);
+        }
+
+        // Bound-overrun class: same soundness + determinism contract.
+        let sh2 = Shrinker::new(&FiveColoring, &topo, ids.clone());
+        if let Some(out) = sh2.shrink_overrun(&steps, bound) {
+            let mut exec = Execution::new(&FiveColoring, &topo, ids.clone());
+            for set in &out.schedule {
+                if exec.all_returned() {
+                    break;
+                }
+                exec.step_with(set);
+            }
+            let max = topo.nodes().map(|p| exec.activation_count(p)).max().unwrap();
+            prop_assert!(max > bound, "shrunk witness no longer exceeds the bound");
+            let again = sh2.shrink_overrun(&steps, bound).unwrap();
+            prop_assert_eq!(out.schedule, again.schedule);
+            prop_assert_eq!(out.stats, again.stats);
+        }
+    }
+}
