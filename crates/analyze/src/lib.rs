@@ -1,0 +1,37 @@
+//! `ftcolor-analyze` — static/dynamic analysis for the fault-tolerant
+//! coloring codebase, on both substrates:
+//!
+//! 1. **Contract linter** ([`linter`]): runs any
+//!    [`Algorithm`](ftcolor_model::Algorithm) through the abstract
+//!    executor's observation hooks and flags violations of the paper's
+//!    §2 model contract — SWMR register discipline, snapshot scope
+//!    (hidden-state smuggling), decision stability, palette bounds,
+//!    step determinism, and a wait-freedom audit of solo executions —
+//!    as structured, compiler-lint-style diagnostics ([`diag`]).
+//! 2. **Race detector** ([`race`]): consumes the threaded runtime's
+//!    register event log (`ftcolor_runtime::RtEvent`) and verifies
+//!    post-hoc that every executed round linearizes as one atomic local
+//!    snapshot — locks in global index order, contiguous write+read
+//!    windows, an acyclic per-register round order, and vector-clock
+//!    happens-before coverage of all cross-process accesses.
+//!
+//! The [`registry`] wires every shipped algorithm to its declared
+//! [`contract`], so the `ftcolor analyze` CLI, `tests/analyze.rs`, and
+//! the CI gate all agree on what "clean" means. Violations of a rule an
+//! entry *documents* (e.g. the E7 `ImpatientMis` flaw) are reported but
+//! waived, never silently skipped.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod contract;
+pub mod diag;
+pub mod linter;
+pub mod race;
+pub mod registry;
+
+pub use contract::{ContractSpec, Waiver};
+pub use diag::{render_json, Diagnostic, RuleId};
+pub use linter::{lint_algorithm, LintConfig};
+pub use race::check_events;
+pub use registry::{analyze_alg, analyze_all, race_matrix, AlgReport, SHIPPED};

@@ -1,0 +1,404 @@
+//! The happens-before race detector for the OS-thread runtime.
+//!
+//! Input: the register event log a [`run_threaded`] run records when
+//! [`RunOptions::record_events`] is set — every lock/write/read/unlock,
+//! globally sequenced (see [`RtEvent`]). Output: diagnostics proving or
+//! refuting that every round executed as one **atomic local immediate
+//! snapshot** (§2.1):
+//!
+//! * **`FTC-RT-101` (lock order)** — within a round, locks must be
+//!   acquired in strictly ascending global register-index order, and
+//!   the locked set must be exactly the closed neighborhood `N[p]`.
+//! * **`FTC-RT-102` (snapshot atomicity)** — the write and neighbor
+//!   reads of a round must all happen while that round holds the
+//!   register's lock, with no foreign access interleaved into the
+//!   lock window (a torn read otherwise); exactly one write, to the
+//!   process's own register, preceding its reads.
+//! * **`FTC-RT-103` (linearizability)** — order rounds by their lock
+//!   acquisition on each shared register; the union of these
+//!   per-register orders must be acyclic, i.e. the rounds admit a
+//!   global linearization as atomic snapshots.
+//! * **`FTC-RT-104` (happens-before races)** — replay the log through
+//!   per-process vector clocks where lock acquisition synchronizes
+//!   with the previous unlock; two accesses to the same register with
+//!   a write among them must be HB-ordered, else they race.
+//!
+//! A correct log from `run_threaded` passes all four by construction;
+//! the negative fixtures in `tests/analyze.rs` are synthetic logs
+//! (lockless writes, interleaved windows, cyclic acquisition orders)
+//! since the runtime itself cannot be made racy without edits.
+//!
+//! [`run_threaded`]: ftcolor_runtime::run_threaded
+//! [`RunOptions::record_events`]: ftcolor_runtime::RunOptions::record_events
+
+use std::collections::{HashMap, HashSet};
+
+use ftcolor_model::Topology;
+use ftcolor_runtime::{RtEvent, RtEventKind};
+
+use crate::diag::{Diagnostic, RuleId};
+
+/// A vector clock over `n` processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct VClock(Vec<u64>);
+
+impl VClock {
+    fn new(n: usize) -> Self {
+        VClock(vec![0; n])
+    }
+
+    fn join(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// `self ≤ other` pointwise: every event `self` knows of
+    /// happens-before `other`'s current point.
+    fn le(&self, other: &VClock) -> bool {
+        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+}
+
+/// Checks a runtime event log against the atomic-snapshot contract.
+///
+/// `alg_name` labels the diagnostics; `topo` supplies the expected lock
+/// set (closed neighborhood) of each process. The log must be sorted by
+/// [`RtEvent::seq`] (as [`ThreadReport::events`] is).
+///
+/// [`ThreadReport::events`]: ftcolor_runtime::ThreadReport::events
+pub fn check_events(alg_name: &str, topo: &Topology, events: &[RtEvent]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let n = topo.len();
+
+    check_lock_order_and_shape(alg_name, topo, events, &mut diags);
+    check_atomic_windows(alg_name, events, &mut diags);
+    check_linearization(alg_name, events, &mut diags);
+    check_vector_clock_races(alg_name, n, events, &mut diags);
+    diags
+}
+
+/// Per (process, round) key.
+type RoundKey = (usize, u64);
+
+/// FTC-RT-101: per round, lock acquisitions strictly ascend and cover
+/// exactly the closed neighborhood.
+fn check_lock_order_and_shape(
+    alg_name: &str,
+    topo: &Topology,
+    events: &[RtEvent],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut locks: HashMap<RoundKey, Vec<usize>> = HashMap::new();
+    for e in events {
+        if e.kind == RtEventKind::Lock {
+            locks
+                .entry((e.process, e.round))
+                .or_default()
+                .push(e.register);
+        }
+    }
+    let mut keys: Vec<&RoundKey> = locks.keys().collect();
+    keys.sort();
+    for key in keys {
+        let acquired = &locks[key];
+        let (p, round) = *key;
+        if !acquired.windows(2).all(|w| w[0] < w[1]) {
+            diags.push(
+                Diagnostic::new(
+                    RuleId::RtLockOrder,
+                    alg_name,
+                    format!(
+                        "round {round} of process {p} acquired locks in order \
+                         {acquired:?}, not ascending global index order — deadlock-prone"
+                    ),
+                )
+                .process(p)
+                .time(round),
+            );
+        }
+        let mut expected: Vec<usize> = std::iter::once(p)
+            .chain(
+                topo.neighbors(ftcolor_model::ProcessId(p))
+                    .iter()
+                    .map(|q| q.index()),
+            )
+            .collect();
+        expected.sort_unstable();
+        let mut got = acquired.clone();
+        got.sort_unstable();
+        got.dedup();
+        if got != expected {
+            diags.push(
+                Diagnostic::new(
+                    RuleId::RtLockOrder,
+                    alg_name,
+                    format!(
+                        "round {round} of process {p} locked registers {got:?}, \
+                         expected its closed neighborhood {expected:?}"
+                    ),
+                )
+                .process(p)
+                .time(round),
+            );
+        }
+    }
+}
+
+/// FTC-RT-102: per register, lock windows are non-interleaved and every
+/// access happens inside the accessor's own window; within a round the
+/// write precedes the reads and targets the own register only.
+fn check_atomic_windows(alg_name: &str, events: &[RtEvent], diags: &mut Vec<Diagnostic>) {
+    // Who currently holds each register's lock window.
+    let mut holder: HashMap<usize, RoundKey> = HashMap::new();
+    // Whether the own-register write of a round has been seen.
+    let mut wrote_own: HashSet<RoundKey> = HashSet::new();
+
+    for e in events {
+        let key = (e.process, e.round);
+        match e.kind {
+            RtEventKind::Lock => {
+                if let Some(&other) = holder.get(&e.register) {
+                    diags.push(
+                        Diagnostic::new(
+                            RuleId::RtAtomicity,
+                            alg_name,
+                            format!(
+                                "register {} locked by round {} of process {} while \
+                                 round {} of process {} still holds it — torn snapshot window",
+                                e.register, e.round, e.process, other.1, other.0
+                            ),
+                        )
+                        .process(e.process)
+                        .time(e.round),
+                    );
+                }
+                holder.insert(e.register, key);
+            }
+            RtEventKind::Unlock => {
+                if holder.get(&e.register) == Some(&key) {
+                    holder.remove(&e.register);
+                }
+            }
+            RtEventKind::Write => {
+                if e.register != e.process {
+                    diags.push(
+                        Diagnostic::new(
+                            RuleId::RtAtomicity,
+                            alg_name,
+                            format!(
+                                "round {} of process {} wrote register {} — not its own",
+                                e.round, e.process, e.register
+                            ),
+                        )
+                        .process(e.process)
+                        .time(e.round),
+                    );
+                }
+                if holder.get(&e.register) != Some(&key) {
+                    diags.push(
+                        Diagnostic::new(
+                            RuleId::RtAtomicity,
+                            alg_name,
+                            format!(
+                                "round {} of process {} wrote register {} without \
+                                 holding its lock",
+                                e.round, e.process, e.register
+                            ),
+                        )
+                        .process(e.process)
+                        .time(e.round),
+                    );
+                }
+                wrote_own.insert(key);
+            }
+            RtEventKind::Read => {
+                if holder.get(&e.register) != Some(&key) {
+                    diags.push(
+                        Diagnostic::new(
+                            RuleId::RtAtomicity,
+                            alg_name,
+                            format!(
+                                "round {} of process {} read register {} without \
+                                 holding its lock — torn read",
+                                e.round, e.process, e.register
+                            ),
+                        )
+                        .process(e.process)
+                        .time(e.round),
+                    );
+                }
+                if e.register != e.process && !wrote_own.contains(&key) {
+                    diags.push(
+                        Diagnostic::new(
+                            RuleId::RtAtomicity,
+                            alg_name,
+                            format!(
+                                "round {} of process {} read register {} before \
+                                 writing its own — not a local immediate snapshot",
+                                e.round, e.process, e.register
+                            ),
+                        )
+                        .process(e.process)
+                        .time(e.round),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// FTC-RT-103: the per-register orders of rounds (by lock acquisition)
+/// union into a DAG — i.e. the rounds linearize as atomic snapshots.
+fn check_linearization(alg_name: &str, events: &[RtEvent], diags: &mut Vec<Diagnostic>) {
+    // Edges round -> round: consecutive lock holders of each register.
+    let mut last_on_reg: HashMap<usize, RoundKey> = HashMap::new();
+    let mut edges: HashMap<RoundKey, HashSet<RoundKey>> = HashMap::new();
+    let mut indegree: HashMap<RoundKey, usize> = HashMap::new();
+    for e in events {
+        if e.kind != RtEventKind::Lock {
+            continue;
+        }
+        let key = (e.process, e.round);
+        indegree.entry(key).or_insert(0);
+        if let Some(&prev) = last_on_reg.get(&e.register) {
+            if prev != key && edges.entry(prev).or_default().insert(key) {
+                *indegree.entry(key).or_insert(0) += 1;
+            }
+        }
+        last_on_reg.insert(e.register, key);
+    }
+
+    // Kahn's algorithm; leftovers form at least one cycle.
+    let mut queue: Vec<RoundKey> = indegree
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&k, _)| k)
+        .collect();
+    let mut seen = 0usize;
+    while let Some(k) = queue.pop() {
+        seen += 1;
+        if let Some(next) = edges.get(&k) {
+            // Cloned to release the borrow; graphs here are tiny.
+            for m in next.clone() {
+                let d = indegree.get_mut(&m).expect("edge target registered");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(m);
+                }
+            }
+        }
+    }
+    if seen < indegree.len() {
+        let mut stuck: Vec<RoundKey> = indegree
+            .iter()
+            .filter(|(_, &d)| d > 0)
+            .map(|(&k, _)| k)
+            .collect();
+        stuck.sort_unstable();
+        let (p, round) = stuck[0];
+        diags.push(
+            Diagnostic::new(
+                RuleId::RtLinearization,
+                alg_name,
+                format!(
+                    "per-register round orders contain a cycle involving round \
+                     {round} of process {p} (+{} more rounds) — the execution \
+                     admits no linearization into atomic snapshots",
+                    stuck.len() - 1
+                ),
+            )
+            .process(p)
+            .time(round),
+        );
+    }
+}
+
+/// FTC-RT-104: vector-clock race detection. Lock acquisition joins the
+/// clock left at the register's last unlock; conflicting accesses
+/// (write/write, write/read) must then be HB-ordered.
+fn check_vector_clock_races(
+    alg_name: &str,
+    n: usize,
+    events: &[RtEvent],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut proc_clock: Vec<VClock> = (0..n).map(|_| VClock::new(n)).collect();
+    let mut reg_clock: HashMap<usize, VClock> = HashMap::new();
+    let mut last_write: HashMap<usize, (usize, VClock)> = HashMap::new();
+    let mut reads_since_write: HashMap<usize, VClock> = HashMap::new();
+    let mut started: HashSet<RoundKey> = HashSet::new();
+
+    for e in events {
+        if e.process >= n {
+            continue; // malformed synthetic logs: ignore unknown processes
+        }
+        if started.insert((e.process, e.round)) {
+            // First event of this round: a new point in p's timeline.
+            proc_clock[e.process].0[e.process] += 1;
+        }
+        match e.kind {
+            RtEventKind::Lock => {
+                // Synchronizes-with the previous unlock of this register.
+                if let Some(rc) = reg_clock.get(&e.register) {
+                    proc_clock[e.process].join(&rc.clone());
+                }
+            }
+            RtEventKind::Unlock => {
+                reg_clock.insert(e.register, proc_clock[e.process].clone());
+            }
+            RtEventKind::Write => {
+                let cur = &proc_clock[e.process];
+                let ordered_after_write = last_write
+                    .get(&e.register)
+                    .is_none_or(|(wp, wc)| *wp == e.process || wc.le(cur));
+                let ordered_after_reads = reads_since_write
+                    .get(&e.register)
+                    .is_none_or(|rc| rc.le(cur));
+                if !ordered_after_write || !ordered_after_reads {
+                    diags.push(
+                        Diagnostic::new(
+                            RuleId::RtRace,
+                            alg_name,
+                            format!(
+                                "write to register {} by round {} of process {} is \
+                                 not happens-before-ordered with a prior access — data race",
+                                e.register, e.round, e.process
+                            ),
+                        )
+                        .process(e.process)
+                        .time(e.round),
+                    );
+                }
+                last_write.insert(e.register, (e.process, cur.clone()));
+                reads_since_write.remove(&e.register);
+            }
+            RtEventKind::Read => {
+                let cur = &proc_clock[e.process];
+                let ordered = last_write
+                    .get(&e.register)
+                    .is_none_or(|(wp, wc)| *wp == e.process || wc.le(cur));
+                if !ordered {
+                    diags.push(
+                        Diagnostic::new(
+                            RuleId::RtRace,
+                            alg_name,
+                            format!(
+                                "read of register {} by round {} of process {} is \
+                                 concurrent with an unordered write — data race",
+                                e.register, e.round, e.process
+                            ),
+                        )
+                        .process(e.process)
+                        .time(e.round),
+                    );
+                }
+                let cur = cur.clone();
+                reads_since_write
+                    .entry(e.register)
+                    .and_modify(|rc| rc.join(&cur))
+                    .or_insert(cur);
+            }
+        }
+    }
+}

@@ -316,7 +316,7 @@ where
                 let cut = rng.gen_range(0..self.config.horizon);
                 let mut child: Vec<ActivationSet> =
                     a[..cut].iter().chain(b[cut..].iter()).cloned().collect();
-                for gene in child.iter_mut() {
+                for gene in &mut child {
                     if rng.gen_bool(self.config.mutation) {
                         *gene = self.random_gene(&mut rng);
                     }

@@ -120,7 +120,7 @@ pub fn theorem_4_4_bound(n: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftcolor_core::{FiveColoring, SixColoring};
+    use ftcolor_core::{FiveColoring, PairColor, SixColoring};
     use ftcolor_model::inputs;
     use ftcolor_model::prelude::*;
 
@@ -175,7 +175,7 @@ mod tests {
         let tight = check_coloring_report(
             &topo,
             &report,
-            |c| c.flat_index(),
+            PairColor::flat_index,
             6,
             1, // absurd bound
         );

@@ -37,7 +37,7 @@ impl Summary {
         Summary {
             count,
             min: v[0],
-            max: count.checked_sub(1).map(|i| v[i]).unwrap_or(0),
+            max: count.checked_sub(1).map_or(0, |i| v[i]),
             mean_milli: (sum * 1000 / count as u128) as u64,
             p50: rank(0.5),
             p95: rank(0.95),

@@ -152,7 +152,7 @@ impl Algorithm for FiveColoringPatched {
     }
 
     fn step(&self, state: &mut State2P, view: &Neighborhood<'_, Reg2P>) -> Step<u64> {
-        let current: Vec<Option<Reg2P>> = view.iter().map(|r| r.copied()).collect();
+        let current: Vec<Option<Reg2P>> = view.iter().map(Option::<&Reg2P>::copied).collect();
 
         // Paper lines 9–10: the return checks, verbatim.
         let in_c = |v: u64| view.awake().any(|r| r.a == v || r.b == v);

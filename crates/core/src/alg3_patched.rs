@@ -111,7 +111,7 @@ impl Algorithm for FastFiveColoringPatched {
     /// Panics unless the process has exactly two neighbors (cycle-only).
     fn step(&self, state: &mut State3P, view: &Neighborhood<'_, Reg3P>) -> Step<u64> {
         assert_eq!(view.len(), 2, "Algorithm 3 runs on cycles (degree 2)");
-        let current: Vec<Option<Reg3P>> = view.iter().map(|r| r.copied()).collect();
+        let current: Vec<Option<Reg3P>> = view.iter().map(Option::<&Reg3P>::copied).collect();
 
         // Coloring component, patched (alg2_patched semantics).
         let in_c = |v: u64| view.awake().any(|r| r.a == v || r.b == v);

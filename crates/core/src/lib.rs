@@ -26,7 +26,9 @@
 //! * [`alg2_patched`] — a candidate repair for the reproduction finding
 //!   (Algorithm 2's livelock), with its machine-checked evidence;
 //! * [`decoupled_ring`] — wait-free 3-coloring in the DECOUPLED model of
-//!   the closest related work, for the E11 model-separation experiment.
+//!   the closest related work, for the E11 model-separation experiment;
+//! * [`mutants`] — intentionally-buggy algorithms (one per §2 contract)
+//!   used as negative fixtures by the `ftcolor-analyze` contract linter.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +43,7 @@ pub mod cole_vishkin;
 pub mod color;
 pub mod decoupled_ring;
 pub mod mis;
+pub mod mutants;
 pub mod renaming;
 pub mod sync_local;
 

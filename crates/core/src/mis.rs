@@ -262,7 +262,7 @@ mod tests {
             let ids = ftcolor_model::inputs::random_permutation(n, n as u64);
             let mut exec = Execution::new(&LocalMaxMis, &topo, ids);
             let outputs = exec.run(Synchronous::new(), 10_000).unwrap().outputs;
-            assert!(outputs.iter().all(|o| o.is_some()), "n={n}");
+            assert!(outputs.iter().all(Option::is_some), "n={n}");
             assert_eq!(mis_violation(&topo, &outputs), None, "n={n}: {outputs:?}");
         }
     }

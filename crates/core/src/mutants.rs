@@ -1,0 +1,311 @@
+//! Intentionally-buggy algorithms: negative fixtures for `ftcolor-analyze`.
+//!
+//! Each mutant violates exactly one §2 state-model contract, chosen so
+//! that the corresponding linter rule — and, for well-behaved rules,
+//! *only* that rule — fires on it. They double as documentation of what
+//! each contract forbids:
+//!
+//! | Mutant | Contract broken | Rule expected to fire |
+//! |---|---|---|
+//! | [`NeighborWriter`] | single-writer registers | `FTC-SWMR-001` |
+//! | [`StateSmuggler`] | snapshot scope (reads only the handed view) | `FTC-SNAP-002` |
+//! | [`UnstableDecider`] | decision stability | `FTC-STAB-003` |
+//! | [`OutOfPalette`] | declared palette bound | `FTC-PAL-004` |
+//! | [`NondetStepper`] | step determinism | `FTC-DET-005` |
+//! | [`SoloDiverger`] | solo wait-freedom | `FTC-WF-006` |
+//!
+//! The illegal channels are built from [`Cell`]/[`RefCell`] interior
+//! mutability *inside the algorithm object* — exactly the smuggling the
+//! model forbids (an `Algorithm` must be a pure rule: all per-process
+//! information lives in `State`, all communication in registers). The
+//! linter runs single-threaded, so none of these need to be `Sync`;
+//! they are **not** exported from the crate prelude and must never be
+//! used outside analyzer tests.
+
+use ftcolor_model::{Algorithm, Neighborhood, ProcessId, Step};
+use std::cell::{Cell, RefCell};
+
+/// Violates **SWMR**: every step writes into *another process's*
+/// register through a shared shadow register file.
+///
+/// `publish` reads the shadow file, so a step of process `p` changes
+/// what process `(p+1) % n` will publish — a write to a register `p`
+/// does not own. Step outcomes themselves are deterministic functions
+/// of the local state, so no other rule fires.
+#[derive(Debug)]
+pub struct NeighborWriter {
+    shadow: RefCell<Vec<u64>>,
+}
+
+impl NeighborWriter {
+    /// A shadow register file for `n` processes.
+    pub fn new(n: usize) -> Self {
+        NeighborWriter {
+            shadow: RefCell::new(vec![0; n]),
+        }
+    }
+}
+
+/// State of [`NeighborWriter`]: own index, input, and a round counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NwState {
+    /// Own process index (used to pick the victim register).
+    pub id: usize,
+    /// The input identifier.
+    pub x: u64,
+    /// Rounds performed.
+    pub rounds: u64,
+}
+
+impl Algorithm for NeighborWriter {
+    type Input = u64;
+    type State = NwState;
+    type Reg = u64;
+    type Output = u64;
+
+    fn init(&self, id: ProcessId, x: u64) -> NwState {
+        NwState {
+            id: id.index(),
+            x,
+            rounds: 0,
+        }
+    }
+
+    fn publish(&self, s: &NwState) -> u64 {
+        s.x + self.shadow.borrow()[s.id]
+    }
+
+    fn step(&self, s: &mut NwState, _view: &Neighborhood<'_, u64>) -> Step<u64> {
+        let mut shadow = self.shadow.borrow_mut();
+        let victim = (s.id + 1) % shadow.len();
+        shadow[victim] += 1; // the foreign write
+        s.rounds += 1;
+        if s.rounds >= 2 {
+            Step::Return(s.x % 5)
+        } else {
+            Step::Continue
+        }
+    }
+}
+
+/// Violates **snapshot scope**: the deciding step reads a shared
+/// "blackboard" cell that other processes' steps keep writing — state
+/// smuggled around the register abstraction.
+///
+/// The channel is crafted to stay invisible to back-to-back determinism
+/// probes (the return path never writes the blackboard, so two
+/// immediate re-runs of the same step agree); only re-running the
+/// recorded step *after other processes have taken real steps* — the
+/// linter's deferred replay — exposes it.
+#[derive(Debug, Default)]
+pub struct StateSmuggler {
+    blackboard: Cell<u64>,
+}
+
+impl StateSmuggler {
+    /// A fresh smuggler with an empty blackboard.
+    pub fn new() -> Self {
+        StateSmuggler::default()
+    }
+}
+
+/// State of [`StateSmuggler`]: input and a round counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmState {
+    /// The input identifier.
+    pub x: u64,
+    /// Rounds performed.
+    pub rounds: u64,
+}
+
+impl Algorithm for StateSmuggler {
+    type Input = u64;
+    type State = SmState;
+    type Reg = u64;
+    type Output = u64;
+
+    fn init(&self, _id: ProcessId, x: u64) -> SmState {
+        SmState { x, rounds: 0 }
+    }
+
+    fn publish(&self, s: &SmState) -> u64 {
+        s.x
+    }
+
+    fn step(&self, s: &mut SmState, _view: &Neighborhood<'_, u64>) -> Step<u64> {
+        s.rounds += 1;
+        if s.rounds >= 3 {
+            // Decision depends on who scribbled last — not on the view.
+            Step::Return(self.blackboard.get() % 5)
+        } else {
+            self.blackboard.set(s.x);
+            Step::Continue
+        }
+    }
+}
+
+/// Violates **decision stability**: a process that has returned would
+/// return a *different* color if activated again.
+///
+/// The deciding step bases its output on a counter it just bumped, so
+/// re-running the step from the post-decision state yields a different
+/// output. `publish` exposes only the static input, so the register
+/// never regresses and no other rule fires.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnstableDecider;
+
+/// State of [`UnstableDecider`]: input and an activation counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdState {
+    /// The input identifier.
+    pub x: u64,
+    /// Activations seen so far.
+    pub seen: u64,
+}
+
+impl Algorithm for UnstableDecider {
+    type Input = u64;
+    type State = UdState;
+    type Reg = u64;
+    type Output = u64;
+
+    fn init(&self, _id: ProcessId, x: u64) -> UdState {
+        UdState { x, seen: 0 }
+    }
+
+    fn publish(&self, s: &UdState) -> u64 {
+        s.x
+    }
+
+    fn step(&self, s: &mut UdState, _view: &Neighborhood<'_, u64>) -> Step<u64> {
+        s.seen += 1;
+        if s.seen >= 2 {
+            Step::Return(s.seen % 5) // unstable: depends on the bump
+        } else {
+            Step::Continue
+        }
+    }
+}
+
+/// Violates the **palette bound**: declared palette 5 (colors `0..=4`),
+/// but emits `x mod 7`, i.e. colors up to 6.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OutOfPalette;
+
+/// State of [`OutOfPalette`]: just the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpState {
+    /// The input identifier.
+    pub x: u64,
+}
+
+impl Algorithm for OutOfPalette {
+    type Input = u64;
+    type State = OpState;
+    type Reg = u64;
+    type Output = u64;
+
+    fn init(&self, _id: ProcessId, x: u64) -> OpState {
+        OpState { x }
+    }
+
+    fn publish(&self, s: &OpState) -> u64 {
+        s.x
+    }
+
+    fn step(&self, s: &mut OpState, _view: &Neighborhood<'_, u64>) -> Step<u64> {
+        Step::Return(s.x % 7)
+    }
+}
+
+/// Violates **step determinism**: the update consults a private RNG in
+/// the algorithm object, so two runs of the same step from the same
+/// state and view diverge.
+#[derive(Debug)]
+pub struct NondetStepper {
+    rng: Cell<u64>,
+}
+
+impl NondetStepper {
+    /// A nondeterministic stepper with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        NondetStepper {
+            rng: Cell::new(seed | 1),
+        }
+    }
+}
+
+/// State of [`NondetStepper`]: input and a round counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NdState {
+    /// The input identifier.
+    pub x: u64,
+    /// Rounds performed.
+    pub rounds: u64,
+}
+
+impl Algorithm for NondetStepper {
+    type Input = u64;
+    type State = NdState;
+    type Reg = u64;
+    type Output = u64;
+
+    fn init(&self, _id: ProcessId, x: u64) -> NdState {
+        NdState { x, rounds: 0 }
+    }
+
+    fn publish(&self, s: &NdState) -> u64 {
+        s.x
+    }
+
+    fn step(&self, s: &mut NdState, _view: &Neighborhood<'_, u64>) -> Step<u64> {
+        // xorshift64 advanced on every call: probe runs diverge.
+        let mut z = self.rng.get();
+        z ^= z << 13;
+        z ^= z >> 7;
+        z ^= z << 17;
+        self.rng.set(z);
+        s.rounds += z % 3;
+        if s.rounds >= 4 {
+            Step::Return(z % 5)
+        } else {
+            Step::Continue
+        }
+    }
+}
+
+/// Violates **solo wait-freedom**: waits until every neighbor's
+/// register is awake, so a solo execution (neighbors forever `⊥`)
+/// never returns, despite a declared solo round bound.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoloDiverger;
+
+/// State of [`SoloDiverger`]: just the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SdState {
+    /// The input identifier.
+    pub x: u64,
+}
+
+impl Algorithm for SoloDiverger {
+    type Input = u64;
+    type State = SdState;
+    type Reg = u64;
+    type Output = u64;
+
+    fn init(&self, _id: ProcessId, x: u64) -> SdState {
+        SdState { x }
+    }
+
+    fn publish(&self, s: &SdState) -> u64 {
+        s.x
+    }
+
+    fn step(&self, s: &mut SdState, view: &Neighborhood<'_, u64>) -> Step<u64> {
+        if view.all_awake() {
+            Step::Return(s.x % 5)
+        } else {
+            Step::Continue // waiting on ⊥ neighbors: not wait-free
+        }
+    }
+}

@@ -197,7 +197,7 @@ impl Algorithm for ColeVishkinThree {
             .iter()
             .map(|r| r.and_then(|r| Self::value_at(r, s.round).map(|v| (r.pos, v))))
             .collect();
-        if vals.iter().any(|v| v.is_none()) {
+        if vals.iter().any(Option::is_none) {
             return Step::Continue; // synchronizer: wait for stragglers
         }
         let vals: Vec<(usize, u64)> = vals.into_iter().flatten().collect();

@@ -91,7 +91,7 @@ impl<'a, R> Neighborhood<'a, R> {
 
     /// `true` when every neighbor has written at least once.
     pub fn all_awake(&self) -> bool {
-        self.regs.iter().all(|r| r.is_some())
+        self.regs.iter().all(Option::is_some)
     }
 }
 

@@ -22,6 +22,78 @@ use crate::ids::{ProcessId, Time};
 use crate::schedule::{ActivationSet, Schedule};
 use crate::trace::Trace;
 
+/// Passive observation hooks into the three-phase step semantics.
+///
+/// An observer is threaded through [`Execution::step_with_observed`] and
+/// [`Execution::run_observed`] and is called at fixed points of every time
+/// step: after each phase-1 write, immediately before and after each
+/// process's update, and once at the end of the step. All callbacks take
+/// the configuration by shared reference — an observer **cannot** change
+/// the execution, only watch it. Every callback defaults to a no-op, and
+/// `()` implements the trait, so `step_with` is exactly
+/// `step_with_observed(set, &mut ())`.
+///
+/// This is the instrumentation point used by `ftcolor-analyze`'s contract
+/// linter; the property-based test suite checks that running under an
+/// observer is bit-identical to running without one.
+pub trait ExecObserver<A: Algorithm> {
+    /// Process `p` has just written its register (phase 1 of step `t`).
+    ///
+    /// `registers` is the full register file *after* the write.
+    fn on_write(
+        &mut self,
+        t: Time,
+        p: ProcessId,
+        states: &[A::State],
+        registers: &[Option<A::Reg>],
+    ) {
+        let _ = (t, p, states, registers);
+    }
+
+    /// Process `p` is about to update (phases 2–3 of step `t`).
+    ///
+    /// `view` is the neighborhood snapshot handed to [`Algorithm::step`],
+    /// indexed like `topology().neighbors(p)`; `states` is the full state
+    /// vector *before* `p`'s update (but after the updates of processes
+    /// activated earlier in the same step).
+    fn on_before_update(
+        &mut self,
+        t: Time,
+        p: ProcessId,
+        states: &[A::State],
+        view: &[Option<A::Reg>],
+    ) {
+        let _ = (t, p, states, view);
+    }
+
+    /// Process `p` has updated; `returned` is its output if this update
+    /// returned. `view` is the same snapshot passed to `on_before_update`.
+    fn on_after_update(
+        &mut self,
+        t: Time,
+        p: ProcessId,
+        states: &[A::State],
+        view: &[Option<A::Reg>],
+        returned: Option<&A::Output>,
+    ) {
+        let _ = (t, p, states, view, returned);
+    }
+
+    /// Time step `t` is complete; `active` is the resolved activation set.
+    fn on_step_end(
+        &mut self,
+        t: Time,
+        active: &[ProcessId],
+        states: &[A::State],
+        registers: &[Option<A::Reg>],
+    ) {
+        let _ = (t, active, states, registers);
+    }
+}
+
+/// The no-op observer: observing with `()` is the unobserved execution.
+impl<A: Algorithm> ExecObserver<A> for () {}
+
 /// The visible status of one process during or after an execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProcessStatus<O> {
@@ -222,6 +294,18 @@ impl<'a, A: Algorithm> Execution<'a, A> {
     /// This is the three-phase step of §2.1: all writes, then all reads,
     /// then all updates.
     pub fn step_with(&mut self, set: &ActivationSet) -> Vec<ProcessId> {
+        self.step_with_observed(set, &mut ())
+    }
+
+    /// [`Execution::step_with`] with an [`ExecObserver`] threaded through
+    /// the three phases. The observer only watches; the step semantics are
+    /// identical (and `step_with` delegates here with the no-op observer
+    /// `()`).
+    pub fn step_with_observed(
+        &mut self,
+        set: &ActivationSet,
+        obs: &mut impl ExecObserver<A>,
+    ) -> Vec<ProcessId> {
         self.time += 1;
         let active = set.resolve(&self.working);
         if self.record {
@@ -231,6 +315,7 @@ impl<'a, A: Algorithm> Execution<'a, A> {
         // Phase 1: all activated processes write.
         for &p in &active {
             self.registers[p.index()] = Some(self.alg.publish(&self.states[p.index()]));
+            obs.on_write(self.time, p, &self.states, &self.registers);
         }
 
         // Phases 2–3: all activated processes read their neighborhoods
@@ -245,20 +330,24 @@ impl<'a, A: Algorithm> Execution<'a, A> {
                     .iter()
                     .map(|q| self.registers[q.index()].clone()),
             );
+            obs.on_before_update(self.time, p, &self.states, &scratch);
             let view = Neighborhood::new(&scratch);
             self.activations[p.index()] += 1;
-            match self.alg.step(&mut self.states[p.index()], &view) {
-                Step::Continue => {}
+            let returned = match self.alg.step(&mut self.states[p.index()], &view) {
+                Step::Continue => None,
                 Step::Return(o) => {
                     self.outputs[p.index()] = Some(o);
                     returned_any = true;
+                    self.outputs[p.index()].as_ref()
                 }
-            }
+            };
+            obs.on_after_update(self.time, p, &self.states, &scratch, returned);
         }
         if returned_any {
             let outputs = &self.outputs;
             self.working.retain(|p| outputs[p.index()].is_none());
         }
+        obs.on_step_end(self.time, &active, &self.states, &self.registers);
         active
     }
 
@@ -323,8 +412,25 @@ impl<'a, A: Algorithm> Execution<'a, A> {
     /// this indicates a bug.
     pub fn run(
         &mut self,
+        schedule: impl Schedule,
+        fuel: u64,
+    ) -> Result<ExecutionReport<A::Output>, ModelError> {
+        self.run_observed(schedule, fuel, &mut ())
+    }
+
+    /// [`Execution::run`] with an [`ExecObserver`] threaded through every
+    /// step. Semantics (and errors) are identical to `run`, which
+    /// delegates here with the no-op observer `()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NonTermination`] exactly like
+    /// [`Execution::run`].
+    pub fn run_observed(
+        &mut self,
         mut schedule: impl Schedule,
         fuel: u64,
+        obs: &mut impl ExecObserver<A>,
     ) -> Result<ExecutionReport<A::Output>, ModelError> {
         let mut crashed: Vec<ProcessId> = Vec::new();
         for _ in 0..fuel {
@@ -337,7 +443,7 @@ impl<'a, A: Algorithm> Execution<'a, A> {
                     break;
                 }
                 Some(set) => {
-                    self.step_with(&set);
+                    self.step_with_observed(&set, obs);
                 }
             }
         }
@@ -383,7 +489,7 @@ impl<O> ExecutionReport<O> {
 
     /// `true` when every process returned (no crashes, no stragglers).
     pub fn all_returned(&self) -> bool {
-        self.outputs.iter().all(|o| o.is_some())
+        self.outputs.iter().all(Option::is_some)
     }
 
     /// Iterates over `(process, output)` pairs of returned processes.

@@ -86,7 +86,7 @@ pub mod trace;
 
 pub use algorithm::{Algorithm, Neighborhood, Step};
 pub use error::{GraphError, ModelError};
-pub use executor::{Execution, ExecutionReport, ProcessStatus};
+pub use executor::{ExecObserver, Execution, ExecutionReport, ProcessStatus};
 pub use graph::Topology;
 pub use ids::{ProcessId, Time};
 pub use schedule::{ActivationSet, Schedule};
@@ -96,7 +96,7 @@ pub use trace::Trace;
 pub mod prelude {
     pub use crate::algorithm::{Algorithm, Neighborhood, Step};
     pub use crate::error::{GraphError, ModelError};
-    pub use crate::executor::{Execution, ExecutionReport, ProcessStatus};
+    pub use crate::executor::{ExecObserver, Execution, ExecutionReport, ProcessStatus};
     pub use crate::graph::Topology;
     pub use crate::ids::{ProcessId, Time};
     pub use crate::schedule::{

@@ -136,7 +136,7 @@ mod tests {
     fn timeline_shows_rounds_and_returns() {
         let topo = Topology::cycle(3).unwrap();
         let mut exec = Execution::new(&TwoRound, &topo, vec![10, 20, 30]);
-        let text = render_timeline(&mut exec, Synchronous::new(), 10, |r| r.to_string());
+        let text = render_timeline(&mut exec, Synchronous::new(), 10, u64::to_string);
         assert!(text.contains("p0"), "{text}");
         assert!(text.contains("←10"), "{text}");
         assert!(text.contains("←30"), "{text}");
@@ -148,7 +148,7 @@ mod tests {
         let topo = Topology::cycle(3).unwrap();
         let mut exec = Execution::new(&TwoRound, &topo, vec![1, 2, 3]);
         let sched = FixedSequence::from_indices([vec![0]]);
-        let text = render_timeline(&mut exec, sched, 10, |r| r.to_string());
+        let text = render_timeline(&mut exec, sched, 10, u64::to_string);
         assert!(text.contains("·"), "asleep marker: {text}");
         assert!(text.contains("crashed"), "{text}");
     }

@@ -33,14 +33,50 @@
 //!   are reported, not treated as terminated.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use ftcolor_model::{Algorithm, Neighborhood, ProcessId, Step, Topology};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// The kind of one logged register access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RtEventKind {
+    /// The register's mutex was acquired.
+    Lock,
+    /// The register was written (a process publishing its own register).
+    Write,
+    /// The register was read (a process snapshotting a neighbor).
+    Read,
+    /// The register's mutex was released.
+    Unlock,
+}
+
+/// One entry of the runtime event log (see [`RunOptions::record_events`]).
+///
+/// `seq` is drawn from a single global atomic counter, so sorting by
+/// `seq` recovers the real-time interleaving of all lock/write/read
+/// events across threads. Every `seq` for an access to register `r` is
+/// allocated while the accessor holds `r`'s mutex, so the per-register
+/// `seq` order equals the mutex acquisition order — the ground truth the
+/// happens-before race detector in `ftcolor-analyze` checks against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RtEvent {
+    /// Global sequence number (total order over all events).
+    pub seq: u64,
+    /// The process performing the access.
+    pub process: usize,
+    /// That process's round counter at the time of the access (0-based).
+    pub round: u64,
+    /// The register being accessed.
+    pub register: usize,
+    /// What happened.
+    pub kind: RtEventKind,
+}
 
 /// Options for a threaded run.
 #[derive(Debug, Clone, Default)]
@@ -56,6 +92,10 @@ pub struct RunOptions {
     pub max_rounds: u64,
     /// Seed for the per-thread jitter generators.
     pub seed: u64,
+    /// Record every register lock/write/read/unlock into
+    /// [`ThreadReport::events`] (default off; adds one atomic increment
+    /// plus a `Vec` push per event).
+    pub record_events: bool,
 }
 
 impl RunOptions {
@@ -66,7 +106,14 @@ impl RunOptions {
             crash_after: HashMap::new(),
             max_rounds: 100_000,
             seed: 0,
+            record_events: false,
         }
+    }
+
+    /// Enables (or disables) the register event log.
+    pub fn record_events(mut self, on: bool) -> Self {
+        self.record_events = on;
+        self
     }
 
     /// Sets the jitter amplitude in microseconds.
@@ -106,12 +153,15 @@ pub struct ThreadReport<O> {
     pub crashed: Vec<ProcessId>,
     /// Processes that hit the round cap without returning.
     pub capped: Vec<ProcessId>,
+    /// The merged register event log, sorted by [`RtEvent::seq`] (empty
+    /// unless [`RunOptions::record_events`] was set).
+    pub events: Vec<RtEvent>,
 }
 
 impl<O> ThreadReport<O> {
     /// `true` when every process returned an output.
     pub fn all_returned(&self) -> bool {
-        self.outputs.iter().all(|o| o.is_some())
+        self.outputs.iter().all(Option::is_some)
     }
 
     /// Maximum rounds over all processes (round complexity).
@@ -147,12 +197,15 @@ where
     assert_eq!(inputs.len(), n, "one input per node");
     let registers: Vec<Mutex<Option<A::Reg>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let registers = &registers;
+    let seq_counter = AtomicU64::new(0);
+    let seq_counter = &seq_counter;
 
     struct NodeResult<O> {
         output: Option<O>,
         rounds: u64,
         crashed: bool,
         capped: bool,
+        events: Vec<RtEvent>,
     }
 
     let results: Vec<NodeResult<A::Output>> = std::thread::scope(|scope| {
@@ -177,6 +230,23 @@ where
                     let neighbor_idx: Vec<usize> =
                         topo.neighbors(p).iter().map(|q| q.index()).collect();
 
+                    let mut events: Vec<RtEvent> = Vec::new();
+                    // Allocates the next global sequence number and logs
+                    // one event; `seq` is taken while the accessed
+                    // register's mutex is held, so per-register seq
+                    // order is the mutex acquisition order.
+                    let log = |events: &mut Vec<RtEvent>, round, register, kind| {
+                        if opts.record_events {
+                            events.push(RtEvent {
+                                seq: seq_counter.fetch_add(1, Ordering::SeqCst),
+                                process: i,
+                                round,
+                                register,
+                                kind,
+                            });
+                        }
+                    };
+
                     let mut rounds = 0u64;
                     loop {
                         if crash_at.is_some_and(|c| rounds >= c) {
@@ -185,6 +255,7 @@ where
                                 rounds,
                                 crashed: true,
                                 capped: false,
+                                events,
                             };
                         }
                         if rounds >= opts.max_rounds {
@@ -193,6 +264,7 @@ where
                                 rounds,
                                 crashed: false,
                                 capped: true,
+                                events,
                             };
                         }
                         if opts.jitter_us > 0 {
@@ -202,16 +274,26 @@ where
                         }
                         // Atomic local snapshot: lock, write, read, unlock.
                         let step = {
-                            let mut guards: Vec<_> =
-                                lock_order.iter().map(|&j| registers[j].lock()).collect();
+                            let mut guards = Vec::with_capacity(lock_order.len());
+                            for &j in &lock_order {
+                                guards.push(registers[j].lock());
+                                log(&mut events, rounds, j, RtEventKind::Lock);
+                            }
                             let pos_of = |j: usize| {
                                 lock_order.binary_search(&j).expect("locked set contains j")
                             };
                             *guards[pos_of(i)] = Some(alg.publish(&state));
+                            log(&mut events, rounds, i, RtEventKind::Write);
                             let view: Vec<Option<A::Reg>> = neighbor_idx
                                 .iter()
-                                .map(|&j| guards[pos_of(j)].clone())
+                                .map(|&j| {
+                                    log(&mut events, rounds, j, RtEventKind::Read);
+                                    guards[pos_of(j)].clone()
+                                })
                                 .collect();
+                            for &j in &lock_order {
+                                log(&mut events, rounds, j, RtEventKind::Unlock);
+                            }
                             drop(guards);
                             alg.step(&mut state, &Neighborhood::new(&view))
                         };
@@ -222,6 +304,7 @@ where
                                 rounds,
                                 crashed: false,
                                 capped: false,
+                                events,
                             };
                         }
                     }
@@ -239,6 +322,7 @@ where
         rounds: Vec::with_capacity(n),
         crashed: Vec::new(),
         capped: Vec::new(),
+        events: Vec::new(),
     };
     for (i, r) in results.into_iter().enumerate() {
         report.outputs.push(r.output);
@@ -249,7 +333,9 @@ where
         if r.capped {
             report.capped.push(ProcessId(i));
         }
+        report.events.extend(r.events);
     }
+    report.events.sort_unstable_by_key(|e| e.seq);
     report
 }
 
@@ -263,7 +349,7 @@ mod tests {
     fn six_coloring_on_threads() {
         for seed in 0..3u64 {
             let n = 24;
-            let topo = Topology::cycle(n).unwrap();
+            let topo = Topology::cycle(n).expect("cycles need n >= 3 nodes");
             let ids = inputs::random_permutation(n, seed);
             let report = run_threaded(
                 &SixColoring,
@@ -280,7 +366,7 @@ mod tests {
     #[test]
     fn five_coloring_on_threads() {
         let n = 16;
-        let topo = Topology::cycle(n).unwrap();
+        let topo = Topology::cycle(n).expect("cycles need n >= 3 nodes");
         let ids = inputs::staircase_poly(n);
         let report = run_threaded(
             &FiveColoring,
@@ -296,7 +382,7 @@ mod tests {
     #[test]
     fn fast_five_coloring_with_crashes_stays_safe() {
         let n = 20;
-        let topo = Topology::cycle(n).unwrap();
+        let topo = Topology::cycle(n).expect("cycles need n >= 3 nodes");
         let ids = inputs::random_unique(n, 1 << 30, 4);
         let opts = RunOptions::new()
             .jitter(30)
@@ -320,7 +406,7 @@ mod tests {
 
     #[test]
     fn crash_at_zero_never_writes() {
-        let topo = Topology::cycle(3).unwrap();
+        let topo = Topology::cycle(3).expect("C3 is the smallest legal cycle");
         let opts = RunOptions::new().crash(1, 0);
         let report = run_threaded(&SixColoring, &topo, vec![5, 6, 7], &opts);
         assert_eq!(report.rounds[1], 0);
@@ -350,7 +436,7 @@ mod tests {
                 Step::Continue
             }
         }
-        let topo = Topology::cycle(3).unwrap();
+        let topo = Topology::cycle(3).expect("C3 is the smallest legal cycle");
         let report = run_threaded(
             &Forever,
             &topo,
@@ -362,12 +448,94 @@ mod tests {
     }
 
     #[test]
+    fn jitter_and_crash_combined() {
+        // Jitter and crash plans were previously only exercised
+        // separately; combined, the crash must still fire at the exact
+        // round count even with random sleeps shifting real-time order.
+        /// Returns its input only after `k` rounds, so a crash scheduled
+        /// before round `k` is guaranteed to fire.
+        struct SlowEcho {
+            k: u64,
+        }
+        impl Algorithm for SlowEcho {
+            type Input = u64;
+            type State = (u64, u64);
+            type Reg = u64;
+            type Output = u64;
+            fn init(&self, _id: ProcessId, input: u64) -> (u64, u64) {
+                (input, 0)
+            }
+            fn publish(&self, s: &(u64, u64)) -> u64 {
+                s.0
+            }
+            fn step(&self, s: &mut (u64, u64), _v: &Neighborhood<'_, u64>) -> Step<u64> {
+                s.1 += 1;
+                if s.1 >= self.k {
+                    Step::Return(s.0)
+                } else {
+                    Step::Continue
+                }
+            }
+        }
+
+        let n = 12;
+        let topo = Topology::cycle(n).expect("cycles need n >= 3 nodes");
+        for seed in 0..3u64 {
+            let ids: Vec<u64> = (0..n as u64).collect();
+            let opts = RunOptions::new()
+                .jitter(40)
+                .with_seed(seed)
+                .crash(2, 1)
+                .crash(7, 3);
+            let report = run_threaded(&SlowEcho { k: 6 }, &topo, ids, &opts);
+            assert_eq!(report.crashed, vec![ProcessId(2), ProcessId(7)]);
+            assert_eq!(report.rounds[2], 1, "crash honored under jitter");
+            assert_eq!(report.rounds[7], 3, "crash honored under jitter");
+            for p in 0..n {
+                if p != 2 && p != 7 {
+                    assert_eq!(report.outputs[p], Some(p as u64), "survivor {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn event_log_is_recorded_and_well_formed() {
+        let topo = Topology::cycle(5).expect("cycles need n >= 3 nodes");
+        let report = run_threaded(
+            &SixColoring,
+            &topo,
+            vec![9, 3, 7, 1, 5],
+            &RunOptions::new().record_events(true).with_seed(1),
+        );
+        assert!(report.all_returned());
+        assert!(!report.events.is_empty());
+        // Sorted by seq, seqs unique, and one Lock/Write/Unlock triple of
+        // the own register per round of each process.
+        for w in report.events.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+        let total_rounds: u64 = report.rounds.iter().sum();
+        let writes = report
+            .events
+            .iter()
+            .filter(|e| e.kind == RtEventKind::Write)
+            .count() as u64;
+        assert_eq!(writes, total_rounds, "exactly one write per round");
+        assert!(report
+            .events
+            .iter()
+            .filter(|e| e.kind == RtEventKind::Write)
+            .all(|e| e.register == e.process));
+    }
+
+    #[test]
     fn heavy_contention_no_deadlock() {
         // n = 3: every pair of processes is adjacent; all rounds contend
         // on overlapping lock sets. Run many iterations to shake out
         // ordering bugs.
         for seed in 0..20u64 {
-            let topo = Topology::cycle(3).unwrap();
+            let topo = Topology::cycle(3).expect("C3 is the smallest legal cycle");
             let report = run_threaded(
                 &FiveColoring,
                 &topo,

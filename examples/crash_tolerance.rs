@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sched = CrashPlan::new(Synchronous::new(), [(ProcessId(0), 1)]);
     match exec.run(sched, 5_000) {
         Err(ModelError::NonTermination { .. }) => {
-            println!("baseline Cole–Vishkin with one crashed node: stuck forever, as expected")
+            println!("baseline Cole–Vishkin with one crashed node: stuck forever, as expected");
         }
         other => panic!("baseline should stall under a crash, got {other:?}"),
     }

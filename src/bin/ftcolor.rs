@@ -15,8 +15,11 @@
 //!   being surfaced);
 //! * `fuzz` — evolutionary adversarial schedule search (violating
 //!   genomes are likewise shrunk);
-//! * `shrink` — delta-debug a witness file to locally minimal form.
+//! * `shrink` — delta-debug a witness file to locally minimal form;
+//! * `analyze` — lint shipped algorithms against the §2 model contract
+//!   and race-check the threaded runtime's event logs.
 
+use ftcolor::analyze::{self, render_json, Diagnostic, RuleId};
 use ftcolor::checker::shrink::WITNESS_SCHEMA;
 use ftcolor::checker::{
     FuzzConfig, LivelockWitness, ParallelModelChecker, SafetyViolation, ScheduleFuzzer, Shrinker,
@@ -47,6 +50,7 @@ fn main() -> ExitCode {
         "modelcheck" => cmd_modelcheck(&opts),
         "fuzz" => cmd_fuzz(&opts),
         "shrink" => cmd_shrink(&opts),
+        "analyze" => cmd_analyze(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -70,10 +74,13 @@ USAGE:
   ftcolor modelcheck [--alg A] [--ids LIST] [--max-configs M] [--jobs J]
   ftcolor fuzz       [--alg A] [--n N | --ids LIST] [--generations G] [--seed K] [--jobs J]
   ftcolor shrink     --in FILE [--out FILE] [--alg A] [--ids LIST] [--bound B] [--jobs J]
+  ftcolor analyze    [--alg NAME|all] [--sizes LIST] [--rules CODES] [--format text|json]
 
 FLAGS:
   --alg          alg1 | alg2 | alg2p | alg3 | alg3p    (default alg3)
-                 (shrink also accepts eagermis)
+                 (shrink also accepts eagermis; analyze accepts every
+                 registry name, `rt` for the runtime race matrix, or
+                 `all` for everything)
   --n            ring size (with --input)              (default 8)
   --ids          explicit identifiers, e.g. 5,11,7
   --input        staircase | staircase-poly | random | alternating | organ-pipe
@@ -91,6 +98,10 @@ FLAGS:
                  ({n, steps}); fixtures carry --alg/--ids themselves
   --out          write the shrunk result as a witness fixture JSON
   --bound        shrink a trace as an activation-bound overrun (> B)
+  --sizes        analyze: cycle sizes to lint on, e.g. 5,8 (default 5,8)
+  --rules        analyze: keep only these rule codes, e.g.
+                 FTC-SWMR-001,FTC-RT-104 (default: all rules)
+  --format       analyze: text | json                  (default text)
 ";
 
 /// Parses `--jobs` (default 1 worker; `0` means all CPUs downstream).
@@ -120,7 +131,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 }
 
 fn get<'a>(opts: &'a HashMap<String, String>, key: &str, default: &'a str) -> &'a str {
-    opts.get(key).map(String::as_str).unwrap_or(default)
+    opts.get(key).map_or(default, String::as_str)
 }
 
 fn parse_ids(opts: &HashMap<String, String>) -> Result<Vec<u64>, String> {
@@ -574,6 +585,69 @@ where
         let json = serde_json::to_string_pretty(&fixture).map_err(|e| e.to_string())?;
         std::fs::write(out, json + "\n").map_err(|e| format!("cannot write {out}: {e}"))?;
         println!("wrote {out}");
+    }
+    Ok(())
+}
+
+/// `ftcolor analyze`: run the contract linter over registry entries
+/// (and/or the runtime race matrix) and exit nonzero on any unwaived
+/// diagnostic — the same gate CI enforces.
+fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {
+    let sizes: Vec<usize> = get(opts, "sizes", "5,8")
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|e| format!("bad --sizes: {e}")))
+        .collect::<Result<_, _>>()?;
+    let rules: Option<Vec<RuleId>> = match opts.get("rules") {
+        Some(list) => Some(
+            list.split(',')
+                .map(|c| {
+                    RuleId::from_code(c.trim())
+                        .ok_or_else(|| format!("unknown rule code `{}`", c.trim()))
+                })
+                .collect::<Result<_, _>>()?,
+        ),
+        None => None,
+    };
+    let alg = get(opts, "alg", "all");
+    let cfg = analyze::LintConfig::default();
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    if alg == "all" {
+        for report in analyze::analyze_all(&sizes, &cfg) {
+            diags.extend(report.diagnostics);
+        }
+    } else if alg != "rt" {
+        let report = analyze::analyze_alg(alg, &sizes, &cfg).ok_or_else(|| {
+            format!(
+                "unknown --alg `{alg}` (expected one of {}, `rt`, or `all`)",
+                analyze::SHIPPED.join(", ")
+            )
+        })?;
+        diags.extend(report.diagnostics);
+    }
+    if matches!(alg, "all" | "rt") {
+        diags.extend(analyze::race_matrix());
+    }
+    if let Some(rules) = &rules {
+        diags.retain(|d| rules.contains(&d.rule));
+    }
+
+    let unwaived = diags.iter().filter(|d| !d.waived).count();
+    match get(opts, "format", "text") {
+        "json" => println!("{}", render_json(&diags)),
+        "text" => {
+            for d in &diags {
+                println!("{}", d.render());
+            }
+            println!(
+                "analyze: {} diagnostic(s), {unwaived} unwaived",
+                diags.len()
+            );
+        }
+        other => return Err(format!("unknown --format `{other}`")),
+    }
+    if unwaived > 0 {
+        return Err(format!("{unwaived} unwaived diagnostic(s)"));
     }
     Ok(())
 }

@@ -11,12 +11,15 @@
 //! * [`checker`] — invariant checking, chain analysis, exhaustive model
 //!   checking, and statistics,
 //! * [`runtime`] — an OS-thread execution substrate with crash and jitter
-//!   injection.
+//!   injection,
+//! * [`analyze`] — the model-contract linter and happens-before race
+//!   detector behind `ftcolor analyze`.
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
 
 #![forbid(unsafe_code)]
 
+pub use ftcolor_analyze as analyze;
 pub use ftcolor_checker as checker;
 pub use ftcolor_core as core;
 pub use ftcolor_model as model;

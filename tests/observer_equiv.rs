@@ -1,0 +1,129 @@
+//! Property: attaching an [`ExecObserver`] never changes an execution.
+//!
+//! The contract linter rides on the abstract executor's observation
+//! hooks, so its evidence is only as good as this guarantee: the
+//! instrumented executor must produce *bit-identical* traces to the
+//! plain one on arbitrary schedules. We run every schedule three ways —
+//! plain `run`, observed with the no-op `()`, and observed with a
+//! recorder that formats every hook payload — and demand identical
+//! reports, plus identical recorder traces across repeated runs.
+
+use ftcolor::model::{inputs, Topology};
+use ftcolor::prelude::*;
+use proptest::prelude::*;
+
+/// Records every observation as a formatted line; two runs are
+/// "bit-identical" iff their recorded traces compare equal.
+#[derive(Default)]
+struct Recorder {
+    trace: Vec<String>,
+}
+
+impl<A: Algorithm> ExecObserver<A> for Recorder {
+    fn on_write(&mut self, t: Time, p: ProcessId, states: &[A::State], regs: &[Option<A::Reg>]) {
+        self.trace.push(format!("w {t} {p} {states:?} {regs:?}"));
+    }
+
+    fn on_before_update(
+        &mut self,
+        t: Time,
+        p: ProcessId,
+        states: &[A::State],
+        view: &[Option<A::Reg>],
+    ) {
+        self.trace.push(format!("b {t} {p} {states:?} {view:?}"));
+    }
+
+    fn on_after_update(
+        &mut self,
+        t: Time,
+        p: ProcessId,
+        states: &[A::State],
+        view: &[Option<A::Reg>],
+        returned: Option<&A::Output>,
+    ) {
+        self.trace
+            .push(format!("a {t} {p} {states:?} {view:?} {returned:?}"));
+    }
+
+    fn on_step_end(
+        &mut self,
+        t: Time,
+        active: &[ProcessId],
+        states: &[A::State],
+        regs: &[Option<A::Reg>],
+    ) {
+        self.trace
+            .push(format!("e {t} {active:?} {states:?} {regs:?}"));
+    }
+}
+
+/// Runs `alg` three ways on the same instance/schedule and checks the
+/// equivalences; returns the recorder trace for cross-run comparison.
+fn run_three_ways<A>(
+    alg: &A,
+    n: usize,
+    ids: &[u64],
+    seed: u64,
+    density: f64,
+) -> Result<Vec<String>, TestCaseError>
+where
+    A: Algorithm<Input = u64>,
+{
+    let topo = Topology::cycle(n).expect("cycles need n >= 3 nodes");
+    let fuel = 100_000;
+
+    let mut plain = Execution::new(alg, &topo, ids.to_vec());
+    let plain_report = plain.run(RandomSubset::new(seed, density), fuel);
+
+    let mut noop = Execution::new(alg, &topo, ids.to_vec());
+    let noop_report = noop.run_observed(RandomSubset::new(seed, density), fuel, &mut ());
+
+    let mut rec = Recorder::default();
+    let mut observed = Execution::new(alg, &topo, ids.to_vec());
+    let observed_report = observed.run_observed(RandomSubset::new(seed, density), fuel, &mut rec);
+
+    // Reports agree bit-for-bit (errors compared via their rendering).
+    let fmt = |r: &Result<ExecutionReport<A::Output>, ModelError>| format!("{r:?}");
+    prop_assert_eq!(fmt(&plain_report), fmt(&noop_report));
+    prop_assert_eq!(fmt(&plain_report), fmt(&observed_report));
+    // So do the final visible machine states.
+    prop_assert_eq!(plain.outputs(), observed.outputs());
+    prop_assert_eq!(plain.registers(), observed.registers());
+    prop_assert_eq!(plain.time(), observed.time());
+    Ok(rec.trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn observation_is_free_for_alg1(
+        n_pick in 0usize..2,
+        idseed in 0u64..1000,
+        schedseed in 0u64..1000,
+        density_pct in 20u64..90,
+    ) {
+        let n = if n_pick == 0 { 5 } else { 8 };
+        let ids = inputs::random_unique(n, 1000, idseed);
+        let density = density_pct as f64 / 100.0;
+        let t1 = run_three_ways(&SixColoring, n, &ids, schedseed, density)?;
+        let t2 = run_three_ways(&SixColoring, n, &ids, schedseed, density)?;
+        prop_assert_eq!(t1, t2, "recorder traces differ across identical runs");
+    }
+
+    #[test]
+    fn observation_is_free_for_alg2p(
+        n_pick in 0usize..2,
+        idseed in 0u64..1000,
+        schedseed in 0u64..1000,
+        density_pct in 20u64..90,
+    ) {
+        let n = if n_pick == 0 { 5 } else { 8 };
+        let ids = inputs::random_unique(n, 1000, idseed);
+        let density = density_pct as f64 / 100.0;
+        let t1 = run_three_ways(&FiveColoringPatched, n, &ids, schedseed, density)?;
+        let t2 = run_three_ways(&FiveColoringPatched, n, &ids, schedseed, density)?;
+        prop_assert_eq!(t1, t2, "recorder traces differ across identical runs");
+    }
+}

@@ -30,7 +30,7 @@ fn theorem_3_1_end_to_end() {
                 let check = check_coloring_report(
                     &topo,
                     &report,
-                    |c| c.flat_index(),
+                    PairColor::flat_index,
                     6,
                     theorem_3_1_bound(n),
                 );
