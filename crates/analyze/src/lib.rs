@@ -27,11 +27,13 @@
 pub mod contract;
 pub mod diag;
 pub mod linter;
+pub mod netmat;
 pub mod race;
 pub mod registry;
 
 pub use contract::{ContractSpec, Waiver};
 pub use diag::{render_json, Diagnostic, RuleId};
 pub use linter::{lint_algorithm, LintConfig};
+pub use netmat::{net_race_matrix, net_run, NetRunOutcome, NetSummary};
 pub use race::check_events;
 pub use registry::{analyze_alg, analyze_all, race_matrix, AlgReport, SHIPPED};

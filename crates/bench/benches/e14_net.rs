@@ -1,0 +1,51 @@
+//! E14 (network substrate): messages/sec and events/sec of the
+//! discrete-event simulator at n ∈ {100, 1k, 10k}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftcolor_bench::e14_net;
+use ftcolor_core::FastFiveColoringPatched;
+use ftcolor_model::{inputs, Topology};
+use ftcolor_net::{run_net, FaultPlan, NetConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e14_net");
+    g.sample_size(10);
+
+    // Claim check once: proper and live under every measured plan.
+    for r in e14_net::run(&[16, 48], 1) {
+        assert!(r.proper && r.returned, "{r:?}");
+    }
+
+    for n in [100usize, 1_000, 10_000] {
+        let topo = Topology::cycle(n).unwrap();
+        let xs = inputs::staircase_poly(n);
+        let clean = FaultPlan::clean();
+        let lossy = FaultPlan::lossy(0.10);
+        g.bench_with_input(BenchmarkId::new("clean", n), &n, |b, _| {
+            b.iter(|| {
+                run_net(
+                    &FastFiveColoringPatched,
+                    &topo,
+                    xs.clone(),
+                    &clean,
+                    &NetConfig::new(7),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("lossy_10pct", n), &n, |b, _| {
+            b.iter(|| {
+                run_net(
+                    &FastFiveColoringPatched,
+                    &topo,
+                    xs.clone(),
+                    &lossy,
+                    &NetConfig::new(7),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -34,6 +34,7 @@ struct AllResults {
     e9_renaming: Vec<e9_baselines::RenameRow>,
     e10: Vec<e10_crash_tolerance::Row>,
     e11: Vec<e11_decoupled::Row>,
+    e14: Vec<e14_net::Row>,
 }
 
 fn main() {
@@ -136,6 +137,14 @@ fn main() {
     };
     print!("{}", e11_decoupled::table(&e11));
 
+    section("E14 (message-passing substrate)");
+    let e14 = if quick {
+        e14_net::run(&[16, 100], 3)
+    } else {
+        e14_net::run(&[100, 1_000, 10_000], 3)
+    };
+    print!("{}", e14_net::table(&e14));
+
     let all = AllResults {
         e1,
         e2,
@@ -152,6 +161,7 @@ fn main() {
         e9_renaming: e9r,
         e10,
         e11,
+        e14,
     };
     let json = serde_json::to_string_pretty(&all).expect("serializable results");
     std::fs::write("experiments.json", json).expect("write experiments.json");

@@ -41,6 +41,29 @@ pub struct Knowledge<'a, I> {
 }
 
 impl<'a, I> Knowledge<'a, I> {
+    /// Builds a knowledge ball directly — for alternative substrates
+    /// (e.g. a message-passing network whose gossip layer has
+    /// propagated inputs up to `radius`) that drive a
+    /// [`DecoupledAlgorithm`] outside [`DecoupledExecution`].
+    ///
+    /// `inputs` must hold one entry per node; entries outside the ball
+    /// are never read (`input_of` guards by distance), so a substrate
+    /// that only knows a prefix of the ring may fill the rest with any
+    /// placeholder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the node count.
+    pub fn new(topo: &'a Topology, inputs: &'a [I], center: ProcessId, radius: usize) -> Self {
+        assert_eq!(inputs.len(), topo.len(), "one input per node");
+        Knowledge {
+            topo,
+            inputs,
+            center,
+            radius,
+        }
+    }
+
     /// The center process.
     pub fn center(&self) -> ProcessId {
         self.center

@@ -82,6 +82,7 @@ pub mod inputs;
 pub mod logstar;
 pub mod render;
 pub mod schedule;
+pub mod substrate;
 pub mod trace;
 
 pub use algorithm::{Algorithm, Neighborhood, Step};
@@ -90,6 +91,7 @@ pub use executor::{ExecObserver, Execution, ExecutionReport, ProcessStatus};
 pub use graph::Topology;
 pub use ids::{ProcessId, Time};
 pub use schedule::{ActivationSet, Schedule};
+pub use substrate::SubstrateReport;
 pub use trace::Trace;
 
 /// Convenience re-exports for downstream crates and examples.
@@ -103,5 +105,6 @@ pub mod prelude {
         ActivationSet, CrashPlan, FixedSequence, Interleave, Laggard, RandomSubset, RoundRobin,
         Schedule, SoloRunner, Stutter, Synchronous, Then, Wave,
     };
+    pub use crate::substrate::SubstrateReport;
     pub use crate::trace::Trace;
 }

@@ -1,0 +1,301 @@
+//! Seeded, fully deterministic fault plans for the simulated network.
+//!
+//! A [`FaultPlan`] describes everything the adversary may do to the
+//! network: per-link drop/delay/duplicate/reorder probabilities,
+//! partition windows (with or without healing), and process crashes.
+//! All randomness downstream is drawn from one seeded generator in a
+//! fixed order, so the same `(seed, plan)` pair always yields the same
+//! delivery schedule — byte-identical traces, replayable runs.
+//!
+//! Loopback links (a node writing to its own co-located register
+//! server) are reliable by construction: they model a process's access
+//! to its own shared-memory register, which the paper's model never
+//! fails. Partitions likewise only cut links *between* the two sides.
+//!
+//! The JSON form is tolerant of omitted fields (each falls back to its
+//! default), so CLI fault plans stay short:
+//!
+//! ```text
+//! --faults '{"drop":0.15,"partitions":[{"start":5,"end":60,"side":[0,1]}]}'
+//! ```
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// Default minimum link delay (logical ticks).
+pub const DEFAULT_DELAY_MIN: u64 = 1;
+/// Default maximum link delay (logical ticks).
+pub const DEFAULT_DELAY_MAX: u64 = 3;
+/// Default extra-delay window for reordered/duplicated copies.
+pub const DEFAULT_REORDER_MAX: u64 = 8;
+
+/// A partition window: messages between `side` and its complement are
+/// dropped while `start <= now < end`. Use [`Partition::forever`] (or
+/// `end = u64::MAX`) for a partition that never heals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// First logical time at which the cut is in effect.
+    pub start: u64,
+    /// First logical time at which the cut is healed (exclusive end).
+    pub end: u64,
+    /// The nodes on one side of the cut (the other side is the rest).
+    pub side: Vec<usize>,
+}
+
+impl Partition {
+    /// A partition over `[start, end)` isolating `side`.
+    pub fn window(start: u64, end: u64, side: Vec<usize>) -> Self {
+        Partition { start, end, side }
+    }
+
+    /// A partition from `start` that never heals.
+    pub fn forever(start: u64, side: Vec<usize>) -> Self {
+        Partition {
+            start,
+            end: u64::MAX,
+            side,
+        }
+    }
+
+    /// Whether a message `from -> to` sent at time `now` crosses the cut
+    /// while it is active.
+    pub fn cuts(&self, now: u64, from: usize, to: usize) -> bool {
+        self.start <= now
+            && now < self.end
+            && (self.side.contains(&from) != self.side.contains(&to))
+    }
+}
+
+/// A process crash: node `node` stops taking algorithm steps at logical
+/// time `at`. Its register server keeps serving reads — registers are
+/// shared memory in the paper's model and survive the crash.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrashAt {
+    /// The crashing node.
+    pub node: usize,
+    /// The logical time of the crash.
+    pub at: u64,
+}
+
+/// Per-link override of the global fault parameters for messages
+/// `from -> to` (directed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkFault {
+    /// Source node of the directed link.
+    pub from: usize,
+    /// Destination node of the directed link.
+    pub to: usize,
+    /// Drop probability on this link.
+    pub drop: f64,
+    /// Minimum delivery delay on this link.
+    pub delay_min: u64,
+    /// Maximum delivery delay on this link.
+    pub delay_max: u64,
+    /// Duplicate probability on this link.
+    pub duplicate: f64,
+    /// Reorder probability on this link.
+    pub reorder: f64,
+}
+
+/// The effective fault parameters for one directed link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// Drop probability in `[0, 1)`.
+    pub drop: f64,
+    /// Minimum delivery delay (ticks).
+    pub delay_min: u64,
+    /// Maximum delivery delay (ticks).
+    pub delay_max: u64,
+    /// Duplicate probability in `[0, 1)`.
+    pub duplicate: f64,
+    /// Reorder (extra-delay) probability in `[0, 1)`.
+    pub reorder: f64,
+}
+
+/// The full fault plan. [`FaultPlan::default`] is a clean network:
+/// no drops, no duplicates, no reordering, delays in `[1, 3]`, no
+/// partitions, no crashes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Global drop probability per message.
+    pub drop: f64,
+    /// Global minimum delivery delay (logical ticks, >= 1).
+    pub delay_min: u64,
+    /// Global maximum delivery delay.
+    pub delay_max: u64,
+    /// Global duplicate probability per message.
+    pub duplicate: f64,
+    /// Global reorder probability per message (an extra random delay
+    /// that lets later sends overtake this one).
+    pub reorder: f64,
+    /// Upper bound on the extra reorder/duplicate delay.
+    pub reorder_max: u64,
+    /// Per-link overrides of the global parameters.
+    pub links: Vec<LinkFault>,
+    /// Partition windows.
+    pub partitions: Vec<Partition>,
+    /// Process crashes.
+    pub crashes: Vec<CrashAt>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            drop: 0.0,
+            delay_min: DEFAULT_DELAY_MIN,
+            delay_max: DEFAULT_DELAY_MAX,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reorder_max: DEFAULT_REORDER_MAX,
+            links: Vec::new(),
+            partitions: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A clean network (alias of [`FaultPlan::default`]).
+    pub fn clean() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A uniformly lossy network: every link drops each message with
+    /// probability `drop`.
+    pub fn lossy(drop: f64) -> Self {
+        FaultPlan {
+            drop,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Adds a process crash.
+    #[must_use]
+    pub fn with_crash(mut self, node: usize, at: u64) -> Self {
+        self.crashes.push(CrashAt { node, at });
+        self
+    }
+
+    /// Adds a partition window.
+    #[must_use]
+    pub fn with_partition(mut self, p: Partition) -> Self {
+        self.partitions.push(p);
+        self
+    }
+
+    /// The effective parameters for the directed link `from -> to`
+    /// (the first matching override wins, else the global values).
+    pub fn link(&self, from: usize, to: usize) -> LinkParams {
+        let base = LinkParams {
+            drop: self.drop,
+            delay_min: self.delay_min.max(1),
+            delay_max: self.delay_max.max(self.delay_min.max(1)),
+            duplicate: self.duplicate,
+            reorder: self.reorder,
+        };
+        self.links
+            .iter()
+            .find(|l| l.from == from && l.to == to)
+            .map_or(base, |l| LinkParams {
+                drop: l.drop,
+                delay_min: l.delay_min.max(1),
+                delay_max: l.delay_max.max(l.delay_min.max(1)),
+                duplicate: l.duplicate,
+                reorder: l.reorder,
+            })
+    }
+
+    /// Whether a message `from -> to` sent at `now` is cut by an active
+    /// partition window.
+    pub fn partitioned(&self, now: u64, from: usize, to: usize) -> bool {
+        self.partitions.iter().any(|p| p.cuts(now, from, to))
+    }
+}
+
+impl Serialize for FaultPlan {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("drop".into(), self.drop.to_value()),
+            ("delay_min".into(), self.delay_min.to_value()),
+            ("delay_max".into(), self.delay_max.to_value()),
+            ("duplicate".into(), self.duplicate.to_value()),
+            ("reorder".into(), self.reorder.to_value()),
+            ("reorder_max".into(), self.reorder_max.to_value()),
+            ("links".into(), self.links.to_value()),
+            ("partitions".into(), self.partitions.to_value()),
+            ("crashes".into(), self.crashes.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for FaultPlan {
+    /// Tolerant parse: every omitted field falls back to its default,
+    /// so `{}` is a clean network and `{"drop":0.2}` is a lossy one.
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.expect_object("FaultPlan")?;
+        let d = FaultPlan::default();
+        fn opt<T: Deserialize>(v: &Value, fallback: T) -> Result<T, Error> {
+            match v {
+                Value::Null => Ok(fallback),
+                other => T::from_value(other),
+            }
+        }
+        Ok(FaultPlan {
+            drop: opt(obj.field("drop", "FaultPlan")?, d.drop)?,
+            delay_min: opt(obj.field("delay_min", "FaultPlan")?, d.delay_min)?,
+            delay_max: opt(obj.field("delay_max", "FaultPlan")?, d.delay_max)?,
+            duplicate: opt(obj.field("duplicate", "FaultPlan")?, d.duplicate)?,
+            reorder: opt(obj.field("reorder", "FaultPlan")?, d.reorder)?,
+            reorder_max: opt(obj.field("reorder_max", "FaultPlan")?, d.reorder_max)?,
+            links: opt(obj.field("links", "FaultPlan")?, d.links)?,
+            partitions: opt(obj.field("partitions", "FaultPlan")?, d.partitions)?,
+            crashes: opt(obj.field("crashes", "FaultPlan")?, d.crashes)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerant_json_parse_fills_defaults() {
+        let plan: FaultPlan = serde_json::from_str("{}").expect("empty plan parses");
+        assert_eq!(plan, FaultPlan::default());
+        let plan: FaultPlan =
+            serde_json::from_str(r#"{"drop":0.25,"partitions":[{"start":2,"end":9,"side":[0]}]}"#)
+                .expect("partial plan parses");
+        assert!((plan.drop - 0.25).abs() < 1e-12);
+        assert_eq!(plan.delay_min, DEFAULT_DELAY_MIN);
+        assert_eq!(plan.partitions.len(), 1);
+        assert!(plan.partitions[0].cuts(5, 0, 1));
+        assert!(!plan.partitions[0].cuts(9, 0, 1), "healed at end");
+        assert!(!plan.partitions[0].cuts(5, 2, 1), "same side unaffected");
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = FaultPlan::lossy(0.1)
+            .with_crash(3, 7)
+            .with_partition(Partition::forever(4, vec![1, 2]));
+        let text = serde_json::to_string(&plan).expect("plan encodes");
+        let back: FaultPlan = serde_json::from_str(&text).expect("round-trips");
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn link_overrides_take_precedence() {
+        let mut plan = FaultPlan::default();
+        plan.links.push(LinkFault {
+            from: 0,
+            to: 1,
+            drop: 0.9,
+            delay_min: 5,
+            delay_max: 5,
+            duplicate: 0.0,
+            reorder: 0.0,
+        });
+        assert!((plan.link(0, 1).drop - 0.9).abs() < 1e-12);
+        assert!((plan.link(1, 0).drop).abs() < 1e-12, "directed override");
+        assert_eq!(plan.link(0, 1).delay_min, 5);
+    }
+}

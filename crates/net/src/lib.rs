@@ -1,0 +1,45 @@
+//! `ftcolor-net` — a discrete-event message-passing substrate for the
+//! asynchronous-cycle coloring algorithms.
+//!
+//! The paper's state model (§2) is substrate-agnostic: its theorems
+//! hold for any implementation of SWMR registers and local immediate
+//! snapshots. This crate provides the third substrate of the
+//! reproduction — after the abstract executor (`ftcolor-model`) and the
+//! OS-thread runtime (`ftcolor-runtime`) — where each process is a
+//! *node* exchanging serde-JSON-framed messages (`write`,
+//! `snapshot_req`, `snapshot_resp`) with its ring neighbors over a
+//! simulated network, so every registry algorithm runs unmodified on
+//! it via the ordinary [`ftcolor_model::Algorithm`] trait.
+//!
+//! What makes it a *network*: a seeded, fully deterministic fault plan
+//! ([`FaultPlan`]) with per-link drop/delay/duplicate/reorder
+//! probabilities, partition/heal windows, and node crashes, driven by
+//! a binary-heap event queue over a logical clock (no `Instant::now`
+//! anywhere in the simulation path). Every run records a
+//! [`DeliveryTrace`] — the complete transcript of the network's
+//! decisions — which [`replay_net`] re-runs bit-for-bit.
+//!
+//! What it proves and what it doesn't: register servers are substrate
+//! memory co-located with each node and survive process crashes, which
+//! is an honest simulation of the paper's crash-surviving shared
+//! registers (a real message-passing emulation without such servers
+//! would need ABD-style majority replication). The recorded `RtEvent`
+//! log is the round-*commit* serialization, not raw message timings;
+//! see `EXPERIMENTS.md` §E14 for the full claim inventory.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod decoupled;
+pub mod faults;
+pub mod msg;
+pub mod shrink;
+pub mod sim;
+pub mod trace;
+
+pub use decoupled::{replay_decoupled_net, run_decoupled_net};
+pub use faults::{CrashAt, FaultPlan, LinkFault, LinkParams, Partition};
+pub use msg::{Body, Frame, SnapshotReq, SnapshotResp, Write};
+pub use shrink::shrink_plan;
+pub use sim::{replay_net, run_net, NetConfig, NetReport, NetStats};
+pub use trace::{DeliveryTrace, Outcome, TraceEntry};

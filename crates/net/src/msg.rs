@@ -1,0 +1,187 @@
+//! The wire protocol: three JSON-framed message types.
+//!
+//! Every message crossing the simulated network is a [`Frame`] — source,
+//! destination, and a [`Body`] that is one of:
+//!
+//! * `write` — a process announcing the new value of its own SWMR
+//!   register. Sent to its co-located register server (loopback) to
+//!   apply the write, and broadcast to its neighbors so their mirrors
+//!   stay warm.
+//! * `snapshot_req` — a process asking a neighbor's register server for
+//!   the register's current value (one per neighbor per round,
+//!   retransmitted until answered).
+//! * `snapshot_resp` — the register server's answer: the current value
+//!   and its write stamp (`0` = never written).
+//!
+//! Bodies are externally tagged with the snake_case names above, so the
+//! frames read naturally in delivery traces and match what a real
+//! Maelstrom-style node loop would exchange. Register payloads travel as
+//! [`serde::Value`] trees: the substrate is generic over the algorithm's
+//! register type and encodes/decodes it at the network boundary.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// One message in flight: source node, destination node, payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Sending node.
+    pub src: usize,
+    /// Receiving node.
+    pub dest: usize,
+    /// The protocol payload.
+    pub body: Body,
+}
+
+/// The three protocol messages (externally tagged as `write`,
+/// `snapshot_req`, `snapshot_resp`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Body {
+    /// A register write announcement.
+    Write(Write),
+    /// A snapshot read request.
+    SnapshotReq(SnapshotReq),
+    /// A snapshot read response.
+    SnapshotResp(SnapshotResp),
+}
+
+/// `write`: the sender's register now holds `value` (written in the
+/// sender's round `round`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Write {
+    /// The writer's 0-based round number.
+    pub round: u64,
+    /// The encoded register value.
+    pub value: Value,
+}
+
+/// `snapshot_req`: send me your register's current value (the reader is
+/// in round `round`; the round number keys the response to the right
+/// snapshot phase).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotReq {
+    /// The requesting reader's 0-based round number.
+    pub round: u64,
+}
+
+/// `snapshot_resp`: the register's current value. `value` is `null` and
+/// `stamp` is `0` when the register was never written (the owner has not
+/// woken up yet); otherwise `stamp` is the writer's round plus one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotResp {
+    /// Echo of the requesting reader's round number.
+    pub round: u64,
+    /// The register value, or `None` if never written.
+    pub value: Option<Value>,
+    /// Freshness stamp: writer round + 1, or `0` for never-written.
+    pub stamp: u64,
+}
+
+impl Body {
+    /// The snake_case tag of this message type (as it appears on the
+    /// wire and in delivery traces).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Body::Write(_) => "write",
+            Body::SnapshotReq(_) => "snapshot_req",
+            Body::SnapshotResp(_) => "snapshot_resp",
+        }
+    }
+}
+
+impl Serialize for Body {
+    fn to_value(&self) -> Value {
+        let (tag, inner) = match self {
+            Body::Write(m) => ("write", m.to_value()),
+            Body::SnapshotReq(m) => ("snapshot_req", m.to_value()),
+            Body::SnapshotResp(m) => ("snapshot_resp", m.to_value()),
+        };
+        Value::Object(vec![(tag.to_string(), inner)])
+    }
+}
+
+impl Deserialize for Body {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let Value::Object(pairs) = v else {
+            return Err(Error::custom(format!(
+                "expected an externally tagged message body, got {v:?}"
+            )));
+        };
+        let [(tag, inner)] = pairs.as_slice() else {
+            return Err(Error::custom(format!(
+                "expected exactly one message tag, got {} keys",
+                pairs.len()
+            )));
+        };
+        match tag.as_str() {
+            "write" => Ok(Body::Write(Write::from_value(inner)?)),
+            "snapshot_req" => Ok(Body::SnapshotReq(SnapshotReq::from_value(inner)?)),
+            "snapshot_resp" => Ok(Body::SnapshotResp(SnapshotResp::from_value(inner)?)),
+            other => Err(Error::custom(format!("unknown message tag `{other}`"))),
+        }
+    }
+}
+
+impl Frame {
+    /// Encodes the frame as one line of JSON (the wire format).
+    pub fn encode(&self) -> String {
+        serde_json::to_string(self).expect("frames always encode")
+    }
+
+    /// Decodes a frame from its JSON wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse/shape error for malformed input.
+    pub fn decode(text: &str) -> Result<Self, Error> {
+        serde_json::from_str(text).map_err(|e| Error::custom(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_through_json() {
+        let frames = [
+            Frame {
+                src: 0,
+                dest: 1,
+                body: Body::Write(Write {
+                    round: 3,
+                    value: Value::Array(vec![Value::Number(serde::Number::PosInt(7))]),
+                }),
+            },
+            Frame {
+                src: 2,
+                dest: 0,
+                body: Body::SnapshotReq(SnapshotReq { round: 9 }),
+            },
+            Frame {
+                src: 1,
+                dest: 2,
+                body: Body::SnapshotResp(SnapshotResp {
+                    round: 9,
+                    value: None,
+                    stamp: 0,
+                }),
+            },
+        ];
+        for f in frames {
+            let text = f.encode();
+            let back = Frame::decode(&text).expect("decodes");
+            assert_eq!(back, f);
+            assert_eq!(back.encode(), text, "re-encode is byte-identical");
+        }
+    }
+
+    #[test]
+    fn tags_are_snake_case_on_the_wire() {
+        let f = Frame {
+            src: 0,
+            dest: 1,
+            body: Body::SnapshotReq(SnapshotReq { round: 0 }),
+        };
+        assert!(f.encode().contains("\"snapshot_req\""));
+    }
+}

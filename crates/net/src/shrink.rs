@@ -1,0 +1,133 @@
+//! Greedy fault-plan minimization.
+//!
+//! Given a [`FaultPlan`] that provokes some behavior (an oracle
+//! violation, a stall, …) and a predicate that re-runs the simulation
+//! and reports whether the behavior persists, [`shrink_plan`] deletes
+//! and simplifies plan components one at a time, keeping each edit only
+//! if the predicate still holds, and iterates to a fixpoint. The result
+//! is locally minimal: removing any single crash, partition, or link
+//! override, zeroing any probability, or collapsing the delay window no
+//! longer reproduces.
+//!
+//! This mirrors the schedule shrinker in `ftcolor-checker::shrink` but
+//! operates on the *fault plan* (the network adversary) instead of the
+//! activation schedule: the two compose, since a netsim witness is
+//! `(seed, plan)`.
+
+use crate::faults::FaultPlan;
+
+/// Shrinks `plan` to a locally minimal plan that still satisfies
+/// `pred`. `pred(&plan)` must be true on entry (the unshrunk plan
+/// reproduces); the returned plan also satisfies it.
+///
+/// Determinism: candidate edits are tried in a fixed order, so the same
+/// input plan and deterministic predicate always yield the same shrunk
+/// plan.
+pub fn shrink_plan(plan: &FaultPlan, mut pred: impl FnMut(&FaultPlan) -> bool) -> FaultPlan {
+    let mut best = plan.clone();
+    loop {
+        let mut improved = false;
+        for candidate in candidates(&best) {
+            if pred(&candidate) {
+                best = candidate;
+                improved = true;
+                break; // restart the sweep from the smaller plan
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// Single-edit simplifications of `plan`, most aggressive first.
+fn candidates(plan: &FaultPlan) -> Vec<FaultPlan> {
+    let mut out = Vec::new();
+    // Drop whole components.
+    for i in 0..plan.crashes.len() {
+        let mut c = plan.clone();
+        c.crashes.remove(i);
+        out.push(c);
+    }
+    for i in 0..plan.partitions.len() {
+        let mut c = plan.clone();
+        c.partitions.remove(i);
+        out.push(c);
+    }
+    for i in 0..plan.links.len() {
+        let mut c = plan.clone();
+        c.links.remove(i);
+        out.push(c);
+    }
+    // Zero the global probabilities.
+    for (zeroed, current) in [
+        (zero_drop as fn(&mut FaultPlan), plan.drop),
+        (zero_duplicate, plan.duplicate),
+        (zero_reorder, plan.reorder),
+    ] {
+        if current != 0.0 {
+            let mut c = plan.clone();
+            zeroed(&mut c);
+            out.push(c);
+        }
+    }
+    // Collapse the delay window to a single tick.
+    if plan.delay_min != 1 || plan.delay_max != 1 {
+        let mut c = plan.clone();
+        c.delay_min = 1;
+        c.delay_max = 1;
+        out.push(c);
+    }
+    // Shrink partition sides one node at a time.
+    for (i, p) in plan.partitions.iter().enumerate() {
+        for j in 0..p.side.len() {
+            let mut c = plan.clone();
+            c.partitions[i].side.remove(j);
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn zero_drop(p: &mut FaultPlan) {
+    p.drop = 0.0;
+}
+fn zero_duplicate(p: &mut FaultPlan) {
+    p.duplicate = 0.0;
+}
+fn zero_reorder(p: &mut FaultPlan) {
+    p.reorder = 0.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::Partition;
+
+    #[test]
+    fn shrinks_to_the_load_bearing_component() {
+        // Predicate: "the plan crashes node 2". Everything else is noise.
+        let plan = FaultPlan::lossy(0.3)
+            .with_crash(1, 5)
+            .with_crash(2, 9)
+            .with_partition(Partition::window(0, 50, vec![0, 1]));
+        let shrunk = shrink_plan(&plan, |p| p.crashes.iter().any(|c| c.node == 2));
+        assert_eq!(shrunk.crashes.len(), 1);
+        assert_eq!(shrunk.crashes[0].node, 2);
+        assert!(shrunk.partitions.is_empty());
+        assert_eq!(shrunk.drop, 0.0);
+        assert_eq!(shrunk.delay_min, 1);
+        assert_eq!(shrunk.delay_max, 1);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic_and_idempotent() {
+        let plan = FaultPlan::lossy(0.2).with_crash(0, 3).with_crash(3, 4);
+        let pred = |p: &FaultPlan| !p.crashes.is_empty();
+        let once = shrink_plan(&plan, pred);
+        let twice = shrink_plan(&once, pred);
+        assert_eq!(once, twice, "fixpoint");
+        assert_eq!(once, shrink_plan(&plan, pred), "deterministic");
+        assert_eq!(once.crashes.len(), 1);
+    }
+}

@@ -1,0 +1,923 @@
+//! The discrete-event network simulator.
+//!
+//! # Protocol
+//!
+//! Every node hosts two co-located roles:
+//!
+//! * a **process** running the algorithm's state machine (crashable), and
+//! * a **register server** holding the process's SWMR register
+//!   (substrate memory — it keeps answering [`crate::msg::SnapshotReq`]
+//!   even after its process crashes or returns, exactly as the paper's
+//!   shared registers survive process crashes).
+//!
+//! One asynchronous round of process `p` unfolds as messages:
+//!
+//! 1. `Activate(p)` fires: `p` encodes `publish(state)` and sends a
+//!    `write` frame to itself on the **loopback** link (reliable, one
+//!    tick — a process never loses access to its own register).
+//! 2. The loopback delivery applies the write (freshness-stamped with
+//!    `round + 1`), broadcasts `write` to all ring neighbors (mirror
+//!    warm-up — loss is harmless), then sends one `snapshot_req` per
+//!    neighbor and arms a retransmit timer for each.
+//! 3. Each neighbor's register server answers with `snapshot_resp`
+//!    carrying its current value and stamp; requests lost to drops or
+//!    partitions are retransmitted every `rto` ticks, and duplicates
+//!    are idempotent (a round's response slot fills at most once).
+//! 4. When all neighbors answered, the round **commits**: the view per
+//!    neighbor is the fresher of `snapshot_resp` and the mirror (the
+//!    merge observes a value the register held at or after the request
+//!    — equivalent to a later read, so still a regular-register read),
+//!    the algorithm's `step` runs, and either the next round's
+//!    `Activate` is scheduled or the process returns.
+//!
+//! Reads therefore always linearize after the process's own write, and
+//! final register values of returned processes are permanently
+//! readable — the two properties the paper's safety arguments need.
+//!
+//! # Determinism
+//!
+//! All network nondeterminism (drop/delay/duplicate/reorder draws) comes
+//! from one RNG seeded with `cfg.seed`, consumed in send order; all
+//! timing nondeterminism (activation jitter) from a second stream
+//! derived from the same seed. Events sit in a binary heap ordered by
+//! `(time, tick)` with a monotonic tie-break tick. There is no
+//! `Instant::now` anywhere in the simulation path, so a `(seed, plan)`
+//! pair fully determines the run: byte-identical delivery trace,
+//! identical coloring. [`replay_net`] re-runs a recorded trace without
+//! touching the network RNG at all.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use ftcolor_model::{Algorithm, Neighborhood, ProcessId, Step, Topology};
+use ftcolor_runtime::{RtEvent, RtEventKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize, Value};
+
+use crate::faults::FaultPlan;
+use crate::msg::{Body, Frame, SnapshotReq, SnapshotResp, Write};
+use crate::trace::{DeliveryTrace, Outcome, TraceEntry};
+
+/// Simulation parameters (everything except the fault plan).
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Seed for both the network and the timing RNG streams.
+    pub seed: u64,
+    /// Maximum extra activation delay per round (uniform in
+    /// `0..=act_jitter` logical ticks).
+    pub act_jitter: u64,
+    /// Retransmit timeout for unanswered `snapshot_req`s (ticks).
+    pub rto: u64,
+    /// Hard cap on logical time; still-working processes at the cap are
+    /// reported as stalled.
+    pub max_time: u64,
+    /// Record an [`RtEvent`] log of the round-commit serialization (see
+    /// [`NetReport::events`]).
+    pub record_events: bool,
+}
+
+impl NetConfig {
+    /// Defaults: jitter 3, rto 16, max_time 100 000, no event log.
+    pub fn new(seed: u64) -> Self {
+        NetConfig {
+            seed,
+            act_jitter: 3,
+            rto: 16,
+            max_time: 100_000,
+            record_events: false,
+        }
+    }
+
+    /// Sets the activation jitter amplitude.
+    #[must_use]
+    pub fn act_jitter(mut self, ticks: u64) -> Self {
+        self.act_jitter = ticks;
+        self
+    }
+
+    /// Sets the retransmit timeout.
+    #[must_use]
+    pub fn rto(mut self, ticks: u64) -> Self {
+        self.rto = ticks.max(1);
+        self
+    }
+
+    /// Sets the logical-time cap.
+    #[must_use]
+    pub fn max_time(mut self, ticks: u64) -> Self {
+        self.max_time = ticks;
+        self
+    }
+
+    /// Enables (or disables) the round-commit event log.
+    #[must_use]
+    pub fn record_events(mut self, on: bool) -> Self {
+        self.record_events = on;
+        self
+    }
+}
+
+/// Message and event counters for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Network messages sent (loopback register writes excluded).
+    pub sent: u64,
+    /// Network messages delivered (primary copies).
+    pub delivered: u64,
+    /// Messages lost to per-link drop probability.
+    pub dropped: u64,
+    /// Messages lost to active partition windows.
+    pub partition_dropped: u64,
+    /// Extra duplicate copies injected.
+    pub duplicated: u64,
+    /// `snapshot_req` retransmissions.
+    pub retransmits: u64,
+    /// Loopback register writes (reliable, not network messages).
+    pub loopback_writes: u64,
+    /// Discrete events processed by the simulator loop.
+    pub events_processed: u64,
+}
+
+/// The result of a simulated network run.
+#[derive(Debug, Clone)]
+pub struct NetReport<O> {
+    /// Output of each process (`None` = crashed or stalled).
+    pub outputs: Vec<Option<O>>,
+    /// Rounds committed by each process.
+    pub rounds: Vec<u64>,
+    /// Processes that executed their planned crash.
+    pub crashed: Vec<ProcessId>,
+    /// Processes still working when the run stopped (partitioned away
+    /// forever, or the time cap fired).
+    pub stalled: Vec<ProcessId>,
+    /// Logical time at which the run stopped.
+    pub time: u64,
+    /// Round-commit serialization log (empty unless
+    /// [`NetConfig::record_events`] was set). One contiguous
+    /// Lock*/Write/Read*/Unlock* block per committed round, in commit
+    /// order — this records the commit-time serialization of each
+    /// round, not raw message timings.
+    pub events: Vec<RtEvent>,
+    /// The delivery trace: every network send and its fate.
+    pub trace: DeliveryTrace,
+    /// Message/event counters.
+    pub stats: NetStats,
+}
+
+impl<O> NetReport<O> {
+    /// `true` when every process returned an output.
+    pub fn all_returned(&self) -> bool {
+        self.outputs.iter().all(Option::is_some)
+    }
+}
+
+impl<O> ftcolor_model::SubstrateReport<O> for NetReport<O> {
+    fn outputs(&self) -> &[Option<O>] {
+        &self.outputs
+    }
+
+    fn crashed_ids(&self) -> &[ProcessId] {
+        &self.crashed
+    }
+    // `all_correct_returned` keeps the default: a *stalled* process is
+    // not crashed, so it fails the wait-freedom premise — exactly the
+    // behavior the never-heals partition test pins down.
+}
+
+/// Runs `alg` on the simulated network under `plan`, drawing all fault
+/// decisions from `cfg.seed`.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != topo.len()`, or if a register payload
+/// fails to round-trip through the JSON codec (a bug, not an input
+/// condition).
+pub fn run_net<A>(
+    alg: &A,
+    topo: &Topology,
+    inputs: Vec<A::Input>,
+    plan: &FaultPlan,
+    cfg: &NetConfig,
+) -> NetReport<A::Output>
+where
+    A: Algorithm,
+    A::Reg: Serialize + Deserialize,
+{
+    Sim::new(alg, topo, inputs, plan, cfg, Mode::Record).run()
+}
+
+/// Re-runs a recorded [`DeliveryTrace`] bit-for-bit: the network RNG is
+/// never consulted, every send takes the fate the trace recorded for
+/// it. `plan` is still needed for its crash schedule (crashes are plan
+/// events, not network draws).
+///
+/// # Panics
+///
+/// Panics if the trace diverges from the run (different send sequence)
+/// — which means trace and `(alg, topo, inputs, plan, cfg)` don't
+/// belong together.
+pub fn replay_net<A>(
+    alg: &A,
+    topo: &Topology,
+    inputs: Vec<A::Input>,
+    plan: &FaultPlan,
+    cfg: &NetConfig,
+    trace: &DeliveryTrace,
+) -> NetReport<A::Output>
+where
+    A: Algorithm,
+    A::Reg: Serialize + Deserialize,
+{
+    Sim::new(alg, topo, inputs, plan, cfg, Mode::replay(trace)).run()
+}
+
+// ------------------------------------------------------------ internals
+
+/// What happens to one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Working,
+    Returned,
+    Crashed,
+}
+
+/// Where a working process is inside its current round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Between rounds (waiting for its next `Activate`).
+    Idle,
+    /// Sent the loopback `write`, waiting for it to land.
+    AwaitWrite,
+    /// Waiting for `snapshot_resp`s.
+    Snapshotting,
+}
+
+/// A register observation: `None` = never written, else the encoded
+/// value and its freshness stamp (writer round + 1).
+type Obs = Option<(Value, u64)>;
+
+struct Node<S> {
+    state: S,
+    status: Status,
+    round: u64,
+    phase: Phase,
+    /// The register server's storage (survives process crash/return).
+    reg: Obs,
+    /// Last `write` broadcast received per neighbor position.
+    mirror: Vec<Obs>,
+    /// Neighbor positions still owing a response this round.
+    pending: Vec<bool>,
+    /// Responses collected this round (outer `None` = not yet answered).
+    resp: Vec<Option<Obs>>,
+}
+
+enum Ev {
+    /// A frame arrives at its destination (wire JSON form).
+    Deliver { json: String },
+    /// A process starts its next round.
+    Activate { node: usize },
+    /// Retransmit timer for one `snapshot_req`.
+    Retransmit { node: usize, round: u64, nbr: usize },
+    /// A process crashes (from the fault plan).
+    Crash { node: usize },
+}
+
+struct QEntry {
+    at: u64,
+    tick: u64,
+    ev: Ev,
+}
+
+impl PartialEq for QEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.tick == other.tick
+    }
+}
+impl Eq for QEntry {}
+impl PartialOrd for QEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QEntry {
+    /// Reversed so the `BinaryHeap` max-heap pops the earliest
+    /// `(at, tick)` first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.tick.cmp(&self.tick))
+    }
+}
+
+pub(crate) enum Mode {
+    /// Draw fault decisions from the network RNG, record them.
+    Record,
+    /// Take fault decisions from a recorded trace, verbatim.
+    Replay {
+        entries: Vec<TraceEntry>,
+        pos: usize,
+    },
+}
+
+impl Mode {
+    pub(crate) fn replay(trace: &DeliveryTrace) -> Self {
+        Mode::Replay {
+            entries: trace.entries.clone(),
+            pos: 0,
+        }
+    }
+}
+
+/// Decides the fate of one send — drawn from the RNG in [`Mode::Record`],
+/// read back verbatim in [`Mode::Replay`]. Shared by the register
+/// protocol and the decoupled gossip runner so both replay identically.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn decide_fate(
+    plan: &FaultPlan,
+    mode: &mut Mode,
+    rng: &mut StdRng,
+    now: u64,
+    from: usize,
+    to: usize,
+    kind: &'static str,
+    seq: u64,
+) -> (Outcome, Option<u64>) {
+    match mode {
+        Mode::Record => {
+            if plan.partitioned(now, from, to) {
+                return (Outcome::PartitionDrop, None);
+            }
+            let lp = plan.link(from, to);
+            if rng.gen_bool(lp.drop) {
+                return (Outcome::Drop, None);
+            }
+            let extra_max = plan.reorder_max.max(1);
+            let mut delay = rng.gen_range(lp.delay_min..=lp.delay_max);
+            if rng.gen_bool(lp.reorder) {
+                delay += rng.gen_range(1..=extra_max);
+            }
+            let at = now + delay;
+            let dup_at = if rng.gen_bool(lp.duplicate) {
+                Some(at + rng.gen_range(1..=extra_max))
+            } else {
+                None
+            };
+            (Outcome::Deliver { at }, dup_at)
+        }
+        Mode::Replay { entries, pos } => {
+            let e = entries.get(*pos).unwrap_or_else(|| {
+                panic!("replay trace exhausted at send #{seq} ({kind} {from}->{to})")
+            });
+            assert!(
+                e.from == from && e.to == to && e.kind == kind,
+                "replay trace diverged at send #{seq}: \
+                 trace has {} {}->{}, run sent {kind} {from}->{to}",
+                e.kind,
+                e.from,
+                e.to,
+            );
+            *pos += 1;
+            (e.outcome, e.dup_at)
+        }
+    }
+}
+
+struct Sim<'a, A: Algorithm> {
+    alg: &'a A,
+    topo: &'a Topology,
+    plan: &'a FaultPlan,
+    cfg: &'a NetConfig,
+    nodes: Vec<Node<A::State>>,
+    outputs: Vec<Option<A::Output>>,
+    rounds: Vec<u64>,
+    queue: BinaryHeap<QEntry>,
+    now: u64,
+    tick: u64,
+    net_rng: StdRng,
+    timing_rng: StdRng,
+    mode: Mode,
+    trace: DeliveryTrace,
+    stats: NetStats,
+    events: Vec<RtEvent>,
+    seq: u64,
+}
+
+impl<'a, A> Sim<'a, A>
+where
+    A: Algorithm,
+    A::Reg: Serialize + Deserialize,
+{
+    fn new(
+        alg: &'a A,
+        topo: &'a Topology,
+        inputs: Vec<A::Input>,
+        plan: &'a FaultPlan,
+        cfg: &'a NetConfig,
+        mode: Mode,
+    ) -> Self {
+        let n = topo.len();
+        assert_eq!(inputs.len(), n, "one input per node");
+        let nodes = inputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, input)| {
+                let deg = topo.neighbors(ProcessId(i)).len();
+                Node {
+                    state: alg.init(ProcessId(i), input),
+                    status: Status::Working,
+                    round: 0,
+                    phase: Phase::Idle,
+                    reg: None,
+                    mirror: vec![None; deg],
+                    pending: vec![false; deg],
+                    resp: vec![None; deg],
+                }
+            })
+            .collect();
+        let mut sim = Sim {
+            alg,
+            topo,
+            plan,
+            cfg,
+            nodes,
+            outputs: (0..n).map(|_| None).collect(),
+            rounds: vec![0; n],
+            queue: BinaryHeap::new(),
+            now: 0,
+            tick: 0,
+            net_rng: StdRng::seed_from_u64(cfg.seed),
+            // A disjoint stream for timing: jitter draws must not
+            // perturb fault draws (or replay would change timing).
+            timing_rng: StdRng::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15),
+            mode,
+            trace: DeliveryTrace::default(),
+            stats: NetStats::default(),
+            events: Vec::new(),
+            seq: 0,
+        };
+        for node in 0..n {
+            let jitter = sim.jitter();
+            sim.schedule(1 + jitter, Ev::Activate { node });
+        }
+        for c in &plan.crashes {
+            if c.node < n {
+                sim.schedule(c.at.max(1), Ev::Crash { node: c.node });
+            }
+        }
+        sim
+    }
+
+    fn jitter(&mut self) -> u64 {
+        if self.cfg.act_jitter == 0 {
+            0
+        } else {
+            self.timing_rng.gen_range(0..=self.cfg.act_jitter)
+        }
+    }
+
+    fn schedule(&mut self, at: u64, ev: Ev) {
+        let tick = self.tick;
+        self.tick += 1;
+        self.queue.push(QEntry { at, tick, ev });
+    }
+
+    fn run(mut self) -> NetReport<A::Output> {
+        while let Some(entry) = self.queue.pop() {
+            if !self.nodes.iter().any(|nd| nd.status == Status::Working) {
+                break;
+            }
+            if entry.at > self.cfg.max_time {
+                self.now = self.cfg.max_time;
+                break;
+            }
+            self.now = entry.at;
+            self.stats.events_processed += 1;
+            match entry.ev {
+                Ev::Crash { node } => {
+                    if self.nodes[node].status == Status::Working {
+                        self.nodes[node].status = Status::Crashed;
+                    }
+                }
+                Ev::Activate { node } => self.on_activate(node),
+                Ev::Deliver { json } => self.on_deliver(&json),
+                Ev::Retransmit { node, round, nbr } => self.on_retransmit(node, round, nbr),
+            }
+        }
+        let crashed = self.ids_with(Status::Crashed);
+        let stalled = self.ids_with(Status::Working);
+        NetReport {
+            outputs: self.outputs,
+            rounds: self.rounds,
+            crashed,
+            stalled,
+            time: self.now,
+            events: self.events,
+            trace: self.trace,
+            stats: self.stats,
+        }
+    }
+
+    fn ids_with(&self, status: Status) -> Vec<ProcessId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, nd)| nd.status == status)
+            .map(|(i, _)| ProcessId(i))
+            .collect()
+    }
+
+    /// Operation 1 of the round: publish over loopback.
+    fn on_activate(&mut self, node: usize) {
+        if self.nodes[node].status != Status::Working {
+            return;
+        }
+        let value = self.alg.publish(&self.nodes[node].state).to_value();
+        let round = self.nodes[node].round;
+        self.nodes[node].phase = Phase::AwaitWrite;
+        self.send_loopback(node, Body::Write(Write { round, value }));
+    }
+
+    /// Loopback is the process's access to its own register: reliable,
+    /// one tick, never drawn against the fault plan.
+    fn send_loopback(&mut self, node: usize, body: Body) {
+        let json = Frame {
+            src: node,
+            dest: node,
+            body,
+        }
+        .encode();
+        self.stats.loopback_writes += 1;
+        self.schedule(self.now + 1, Ev::Deliver { json });
+    }
+
+    fn on_deliver(&mut self, json: &str) {
+        let frame = Frame::decode(json).expect("wire frames decode");
+        match frame.body {
+            Body::Write(w) => {
+                if frame.src == frame.dest {
+                    self.on_own_write(frame.dest, &w);
+                } else {
+                    self.on_mirror_write(frame.src, frame.dest, &w);
+                }
+            }
+            Body::SnapshotReq(r) => {
+                // Register servers are substrate memory: they answer
+                // even when their process crashed or returned.
+                let (value, stamp) = match &self.nodes[frame.dest].reg {
+                    Some((v, s)) => (Some(v.clone()), *s),
+                    None => (None, 0),
+                };
+                self.send(
+                    frame.dest,
+                    frame.src,
+                    Body::SnapshotResp(SnapshotResp {
+                        round: r.round,
+                        value,
+                        stamp,
+                    }),
+                );
+            }
+            Body::SnapshotResp(r) => self.on_resp(frame.src, frame.dest, r),
+        }
+    }
+
+    /// The loopback write lands: apply it, then start the snapshot.
+    fn on_own_write(&mut self, node: usize, w: &Write) {
+        let stamp = w.round + 1;
+        if stamp > obs_stamp(&self.nodes[node].reg) {
+            self.nodes[node].reg = Some((w.value.clone(), stamp));
+        }
+        // The rest of the round is process behavior: skip it if the
+        // process crashed while the write was in flight (a legal §2
+        // crash point — the write itself still happened).
+        if self.nodes[node].status != Status::Working
+            || self.nodes[node].phase != Phase::AwaitWrite
+            || self.nodes[node].round != w.round
+        {
+            return;
+        }
+        let neighbors: Vec<usize> = self
+            .topo
+            .neighbors(ProcessId(node))
+            .iter()
+            .map(|q| q.index())
+            .collect();
+        if neighbors.is_empty() {
+            self.commit_round(node);
+            return;
+        }
+        self.nodes[node].phase = Phase::Snapshotting;
+        for (pos, &q) in neighbors.iter().enumerate() {
+            self.send(
+                node,
+                q,
+                Body::Write(Write {
+                    round: w.round,
+                    value: w.value.clone(),
+                }),
+            );
+            self.nodes[node].pending[pos] = true;
+            self.nodes[node].resp[pos] = None;
+            self.send(node, q, Body::SnapshotReq(SnapshotReq { round: w.round }));
+            self.schedule(
+                self.now + self.cfg.rto,
+                Ev::Retransmit {
+                    node,
+                    round: w.round,
+                    nbr: pos,
+                },
+            );
+        }
+    }
+
+    /// A neighbor's `write` broadcast: warm the mirror (monotone in the
+    /// freshness stamp, so reordered broadcasts can't roll it back).
+    fn on_mirror_write(&mut self, src: usize, dest: usize, w: &Write) {
+        let Some(pos) = self.neighbor_pos(dest, src) else {
+            return;
+        };
+        let stamp = w.round + 1;
+        if stamp > obs_stamp(&self.nodes[dest].mirror[pos]) {
+            self.nodes[dest].mirror[pos] = Some((w.value.clone(), stamp));
+        }
+    }
+
+    fn on_resp(&mut self, src: usize, dest: usize, r: SnapshotResp) {
+        let nd = &self.nodes[dest];
+        if nd.status != Status::Working || nd.phase != Phase::Snapshotting || nd.round != r.round {
+            return; // stale round or duplicate after commit
+        }
+        let Some(pos) = self.neighbor_pos(dest, src) else {
+            return;
+        };
+        if !self.nodes[dest].pending[pos] {
+            return; // duplicate response: idempotent
+        }
+        let obs = match r.value {
+            Some(v) => Some((v, r.stamp)),
+            None => None,
+        };
+        self.nodes[dest].resp[pos] = Some(obs);
+        self.nodes[dest].pending[pos] = false;
+        if self.nodes[dest].pending.iter().all(|p| !p) {
+            self.commit_round(dest);
+        }
+    }
+
+    fn on_retransmit(&mut self, node: usize, round: u64, nbr: usize) {
+        let nd = &self.nodes[node];
+        if nd.status != Status::Working
+            || nd.phase != Phase::Snapshotting
+            || nd.round != round
+            || !nd.pending[nbr]
+        {
+            return; // answered (or round moved on): timer dies
+        }
+        self.stats.retransmits += 1;
+        let q = self.topo.neighbors(ProcessId(node))[nbr].index();
+        self.send(node, q, Body::SnapshotReq(SnapshotReq { round }));
+        self.schedule(self.now + self.cfg.rto, Ev::Retransmit { node, round, nbr });
+    }
+
+    /// All responses in: merge views, run the algorithm step.
+    fn commit_round(&mut self, node: usize) {
+        let round = self.nodes[node].round;
+        let neighbor_ids: Vec<usize> = self
+            .topo
+            .neighbors(ProcessId(node))
+            .iter()
+            .map(|q| q.index())
+            .collect();
+        let view: Vec<Option<A::Reg>> = (0..neighbor_ids.len())
+            .map(|pos| {
+                let resp = self.nodes[node].resp[pos]
+                    .clone()
+                    .expect("commit only fires once every neighbor answered");
+                let merged = fresher(resp, self.nodes[node].mirror[pos].clone());
+                merged.map(|(v, _)| {
+                    serde_json::from_value::<A::Reg>(v).expect("register payloads decode")
+                })
+            })
+            .collect();
+        if self.cfg.record_events {
+            self.emit_round_block(node, round, &neighbor_ids);
+        }
+        let step = {
+            let nd = &mut self.nodes[node];
+            self.alg.step(&mut nd.state, &Neighborhood::new(&view))
+        };
+        self.rounds[node] += 1;
+        match step {
+            Step::Continue => {
+                self.nodes[node].round += 1;
+                self.nodes[node].phase = Phase::Idle;
+                let jitter = self.jitter();
+                self.schedule(self.now + 1 + jitter, Ev::Activate { node });
+            }
+            Step::Return(o) => {
+                self.outputs[node] = Some(o);
+                self.nodes[node].status = Status::Returned;
+                self.nodes[node].phase = Phase::Idle;
+                // The register server keeps serving the final value.
+            }
+        }
+    }
+
+    /// One contiguous Lock*/Write/Read*/Unlock* block recording this
+    /// round's commit-time serialization (same shape the OS-thread
+    /// runtime emits, so the `ftcolor-analyze` race rules apply).
+    fn emit_round_block(&mut self, node: usize, round: u64, neighbor_ids: &[usize]) {
+        let mut closed: Vec<usize> = neighbor_ids.to_vec();
+        closed.push(node);
+        closed.sort_unstable();
+        closed.dedup();
+        let log = |events: &mut Vec<RtEvent>, seq: &mut u64, register, kind| {
+            events.push(RtEvent {
+                seq: *seq,
+                process: node,
+                round,
+                register,
+                kind,
+            });
+            *seq += 1;
+        };
+        for &r in &closed {
+            log(&mut self.events, &mut self.seq, r, RtEventKind::Lock);
+        }
+        log(&mut self.events, &mut self.seq, node, RtEventKind::Write);
+        for &r in neighbor_ids {
+            log(&mut self.events, &mut self.seq, r, RtEventKind::Read);
+        }
+        for &r in &closed {
+            log(&mut self.events, &mut self.seq, r, RtEventKind::Unlock);
+        }
+    }
+
+    fn neighbor_pos(&self, of: usize, who: usize) -> Option<usize> {
+        self.topo
+            .neighbors(ProcessId(of))
+            .iter()
+            .position(|q| q.index() == who)
+    }
+
+    /// The fault-prone network path. Draws (or replays) this send's
+    /// fate, records it in the trace, schedules deliveries.
+    fn send(&mut self, from: usize, to: usize, body: Body) {
+        let kind = body.kind();
+        let json = Frame {
+            src: from,
+            dest: to,
+            body,
+        }
+        .encode();
+        self.stats.sent += 1;
+        let seq = self.trace.entries.len() as u64;
+        let (outcome, dup_at) = decide_fate(
+            self.plan,
+            &mut self.mode,
+            &mut self.net_rng,
+            self.now,
+            from,
+            to,
+            kind,
+            seq,
+        );
+        match outcome {
+            Outcome::Deliver { at } => {
+                self.stats.delivered += 1;
+                self.schedule(at, Ev::Deliver { json: json.clone() });
+                if let Some(d) = dup_at {
+                    self.stats.duplicated += 1;
+                    self.schedule(d, Ev::Deliver { json: json.clone() });
+                }
+            }
+            Outcome::Drop => self.stats.dropped += 1,
+            Outcome::PartitionDrop => self.stats.partition_dropped += 1,
+        }
+        self.trace.entries.push(TraceEntry {
+            seq,
+            t: self.now,
+            from,
+            to,
+            kind: kind.to_string(),
+            outcome,
+            dup_at,
+        });
+    }
+}
+
+fn obs_stamp(o: &Obs) -> u64 {
+    o.as_ref().map_or(0, |(_, s)| *s)
+}
+
+/// The fresher of two register observations (higher stamp wins; a
+/// response ties-or-beats a mirror of the same stamp).
+fn fresher(resp: Obs, mirror: Obs) -> Obs {
+    if obs_stamp(&mirror) > obs_stamp(&resp) {
+        mirror
+    } else {
+        resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcolor_core::{PairColor, SixColoring};
+    use ftcolor_model::inputs;
+
+    fn cycle(n: usize) -> Topology {
+        Topology::cycle(n).expect("cycles need n >= 3")
+    }
+
+    fn assert_proper(topo: &Topology, outputs: &[Option<PairColor>]) {
+        for p in 0..topo.len() {
+            for q in topo.neighbors(ProcessId(p)) {
+                if let (Some(a), Some(b)) = (&outputs[p], &outputs[q.index()]) {
+                    assert_ne!(a, b, "neighbors {p} and {} share a color", q.index());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clean_network_colors_the_cycle() {
+        let topo = cycle(5);
+        let ids = inputs::random_unique(5, 10_000, 7);
+        let report = run_net(
+            &SixColoring,
+            &topo,
+            ids,
+            &FaultPlan::default(),
+            &NetConfig::new(42),
+        );
+        assert!(report.all_returned(), "stalled: {:?}", report.stalled);
+        assert_proper(&topo, &report.outputs);
+        assert!(report.stats.sent > 0, "snapshots travel over the network");
+        assert_eq!(report.stats.dropped, 0, "a clean plan drops nothing");
+    }
+
+    #[test]
+    fn same_seed_same_plan_is_byte_identical() {
+        let topo = cycle(8);
+        let ids = inputs::random_unique(8, 10_000, 3);
+        let plan = FaultPlan::lossy(0.2);
+        let a = run_net(&SixColoring, &topo, ids.clone(), &plan, &NetConfig::new(9));
+        let b = run_net(&SixColoring, &topo, ids, &plan, &NetConfig::new(9));
+        assert_eq!(a.trace.to_json(), b.trace.to_json(), "byte-identical trace");
+        assert_eq!(a.outputs, b.outputs, "identical coloring");
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn replay_reproduces_a_lossy_run_without_the_rng() {
+        let topo = cycle(8);
+        let ids = inputs::random_unique(8, 10_000, 5);
+        let mut plan = FaultPlan::lossy(0.25);
+        plan.duplicate = 0.1;
+        plan.reorder = 0.15;
+        let cfg = NetConfig::new(13);
+        let orig = run_net(&SixColoring, &topo, ids.clone(), &plan, &cfg);
+        assert!(orig.all_returned());
+        let again = replay_net(&SixColoring, &topo, ids, &plan, &cfg, &orig.trace);
+        assert_eq!(again.outputs, orig.outputs);
+        assert_eq!(again.trace, orig.trace, "replay echoes the trace");
+        assert_eq!(again.time, orig.time);
+    }
+
+    #[test]
+    fn a_crashed_node_stops_but_neighbors_still_terminate() {
+        let topo = cycle(5);
+        let ids = inputs::random_unique(5, 10_000, 1);
+        let plan = FaultPlan::default().with_crash(2, 3);
+        let report = run_net(&SixColoring, &topo, ids, &plan, &NetConfig::new(4));
+        if report.crashed == vec![ProcessId(2)] {
+            assert_eq!(report.outputs[2], None);
+        }
+        for p in [0, 1, 3, 4] {
+            assert!(
+                report.outputs[p].is_some(),
+                "correct process {p} must terminate (stalled: {:?})",
+                report.stalled
+            );
+        }
+        assert!(report.stalled.is_empty());
+        assert_proper(&topo, &report.outputs);
+    }
+
+    #[test]
+    fn event_log_blocks_are_contiguous_per_round() {
+        let topo = cycle(5);
+        let ids = inputs::random_unique(5, 10_000, 2);
+        let cfg = NetConfig::new(11).record_events(true);
+        let report = run_net(&SixColoring, &topo, ids, &FaultPlan::default(), &cfg);
+        assert!(!report.events.is_empty());
+        for w in report.events.windows(2) {
+            assert_eq!(w[0].seq + 1, w[1].seq, "seq is gap-free");
+        }
+        // Each commit block: 3 locks, 1 write, 2 reads, 3 unlocks.
+        assert_eq!(report.events.len() % 9, 0);
+    }
+}

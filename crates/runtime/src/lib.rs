@@ -170,6 +170,16 @@ impl<O> ThreadReport<O> {
     }
 }
 
+impl<O> ftcolor_model::SubstrateReport<O> for ThreadReport<O> {
+    fn outputs(&self) -> &[Option<O>] {
+        &self.outputs
+    }
+
+    fn crashed_ids(&self) -> &[ProcessId] {
+        &self.crashed
+    }
+}
+
 /// Runs `alg` on `topo` with one OS thread per process.
 ///
 /// Blocks until every thread has returned, crashed, or hit the round

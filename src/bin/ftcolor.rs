@@ -17,7 +17,10 @@
 //!   genomes are likewise shrunk);
 //! * `shrink` — delta-debug a witness file to locally minimal form;
 //! * `analyze` — lint shipped algorithms against the §2 model contract
-//!   and race-check the threaded runtime's event logs.
+//!   and race-check the threaded runtime's event logs;
+//! * `netsim` — run registry algorithms on the message-passing network
+//!   substrate under a seeded fault plan (drop/delay/duplicate/reorder,
+//!   partitions, crashes) with a replayable delivery trace.
 
 use ftcolor::analyze::{self, render_json, Diagnostic, RuleId};
 use ftcolor::checker::shrink::WITNESS_SCHEMA;
@@ -28,6 +31,7 @@ use ftcolor::checker::{
 use ftcolor::core::mis::{mis_violation, EagerMis};
 use ftcolor::model::render::{render_ring_coloring, render_schedule, render_timeline};
 use ftcolor::model::{inputs, Topology};
+use ftcolor::net::{FaultPlan, NetConfig};
 use ftcolor::prelude::*;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -51,6 +55,7 @@ fn main() -> ExitCode {
         "fuzz" => cmd_fuzz(&opts),
         "shrink" => cmd_shrink(&opts),
         "analyze" => cmd_analyze(&opts),
+        "netsim" => cmd_netsim(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -75,6 +80,8 @@ USAGE:
   ftcolor fuzz       [--alg A] [--n N | --ids LIST] [--generations G] [--seed K] [--jobs J]
   ftcolor shrink     --in FILE [--out FILE] [--alg A] [--ids LIST] [--bound B] [--jobs J]
   ftcolor analyze    [--alg NAME|all] [--sizes LIST] [--rules CODES] [--format text|json]
+  ftcolor netsim     [--alg NAME|all] [--n N] [--seed K] [--faults JSON] [--max-time T]
+                     [--format text|json] [--emit-trace]
 
 FLAGS:
   --alg          alg1 | alg2 | alg2p | alg3 | alg3p    (default alg3)
@@ -101,7 +108,12 @@ FLAGS:
   --sizes        analyze: cycle sizes to lint on, e.g. 5,8 (default 5,8)
   --rules        analyze: keep only these rule codes, e.g.
                  FTC-SWMR-001,FTC-RT-104 (default: all rules)
-  --format       analyze: text | json                  (default text)
+  --format       analyze/netsim: text | json           (default text)
+  --faults       netsim: inline fault-plan JSON, e.g.
+                 '{\"drop\":0.1,\"crashes\":[{\"node\":2,\"at\":5}]}'
+                 (default: the clean plan — no faults)
+  --max-time     netsim: logical-time budget            (default 100000)
+  --emit-trace   netsim: include the full delivery trace in the output
 ";
 
 /// Parses `--jobs` (default 1 worker; `0` means all CPUs downstream).
@@ -118,7 +130,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(key) = a.strip_prefix("--") else {
             return Err(format!("expected a --flag, got `{a}`"));
         };
-        let value = if matches!(key, "timeline") {
+        let value = if matches!(key, "timeline" | "emit-trace") {
             "true".to_string()
         } else {
             it.next()
@@ -648,6 +660,109 @@ fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {
     }
     if unwaived > 0 {
         return Err(format!("{unwaived} unwaived diagnostic(s)"));
+    }
+    Ok(())
+}
+
+/// `ftcolor netsim`: run registry algorithms on the message-passing
+/// network substrate under a seeded fault plan and report the outcome.
+/// Exits nonzero on an oracle violation, a palette violation, a race
+/// diagnostic, or an unexpected stall — documented-flaw entries (the
+/// `termination-only` oracle) are exempt from the stall check only,
+/// never from safety.
+fn cmd_netsim(opts: &HashMap<String, String>) -> Result<(), String> {
+    let n: usize = get(opts, "n", "8")
+        .parse()
+        .map_err(|e| format!("bad --n: {e}"))?;
+    let seed: u64 = get(opts, "seed", "0")
+        .parse()
+        .map_err(|e| format!("bad --seed: {e}"))?;
+    let max_time: u64 = get(opts, "max-time", "100000")
+        .parse()
+        .map_err(|e| format!("bad --max-time: {e}"))?;
+    let plan: FaultPlan = match opts.get("faults") {
+        Some(text) => serde_json::from_str(text).map_err(|e| format!("bad --faults: {e}"))?,
+        None => FaultPlan::default(),
+    };
+    let emit_trace = opts.contains_key("emit-trace");
+    let cfg = NetConfig::new(seed).max_time(max_time).record_events(true);
+
+    let alg = get(opts, "alg", "all");
+    let names: Vec<&str> = if alg == "all" {
+        analyze::SHIPPED.to_vec()
+    } else {
+        vec![alg]
+    };
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut items: Vec<serde::Value> = Vec::new();
+    for name in names {
+        let out = analyze::net_run(name, n, seed, &plan, &cfg).ok_or_else(|| {
+            format!(
+                "unknown --alg `{name}` (expected one of {}, or `all`)",
+                analyze::SHIPPED.join(", ")
+            )
+        })?;
+        let s = &out.summary;
+        if !s.valid {
+            failures.push(format!("{name}: oracle violation ({})", s.oracle));
+        }
+        if !s.palette_ok {
+            failures.push(format!("{name}: color outside the declared palette"));
+        }
+        if s.race_diags > 0 {
+            failures.push(format!("{name}: {} race diagnostic(s)", s.race_diags));
+        }
+        if !s.all_correct_returned && s.oracle != "termination-only" {
+            failures.push(format!("{name}: stalled processes {:?}", s.stalled));
+        }
+        match get(opts, "format", "text") {
+            "json" => {
+                let mut v = serde_json::to_value(s).map_err(|e| e.to_string())?;
+                if emit_trace {
+                    let t = serde_json::to_value(&out.trace).map_err(|e| e.to_string())?;
+                    if let serde::Value::Object(pairs) = &mut v {
+                        pairs.push(("trace".to_string(), t));
+                    }
+                }
+                items.push(v);
+            }
+            "text" => {
+                println!(
+                    "{name}: n={} seed={} oracle={} valid={} palette_ok={} returned={}",
+                    s.n, s.seed, s.oracle, s.valid, s.palette_ok, s.all_correct_returned
+                );
+                println!(
+                    "  colors: {:?}  crashed: {:?}  stalled: {:?}",
+                    s.colors, s.crashed, s.stalled
+                );
+                println!(
+                    "  rounds_max={} time={} sent={} delivered={} dropped={} \
+                     duplicated={} retransmits={}",
+                    s.rounds_max,
+                    s.time,
+                    s.stats.sent,
+                    s.stats.delivered,
+                    s.stats.dropped + s.stats.partition_dropped,
+                    s.stats.duplicated,
+                    s.stats.retransmits
+                );
+                println!("  trace: {} sends, digest {}", s.trace_len, s.trace_digest);
+                if emit_trace {
+                    println!("  {}", out.trace.to_json());
+                }
+            }
+            other => return Err(format!("unknown --format `{other}`")),
+        }
+    }
+    if get(opts, "format", "text") == "json" {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde::Value::Array(items)).map_err(|e| e.to_string())?
+        );
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
     }
     Ok(())
 }

@@ -12,6 +12,9 @@
 //!   checking, and statistics,
 //! * [`runtime`] — an OS-thread execution substrate with crash and jitter
 //!   injection,
+//! * [`net`] — a discrete-event message-passing substrate with seeded
+//!   fault injection (drop/delay/duplicate/reorder, partitions, crashes)
+//!   and bit-identical trace replay, behind `ftcolor netsim`,
 //! * [`analyze`] — the model-contract linter and happens-before race
 //!   detector behind `ftcolor analyze`.
 //!
@@ -23,6 +26,7 @@ pub use ftcolor_analyze as analyze;
 pub use ftcolor_checker as checker;
 pub use ftcolor_core as core;
 pub use ftcolor_model as model;
+pub use ftcolor_net as net;
 pub use ftcolor_runtime as runtime;
 
 /// One-stop imports for examples and downstream users.

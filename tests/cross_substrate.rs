@@ -1,18 +1,27 @@
-//! Simulator vs OS-thread substrate: the same algorithm objects run on
-//! both, and every claim that is schedule-independent (safety, palette,
-//! activation bounds) must hold on each.
+//! Simulator vs OS-thread vs message-passing substrate: the same
+//! algorithm objects run on all three, and every claim that is
+//! schedule-independent (safety, palette, activation bounds) must hold
+//! on each.
 //!
-//! The conformance matrix at the bottom drives {Alg1, Alg2-patched} ×
-//! {C5, C8} × {no-crash, 1-crash} × seeds through *both* substrates and
-//! applies one shared invariant oracle to each run — the threaded
-//! runtime with `crash_after` plans gets no weaker checking than the
-//! simulator with `CrashPlan` schedules.
+//! The conformance matrix at the bottom drives {Alg1, Alg2-patched,
+//! Alg3-patched} × {C5, C8} × {no-fault, 1-crash, lossy} × 4 seeds
+//! through *all three* substrates and applies one shared invariant
+//! oracle (via [`SubstrateReport`]) to each run — the threaded runtime
+//! with `crash_after` plans and the network simulator with seeded fault
+//! plans get no weaker checking than the abstract executor with
+//! `CrashPlan` schedules. The lossy cell maps to each substrate's
+//! native notion of adversity: a sparse random schedule on the
+//! simulator, heavy jitter on threads, and 15% link loss on the
+//! network.
 
 use ftcolor::checker::invariants::{theorem_3_1_bound, theorem_4_4_bound};
 use ftcolor::core::PairColor;
 use ftcolor::model::inputs;
+use ftcolor::model::SubstrateReport;
+use ftcolor::net::{run_net, FaultPlan, NetConfig};
 use ftcolor::prelude::*;
 use ftcolor::runtime::{run_threaded, RunOptions};
+use serde::{Deserialize, Serialize};
 
 #[test]
 fn alg1_same_bounds_on_both_substrates() {
@@ -75,10 +84,23 @@ fn general_graph_coloring_on_threads() {
 }
 
 // --------------------------------------------------------------------
-// Conformance suite: one oracle, two substrates.
+// Conformance suite: one oracle, three substrates.
 // --------------------------------------------------------------------
 
-/// The shared invariant oracle both substrates must satisfy:
+/// One cell's fault injection, mapped to each substrate's native form.
+#[derive(Clone, Copy, Debug)]
+enum Fault {
+    /// Fault-free run.
+    None,
+    /// Crash process `.0` after `.1` rounds (simulator: at time `.1`+1;
+    /// network: at logical time 2·`.1`+1).
+    Crash(usize, u64),
+    /// Adversarial-but-fair conditions: sparse random schedule (sim),
+    /// heavy jitter (threads), 15% link loss (network).
+    Lossy,
+}
+
+/// The shared invariant oracle every substrate must satisfy:
 /// * the partial output is a proper coloring;
 /// * every color drawn is inside the algorithm's palette;
 /// * every process that was NOT crashed returned an output (wait-freedom
@@ -86,20 +108,20 @@ fn general_graph_coloring_on_threads() {
 fn conformance_oracle<T: PartialEq + std::fmt::Debug>(
     label: &str,
     topo: &Topology,
-    outputs: &[Option<T>],
-    crashed: &[ProcessId],
+    report: &dyn SubstrateReport<T>,
     palette_ok: &dyn Fn(&T) -> bool,
 ) {
+    let outputs = report.outputs();
     assert!(
         topo.is_proper_partial_coloring(outputs),
         "{label}: improper partial coloring: {outputs:?}"
     );
+    assert!(
+        report.all_correct_returned(),
+        "{label}: a non-crashed process never returned"
+    );
     for p in topo.nodes() {
-        let out = &outputs[p.index()];
-        if !crashed.contains(&p) {
-            assert!(out.is_some(), "{label}: working process {p} never returned");
-        }
-        if let Some(c) = out {
+        if let Some(c) = &outputs[p.index()] {
             assert!(
                 palette_ok(c),
                 "{label}: {p} colored outside the palette: {c:?}"
@@ -108,78 +130,79 @@ fn conformance_oracle<T: PartialEq + std::fmt::Debug>(
     }
 }
 
-/// Runs one (algorithm, instance, crash plan, seed) cell of the matrix
-/// through the simulator (a `CrashPlan` over a seeded random schedule)
-/// and through the OS-thread runtime (`crash_after`), applying
-/// [`conformance_oracle`] to both runs.
+/// Runs one (algorithm, instance, fault, seed) cell of the matrix
+/// through the simulator (a `CrashPlan` over a seeded random schedule),
+/// the OS-thread runtime (`crash_after`/jitter), and the message-passing
+/// network (a seeded `FaultPlan`), applying [`conformance_oracle`] to
+/// all three runs.
 fn conformance_case<A>(
     alg: &A,
     name: &str,
     topo: &Topology,
     ids: &[u64],
     seed: u64,
-    crash: Option<(usize, u64)>,
+    fault: Fault,
     palette_ok: &dyn Fn(&A::Output) -> bool,
 ) where
     A: Algorithm<Input = u64> + Sync,
     A::State: Send,
-    A::Reg: Send + Sync,
-    A::Output: Send + std::fmt::Debug,
+    A::Reg: Send + Sync + Serialize + Deserialize,
+    A::Output: Send + PartialEq + std::fmt::Debug,
 {
     let n = topo.len();
-    let label = format!(
-        "{name} on C{n} seed {seed} crash {:?}",
-        crash.map(|(p, _)| p)
-    );
+    let label = format!("{name} on C{n} seed {seed} fault {fault:?}");
 
     // Simulator substrate.
     let mut exec = Execution::new(alg, topo, ids.to_vec());
-    let crashes = crash.map(|(p, t)| (ProcessId(p), t + 1));
-    let sched = CrashPlan::new(RandomSubset::new(seed, 0.6), crashes);
+    let (density, crashes) = match fault {
+        Fault::None => (0.6, None),
+        Fault::Crash(p, t) => (0.6, Some((ProcessId(p), t + 1))),
+        Fault::Lossy => (0.3, None),
+    };
+    let sched = CrashPlan::new(RandomSubset::new(seed, density), crashes);
     let report = exec
         .run(sched, 1_000_000)
         .unwrap_or_else(|e| panic!("{label} (sim): {e:?}"));
-    conformance_oracle(
-        &format!("{label} (sim)"),
-        topo,
-        &report.outputs,
-        &report.crashed,
-        palette_ok,
-    );
+    conformance_oracle(&format!("{label} (sim)"), topo, &report, palette_ok);
 
     // Threaded substrate.
-    let mut opts = RunOptions::new().jitter(15).with_seed(seed);
-    if let Some((p, rounds)) = crash {
-        opts = opts.crash(p, rounds);
-    }
+    let mut opts = RunOptions::new().with_seed(seed);
+    opts = match fault {
+        Fault::None => opts.jitter(15),
+        Fault::Crash(p, rounds) => opts.jitter(15).crash(p, rounds),
+        Fault::Lossy => opts.jitter(40),
+    };
     let thr = run_threaded(alg, topo, ids.to_vec(), &opts);
     assert!(thr.capped.is_empty(), "{label} (thr): processes capped");
-    conformance_oracle(
-        &format!("{label} (thr)"),
-        topo,
-        &thr.outputs,
-        &thr.crashed,
-        palette_ok,
-    );
+    conformance_oracle(&format!("{label} (thr)"), topo, &thr, palette_ok);
+
+    // Message-passing substrate.
+    let plan = match fault {
+        Fault::None => FaultPlan::clean(),
+        Fault::Crash(p, rounds) => FaultPlan::default().with_crash(p, 2 * rounds + 1),
+        Fault::Lossy => FaultPlan::lossy(0.15),
+    };
+    let net = run_net(alg, topo, ids.to_vec(), &plan, &NetConfig::new(seed));
+    conformance_oracle(&format!("{label} (net)"), topo, &net, palette_ok);
 }
 
-/// {Alg1, Alg2-patched} × {C5, C8} × {no-crash, 1-crash} × 3 seeds, the
-/// same oracle on both substrates.
+/// {Alg1, Alg2-patched, Alg3-patched} × {C5, C8} × {no-fault, 1-crash,
+/// lossy} × 4 seeds, the same oracle on all three substrates.
 #[test]
-fn conformance_matrix_alg1_and_alg2p_on_both_substrates() {
+fn conformance_matrix_on_all_three_substrates() {
     for &n in &[5usize, 8] {
         let topo = Topology::cycle(n).unwrap();
-        for seed in 0..3u64 {
+        for seed in 0..4u64 {
             let ids = inputs::random_unique(n, 10_000, seed);
-            let one_crash = Some(((seed as usize + n) % n, 2 + seed % 3));
-            for crash in [None, one_crash] {
+            let one_crash = Fault::Crash((seed as usize + n) % n, 2 + seed % 3);
+            for fault in [Fault::None, one_crash, Fault::Lossy] {
                 conformance_case(
                     &SixColoring,
                     "alg1",
                     &topo,
                     &ids,
                     seed,
-                    crash,
+                    fault,
                     &|c: &PairColor| c.weight() <= 2,
                 );
                 conformance_case(
@@ -188,7 +211,16 @@ fn conformance_matrix_alg1_and_alg2p_on_both_substrates() {
                     &topo,
                     &ids,
                     seed,
-                    crash,
+                    fault,
+                    &|&c: &u64| c <= 4,
+                );
+                conformance_case(
+                    &FastFiveColoringPatched,
+                    "alg3p",
+                    &topo,
+                    &ids,
+                    seed,
+                    fault,
                     &|&c: &u64| c <= 4,
                 );
             }

@@ -34,13 +34,19 @@
 //! ```text
 //! UPDATE_GOLDEN=1 cargo test --test golden_witnesses
 //! ```
+//!
+//! A third fixture family (`ftcolor-net-witness/2`) covers the network
+//! substrate: a `(seed, fault plan)` pair whose shrunk form is the
+//! locally minimal adversary still provoking a stall, produced by
+//! `ftcolor_net::shrink_plan`.
 
 use ftcolor::checker::shrink::WITNESS_SCHEMA;
 use ftcolor::checker::{ModelChecker, Shrinker, Witness, WitnessFixture};
 use ftcolor::core::mis::{mis_violation, EagerMis};
-use ftcolor::core::FiveColoring;
+use ftcolor::core::{FiveColoring, FiveColoringPatched};
 use ftcolor::model::schedule::ActivationSet;
-use ftcolor::model::{Algorithm, Execution, Topology};
+use ftcolor::model::{inputs, Algorithm, Execution, Topology};
+use ftcolor::net::{run_net, shrink_plan, FaultPlan, NetConfig, Partition};
 use std::path::Path;
 
 fn fixture_path(name: &str) -> std::path::PathBuf {
@@ -243,4 +249,88 @@ fn eager_mis_c4_violation_fixture_is_stable_and_minimal() {
     let got = mis_violation(&topo, exec.outputs())
         .expect("replaying the witness schedule reproduces the violation");
     assert_eq!(got, v.description);
+}
+
+// --------------------------------------------------------------------
+// Network-fault witness (schema ftcolor-net-witness/2).
+// --------------------------------------------------------------------
+
+/// Schema line for network-fault witness fixtures.
+const NET_WITNESS_SCHEMA: &str = "ftcolor-net-witness/2";
+
+/// A committed network-adversary counterexample: the raw fault plan the
+/// scenario was built with, and the `shrink_plan`-minimized plan that
+/// still provokes the stall, with the exact stalled set pinned.
+#[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+struct NetWitnessFixture {
+    schema: String,
+    alg: String,
+    n: usize,
+    seed: u64,
+    ids: Vec<u64>,
+    raw: FaultPlan,
+    shrunk: FaultPlan,
+    stalled: Vec<usize>,
+}
+
+/// The canonical network counterexample: a noisy plan (link loss, a
+/// crash, a healing partition window) hiding one load-bearing fault — a
+/// never-healing partition — shrinks down to exactly that partition,
+/// and the stall it provokes is replay-stable.
+#[test]
+fn net_partition_stall_fixture_is_stable_and_minimal() {
+    let n = 8;
+    let seed = 3u64;
+    let ids = inputs::random_unique(n, 10_000, seed);
+    let topo = Topology::cycle(n).unwrap();
+    let cfg = NetConfig::new(seed).max_time(4_000);
+
+    let raw = FaultPlan::lossy(0.1)
+        .with_crash(6, 5)
+        .with_partition(Partition::window(1, 40, vec![5]))
+        .with_partition(Partition::forever(2, vec![2]));
+
+    let stalled_set = |p: &FaultPlan| -> Vec<usize> {
+        let rep = run_net(&FiveColoringPatched, &topo, ids.clone(), p, &cfg);
+        rep.stalled.iter().map(|q| q.index()).collect()
+    };
+    let stalls = |p: &FaultPlan| !stalled_set(p).is_empty();
+    assert!(stalls(&raw), "the raw plan must provoke a stall");
+
+    let shrunk = shrink_plan(&raw, stalls);
+    let current = NetWitnessFixture {
+        schema: NET_WITNESS_SCHEMA.to_string(),
+        alg: "alg2p".to_string(),
+        n,
+        seed,
+        ids: ids.clone(),
+        raw: raw.clone(),
+        shrunk: shrunk.clone(),
+        stalled: stalled_set(&shrunk),
+    };
+    let gold: NetWitnessFixture = golden("net_partition_stall.json", &current);
+    assert_eq!(gold, current, "the network witness fixture changed");
+
+    // Replay verification: the committed shrunk plan still provokes
+    // exactly the committed stall set, and the survivors stay proper.
+    let rep = run_net(&FiveColoringPatched, &topo, ids.clone(), &gold.shrunk, &cfg);
+    let got: Vec<usize> = rep.stalled.iter().map(|q| q.index()).collect();
+    assert_eq!(got, gold.stalled, "replay must reproduce the stall set");
+    assert!(topo.is_proper_partial_coloring(&rep.outputs));
+
+    // Minimality: the shrinker reaches its own fixpoint on the shrunk
+    // plan (no single edit in its candidate set improves it), the noise
+    // is gone, and deleting the surviving partition kills the stall.
+    assert_eq!(shrink_plan(&gold.shrunk, stalls), gold.shrunk, "fixpoint");
+    assert_eq!(gold.shrunk.drop, 0.0, "link loss was noise");
+    assert!(gold.shrunk.crashes.is_empty(), "the crash was noise");
+    assert_eq!(
+        gold.shrunk.partitions.len(),
+        1,
+        "one load-bearing partition"
+    );
+    assert_eq!(gold.shrunk.partitions[0].end, u64::MAX, "it never heals");
+    let mut healed = gold.shrunk.clone();
+    healed.partitions.clear();
+    assert!(!stalls(&healed), "without the partition nobody stalls");
 }

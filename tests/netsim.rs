@@ -1,0 +1,156 @@
+//! Integration tests of the message-passing substrate's fault
+//! machinery: partitions that heal (every correct process terminates
+//! once retransmissions get through), partitions that never heal (only
+//! the cut-adjacent processes stall), crash semantics (the co-located
+//! register server outlives the process, as shared registers do in the
+//! paper's model), and heavy link-fault combinations.
+
+use ftcolor::model::{inputs, ProcessId, Topology};
+use ftcolor::net::{run_net, FaultPlan, NetConfig, Partition};
+use ftcolor::prelude::*;
+
+/// A partition with a bounded window heals, retransmissions drain, and
+/// every process terminates with a proper coloring — the substrate's
+/// liveness machinery (per-neighbor retransmit timers) recovers without
+/// any algorithm-level help.
+#[test]
+fn bounded_partition_heals_and_everyone_terminates() {
+    let n = 8;
+    let topo = Topology::cycle(n).unwrap();
+    for seed in 0..4u64 {
+        let ids = inputs::random_unique(n, 10_000, seed);
+        let k = (seed as usize) % n;
+        let plan = FaultPlan::default().with_partition(Partition::window(3, 120, vec![k]));
+        let rep = run_net(
+            &FiveColoringPatched,
+            &topo,
+            ids,
+            &plan,
+            &NetConfig::new(seed),
+        );
+        assert!(
+            rep.all_returned(),
+            "seed {seed}: stalled {:?} after the heal",
+            rep.stalled
+        );
+        assert!(topo.is_proper_partial_coloring(&rep.outputs));
+        assert!(rep.outputs.iter().flatten().all(|&c| c <= 4));
+        assert!(
+            rep.stats.partition_dropped > 0,
+            "seed {seed}: the partition never cut anything"
+        );
+    }
+}
+
+/// A partition that never heals stalls exactly the processes that need
+/// a register across the cut: the isolated node and its two ring
+/// neighbors. Everyone else terminates properly — a stalled neighbor's
+/// register is frozen, which the wait-free algorithms tolerate exactly
+/// as they tolerate a crash.
+#[test]
+fn unhealed_partition_stalls_only_the_cut_closure() {
+    let n = 8;
+    let topo = Topology::cycle(n).unwrap();
+    for seed in 0..4u64 {
+        let ids = inputs::random_unique(n, 10_000, seed);
+        let k = (seed as usize + 2) % n;
+        let plan = FaultPlan::default().with_partition(Partition::forever(2, vec![k]));
+        let cfg = NetConfig::new(seed).max_time(4_000);
+        let rep = run_net(&FiveColoringPatched, &topo, ids, &plan, &cfg);
+
+        let mut expected = vec![
+            ProcessId((k + n - 1) % n),
+            ProcessId(k),
+            ProcessId((k + 1) % n),
+        ];
+        expected.sort_by_key(|p| p.index());
+        let mut stalled = rep.stalled.clone();
+        stalled.sort_by_key(|p| p.index());
+        assert_eq!(
+            stalled, expected,
+            "seed {seed}: exactly the isolated node and its ring neighbors stall"
+        );
+        assert!(topo.is_proper_partial_coloring(&rep.outputs));
+        for p in topo.nodes() {
+            if !expected.contains(&p) {
+                assert!(
+                    rep.outputs[p.index()].is_some(),
+                    "seed {seed}: {p} is outside the cut closure but never returned"
+                );
+            }
+        }
+    }
+}
+
+/// A crashed process stops taking steps, but its co-located register
+/// server keeps answering — neighbors read its last published value and
+/// terminate, exactly the paper's shared-memory crash semantics.
+#[test]
+fn crash_leaves_the_register_readable() {
+    let n = 6;
+    let topo = Topology::cycle(n).unwrap();
+    for seed in 0..4u64 {
+        let ids = inputs::random_unique(n, 10_000, seed);
+        let k = (seed as usize) % n;
+        let plan = FaultPlan::default().with_crash(k, 4);
+        let rep = run_net(&SixColoring, &topo, ids, &plan, &NetConfig::new(seed));
+        assert_eq!(rep.crashed, vec![ProcessId(k)], "seed {seed}");
+        assert!(rep.stalled.is_empty(), "seed {seed}: {:?}", rep.stalled);
+        for p in topo.nodes() {
+            if p.index() != k {
+                assert!(rep.outputs[p.index()].is_some(), "seed {seed}: {p} stalled");
+            }
+        }
+        assert!(topo.is_proper_partial_coloring(&rep.outputs));
+    }
+}
+
+/// Heavy link faults — drops, duplicates, reordering, and a wide delay
+/// spread all at once — slow the run down but never change its outcome
+/// class: every process returns a proper in-palette color.
+#[test]
+fn heavy_link_faults_only_cost_time() {
+    let n = 10;
+    let topo = Topology::cycle(n).unwrap();
+    for seed in 0..4u64 {
+        let ids = inputs::random_unique(n, 10_000, seed);
+        let mut plan = FaultPlan::lossy(0.25);
+        plan.duplicate = 0.15;
+        plan.reorder = 0.2;
+        plan.delay_max = 6;
+        let rep = run_net(
+            &FastFiveColoringPatched,
+            &topo,
+            ids,
+            &plan,
+            &NetConfig::new(seed),
+        );
+        assert!(rep.all_returned(), "seed {seed}: {:?}", rep.stalled);
+        assert!(topo.is_proper_partial_coloring(&rep.outputs));
+        assert!(rep.outputs.iter().flatten().all(|&c| c <= 4));
+        assert!(
+            rep.stats.dropped > 0,
+            "seed {seed}: lossy plan dropped nothing"
+        );
+        assert!(
+            rep.stats.retransmits > 0,
+            "seed {seed}: drops without retransmissions cannot be live"
+        );
+    }
+}
+
+/// The isolated side of a never-healing partition is symmetric: cutting
+/// a two-node side stalls the two nodes and their two outer neighbors.
+#[test]
+fn two_node_island_stalls_its_closure() {
+    let n = 9;
+    let topo = Topology::cycle(n).unwrap();
+    let ids = inputs::random_unique(n, 10_000, 7);
+    let plan = FaultPlan::default().with_partition(Partition::forever(2, vec![3, 4]));
+    let cfg = NetConfig::new(7).max_time(4_000);
+    let rep = run_net(&FiveColoringPatched, &topo, ids, &plan, &cfg);
+    let mut stalled: Vec<usize> = rep.stalled.iter().map(|p| p.index()).collect();
+    stalled.sort_unstable();
+    assert_eq!(stalled, vec![2, 3, 4, 5]);
+    assert!(topo.is_proper_partial_coloring(&rep.outputs));
+}
