@@ -1,0 +1,124 @@
+//! Bench-snapshot regression guard for the model-checker core.
+//!
+//! ```text
+//! cargo run -p ftcolor-bench --release --bin bench_guard -- \
+//!     <baseline.json> <current.json> [--max-drop PCT]
+//! ```
+//!
+//! Compares a freshly generated `BENCH_modelcheck.json` against the
+//! committed baseline and exits nonzero when the exploration core
+//! regressed:
+//!
+//! * **configuration counts must match exactly** on rows with the same
+//!   (algorithm, instance, symmetry, bound) — the checker is
+//!   deterministic at every thread count, so any drift is a semantic
+//!   change, not noise;
+//! * **throughput must not drop by more than `--max-drop` percent**
+//!   (default 30) on any comparable row with at least 100k baseline
+//!   configurations (smaller rows finish in about a millisecond and
+//!   their throughput figure is timer noise). Peak visited-set bytes
+//!   are reported but not gated (they track `configs`
+//!   deterministically; the count check already covers them).
+//!
+//! Rows present on only one side are reported and ignored — that is
+//! what happens when the instance list grows, or when the baseline was
+//! generated at a different cap than the current run.
+
+use ftcolor_bench::e6_modelcheck::BenchRow;
+
+fn load(path: &str) -> Result<Vec<BenchRow>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn key(r: &BenchRow) -> (String, String, bool, usize) {
+    (r.algorithm.clone(), r.instance.clone(), r.symmetry, r.bound)
+}
+
+fn main() {
+    let mut max_drop: u64 = 30;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--max-drop" {
+            max_drop = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--max-drop needs a percentage");
+        } else {
+            paths.push(a);
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: bench_guard <baseline.json> <current.json> [--max-drop PCT]");
+        std::process::exit(2);
+    }
+    let max_drop = max_drop.min(100);
+    let baseline = load(&paths[0]).unwrap_or_else(|e| {
+        eprintln!("bench_guard: {e}");
+        std::process::exit(2);
+    });
+    let current = load(&paths[1]).unwrap_or_else(|e| {
+        eprintln!("bench_guard: {e}");
+        std::process::exit(2);
+    });
+
+    let mut compared = 0usize;
+    let mut failures = Vec::new();
+    for b in &baseline {
+        let Some(c) = current.iter().find(|c| key(c) == key(b)) else {
+            println!(
+                "skip (no current row): {} / {} sym={} bound={}",
+                b.algorithm, b.instance, b.symmetry, b.bound
+            );
+            continue;
+        };
+        compared += 1;
+        if c.configs != b.configs {
+            failures.push(format!(
+                "{} / {} sym={}: configs {} -> {} (determinism break!)",
+                b.algorithm, b.instance, b.symmetry, b.configs, c.configs
+            ));
+        }
+        // configs/sec may only drop by max_drop percent. Tiny instances
+        // finish in about a millisecond, so their throughput figure is
+        // timer noise — only multi-second rows are gated.
+        if b.configs >= 100_000 && c.configs_per_sec * 100 < b.configs_per_sec * (100 - max_drop) {
+            failures.push(format!(
+                "{} / {} sym={}: throughput {} -> {} cfg/s (>{}% drop)",
+                b.algorithm, b.instance, b.symmetry, b.configs_per_sec, c.configs_per_sec, max_drop
+            ));
+        }
+        println!(
+            "ok: {} / {} sym={}: {} configs, {} -> {} cfg/s, peak {} -> {} KiB",
+            b.algorithm,
+            b.instance,
+            b.symmetry,
+            c.configs,
+            b.configs_per_sec,
+            c.configs_per_sec,
+            b.peak_visited_bytes / 1024,
+            c.peak_visited_bytes / 1024
+        );
+    }
+    for c in &current {
+        if !baseline.iter().any(|b| key(b) == key(c)) {
+            println!(
+                "new row (no baseline): {} / {} sym={} bound={}",
+                c.algorithm, c.instance, c.symmetry, c.bound
+            );
+        }
+    }
+    if compared == 0 {
+        eprintln!("bench_guard: no comparable rows — baseline and current were generated at different caps?");
+        std::process::exit(2);
+    }
+    if failures.is_empty() {
+        println!("bench_guard: {compared} rows compared, no regression");
+    } else {
+        for f in &failures {
+            eprintln!("REGRESSION: {f}");
+        }
+        std::process::exit(1);
+    }
+}

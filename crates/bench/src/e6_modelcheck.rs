@@ -10,12 +10,22 @@
 //! * termination: Algorithm 1's configuration graph is cycle-free
 //!   (wait-free, crashes included), while Algorithms 2/3 exhibit the
 //!   documented crash livelock (DESIGN.md, "Reproduction findings").
+//!
+//! Each row also reports the exploration's throughput (configurations
+//! per second) and peak visited-set footprint from
+//! [`ftcolor_checker::stats::ExploreStats`], and every instance gets a
+//! `--symmetry` twin: the same exploration in the orbit quotient under
+//! the dihedral group of the cycle. Verdict columns must agree between
+//! a full row and its twin; the `configs` column shows how much (or,
+//! for asymmetric identifier assignments, how little) the quotient
+//! collapses. The rotation-invariant instances (`C4 ids=[0,1,0,1]`,
+//! `C6 ids=[0,1,2,0,1,2]`) are the ones where orbits genuinely merge.
 
 use ftcolor_checker::modelcheck::ModelCheckOutcome;
 use ftcolor_checker::ParallelModelChecker;
 use ftcolor_core::{FastFiveColoring, FiveColoring, FiveColoringPatched, SixColoring};
 use ftcolor_model::Topology;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One algorithm × instance exploration result.
 #[derive(Debug, Clone, Serialize)]
@@ -24,7 +34,13 @@ pub struct Row {
     pub algorithm: &'static str,
     /// Instance label (topology + ids).
     pub instance: String,
-    /// Reachable configurations.
+    /// Ring size.
+    pub n: usize,
+    /// Configuration cap the exploration ran under.
+    pub bound: usize,
+    /// Whether the exploration ran in the orbit quotient (`--symmetry`).
+    pub symmetry: bool,
+    /// Reachable configurations (orbit representatives when `symmetry`).
     pub configs: usize,
     /// Transitions explored.
     pub edges: usize,
@@ -40,6 +56,10 @@ pub struct Row {
     /// for acyclic configuration graphs — i.e. Algorithm 1; `None` when
     /// cyclic/truncated/not computed).
     pub exact_worst: Option<u64>,
+    /// Exploration throughput in configurations per second.
+    pub configs_per_sec: u64,
+    /// Peak visited-set footprint in bytes (keys + packed buffers).
+    pub peak_visited_bytes: u64,
 }
 
 fn coloring_safety_u64(topo: &Topology, outputs: &[Option<u64>]) -> Option<String> {
@@ -56,11 +76,17 @@ fn coloring_safety_u64(topo: &Topology, outputs: &[Option<u64>]) -> Option<Strin
 fn row_from<O: std::fmt::Debug>(
     algorithm: &'static str,
     instance: String,
+    n: usize,
+    bound: usize,
+    symmetry: bool,
     o: &ModelCheckOutcome<O>,
 ) -> Row {
     Row {
         algorithm,
         instance,
+        n,
+        bound,
+        symmetry,
         configs: o.configs,
         edges: o.edges,
         safety_ok: o.safety_violation.is_none(),
@@ -68,6 +94,8 @@ fn row_from<O: std::fmt::Debug>(
         distinct_colors: o.outputs_seen.len(),
         complete: !o.truncated,
         exact_worst: None,
+        configs_per_sec: o.stats.configs_per_sec,
+        peak_visited_bytes: o.stats.peak_visited_bytes,
     }
 }
 
@@ -83,60 +111,171 @@ pub fn run(max_configs: usize, jobs: usize) -> Vec<Row> {
         ("C3 ids=[5,11,7]".into(), vec![5, 11, 7]),
         ("C4 ids=[0,1,2,3]".into(), vec![0, 1, 2, 3]),
         ("C4 ids=[3,0,2,5]".into(), vec![3, 0, 2, 5]),
+        ("C5 ids=[0,1,2,3,4]".into(), vec![0, 1, 2, 3, 4]),
     ];
     for (label, ids) in &instances {
-        let topo = Topology::cycle(ids.len()).unwrap();
+        let n = ids.len();
+        let topo = Topology::cycle(n).unwrap();
+        for symmetry in [false, true] {
+            let mc = ParallelModelChecker::new(&SixColoring, &topo, ids.clone())
+                .with_max_configs(max_configs)
+                .with_jobs(jobs)
+                .with_symmetry(symmetry);
+            let o = mc
+                .explore(|topo, outputs| {
+                    if let Some((a, b)) = topo.first_conflict(outputs) {
+                        return Some(format!("conflict on edge {a}-{b}"));
+                    }
+                    outputs
+                        .iter()
+                        .flatten()
+                        .find(|c| c.weight() > 2)
+                        .map(|c| format!("color {c} outside palette"))
+                })
+                .unwrap();
+            let mut row = row_from(
+                "Alg1 (6-coloring)",
+                label.clone(),
+                n,
+                max_configs,
+                symmetry,
+                &o,
+            );
+            // Algorithm 1's configuration graph is acyclic: compute the
+            // exact worst-case round complexity over all schedules. A
+            // truncated run reports `None` but still surfaces the work
+            // it did through its stats, rather than returning silently.
+            let (w, _dp_stats) = ParallelModelChecker::new(&SixColoring, &topo, ids.clone())
+                .with_max_configs(max_configs)
+                .with_jobs(jobs)
+                .with_symmetry(symmetry)
+                .exact_worst_case_with_stats()
+                .unwrap();
+            row.exact_worst = w;
+            rows.push(row);
 
-        let mc = ParallelModelChecker::new(&SixColoring, &topo, ids.clone())
-            .with_max_configs(max_configs)
-            .with_jobs(jobs);
-        let o = mc
-            .explore(|topo, outputs| {
-                if let Some((a, b)) = topo.first_conflict(outputs) {
-                    return Some(format!("conflict on edge {a}-{b}"));
-                }
-                outputs
-                    .iter()
-                    .flatten()
-                    .find(|c| c.weight() > 2)
-                    .map(|c| format!("color {c} outside palette"))
-            })
-            .unwrap();
-        let mut row = row_from("Alg1 (6-coloring)", label.clone(), &o);
-        // Algorithm 1's configuration graph is acyclic: compute the
-        // exact worst-case round complexity over all schedules.
-        row.exact_worst = ParallelModelChecker::new(&SixColoring, &topo, ids.clone())
-            .with_max_configs(max_configs)
-            .with_jobs(jobs)
-            .exact_worst_case()
-            .unwrap();
-        rows.push(row);
+            let mc = ParallelModelChecker::new(&FiveColoring, &topo, ids.clone())
+                .with_max_configs(max_configs)
+                .with_jobs(jobs)
+                .with_symmetry(symmetry);
+            let o = mc.explore(coloring_safety_u64).unwrap();
+            rows.push(row_from(
+                "Alg2 (5-coloring)",
+                label.clone(),
+                n,
+                max_configs,
+                symmetry,
+                &o,
+            ));
 
-        let mc = ParallelModelChecker::new(&FiveColoring, &topo, ids.clone())
-            .with_max_configs(max_configs)
-            .with_jobs(jobs);
-        let o = mc.explore(coloring_safety_u64).unwrap();
-        rows.push(row_from("Alg2 (5-coloring)", label.clone(), &o));
+            let mc = ParallelModelChecker::new(&FastFiveColoring, &topo, ids.clone())
+                .with_max_configs(max_configs)
+                .with_jobs(jobs)
+                .with_symmetry(symmetry);
+            let o = mc.explore(coloring_safety_u64).unwrap();
+            rows.push(row_from(
+                "Alg3 (fast 5-coloring)",
+                label.clone(),
+                n,
+                max_configs,
+                symmetry,
+                &o,
+            ));
 
-        let mc = ParallelModelChecker::new(&FastFiveColoring, &topo, ids.clone())
-            .with_max_configs(max_configs)
-            .with_jobs(jobs);
-        let o = mc.explore(coloring_safety_u64).unwrap();
-        rows.push(row_from("Alg3 (fast 5-coloring)", label.clone(), &o));
+            // The candidate repair: bounded-depth search (its counter makes
+            // the space infinite; a finite search can refute but not fully
+            // certify — no cycle can exist by the monotone-counter argument,
+            // so "livelock: none" here is expected and `complete: false`
+            // reflects the truncation honestly).
+            let patched_cap = max_configs.min(400_000);
+            let mc = ParallelModelChecker::new(&FiveColoringPatched, &topo, ids.clone())
+                .with_max_configs(patched_cap)
+                .with_jobs(jobs)
+                .with_symmetry(symmetry);
+            let o = mc.explore(coloring_safety_u64).unwrap();
+            rows.push(row_from(
+                "Alg2-patched",
+                label.clone(),
+                n,
+                patched_cap,
+                symmetry,
+                &o,
+            ));
+        }
+    }
 
-        // The candidate repair: bounded-depth search (its counter makes
-        // the space infinite; a finite search can refute but not fully
-        // certify — no cycle can exist by the monotone-counter argument,
-        // so "livelock: none" here is expected and `complete: false`
-        // reflects the truncation honestly).
-        let patched_cap = max_configs.min(400_000);
-        let mc = ParallelModelChecker::new(&FiveColoringPatched, &topo, ids.clone())
-            .with_max_configs(patched_cap)
-            .with_jobs(jobs);
-        let o = mc.explore(coloring_safety_u64).unwrap();
-        rows.push(row_from("Alg2-patched", label.clone(), &o));
+    // Rotation-invariant identifier assignments: the quotient genuinely
+    // collapses orbits here (ids repeat with the rotation period, so
+    // distinct reachable configurations fall into common orbits). The
+    // unpatched Algorithm 2 keeps its livelock verdict through the
+    // quotient — the soundness property tests/symmetry_soundness.rs pins.
+    let symmetric_instances: Vec<(String, Vec<u64>)> = vec![
+        ("C4 ids=[0,1,0,1]".into(), vec![0, 1, 0, 1]),
+        ("C6 ids=[0,1,2,0,1,2]".into(), vec![0, 1, 2, 0, 1, 2]),
+    ];
+    for (label, ids) in &symmetric_instances {
+        let n = ids.len();
+        let topo = Topology::cycle(n).unwrap();
+        let cap = max_configs.min(400_000);
+        for symmetry in [false, true] {
+            let mc = ParallelModelChecker::new(&FiveColoring, &topo, ids.clone())
+                .with_max_configs(cap)
+                .with_jobs(jobs)
+                .with_symmetry(symmetry);
+            let o = mc.explore(coloring_safety_u64).unwrap();
+            rows.push(row_from(
+                "Alg2 (5-coloring)",
+                label.clone(),
+                n,
+                cap,
+                symmetry,
+                &o,
+            ));
+        }
     }
     rows
+}
+
+/// One row of the committed `BENCH_modelcheck.json` snapshot: algorithm
+/// × instance × bound → configuration count and cost. CI regenerates
+/// the snapshot (quick mode) and diffs it against the committed
+/// baseline with the `bench_guard` binary — configuration counts must
+/// match exactly (the checker is deterministic at every thread count),
+/// and throughput must not silently regress.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchRow {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Instance label (topology + ids).
+    pub instance: String,
+    /// Ring size.
+    pub n: usize,
+    /// Configuration cap the exploration ran under.
+    pub bound: usize,
+    /// Whether the exploration ran in the orbit quotient.
+    pub symmetry: bool,
+    /// Reachable configurations (deterministic for a given bound).
+    pub configs: usize,
+    /// Exploration throughput in configurations per second.
+    pub configs_per_sec: u64,
+    /// Peak visited-set footprint in bytes.
+    pub peak_visited_bytes: u64,
+}
+
+/// Projects the E6 rows onto the machine-readable snapshot format.
+pub fn snapshot(rows: &[Row]) -> Vec<BenchRow> {
+    rows.iter()
+        .map(|r| BenchRow {
+            algorithm: r.algorithm.to_string(),
+            instance: r.instance.clone(),
+            n: r.n,
+            bound: r.bound,
+            symmetry: r.symmetry,
+            configs: r.configs,
+            configs_per_sec: r.configs_per_sec,
+            peak_visited_bytes: r.peak_visited_bytes,
+        })
+        .collect()
 }
 
 /// Renders the E6 table.
@@ -146,6 +285,7 @@ pub fn table(rows: &[Row]) -> String {
         &[
             "algorithm",
             "instance",
+            "sym",
             "configs",
             "edges",
             "safety",
@@ -153,6 +293,8 @@ pub fn table(rows: &[Row]) -> String {
             "colors seen",
             "complete",
             "exact worst",
+            "cfg/s",
+            "peak KiB",
         ],
         &rows
             .iter()
@@ -160,6 +302,7 @@ pub fn table(rows: &[Row]) -> String {
                 vec![
                     r.algorithm.to_string(),
                     r.instance.clone(),
+                    if r.symmetry { "yes" } else { "-" }.into(),
                     r.configs.to_string(),
                     r.edges.to_string(),
                     if r.safety_ok {
@@ -175,6 +318,8 @@ pub fn table(rows: &[Row]) -> String {
                     r.distinct_colors.to_string(),
                     r.complete.to_string(),
                     r.exact_worst.map_or("-".into(), |w| w.to_string()),
+                    r.configs_per_sec.to_string(),
+                    (r.peak_visited_bytes / 1024).to_string(),
                 ]
             })
             .collect::<Vec<_>>(),
@@ -187,7 +332,9 @@ mod tests {
 
     #[test]
     fn exhaustive_small_instances() {
-        let rows = run(3_000_000, 0);
+        // A small cap keeps the debug-mode test fast; the experiments
+        // binary runs the same sweep at the real (quick/full) caps.
+        let rows = run(60_000, 0);
         for r in &rows {
             assert!(r.safety_ok, "safety must hold everywhere: {r:?}");
         }
@@ -204,5 +351,44 @@ mod tests {
         for r in rows.iter().filter(|r| r.algorithm == "Alg2-patched") {
             assert!(!r.livelock, "{r:?}");
         }
+        // Each full row has a symmetry twin. When the full exploration
+        // completes, the quotient must complete too (it is never larger)
+        // with identical verdicts; under truncation the two modes cover
+        // different regions, so only soundness-safe facts are asserted.
+        for full in rows.iter().filter(|r| !r.symmetry) {
+            let twin = rows
+                .iter()
+                .find(|r| {
+                    r.symmetry && r.algorithm == full.algorithm && r.instance == full.instance
+                })
+                .expect("every row has a symmetry twin");
+            assert_eq!(full.safety_ok, twin.safety_ok, "{full:?}");
+            if full.complete {
+                assert!(twin.complete, "quotient of a complete space: {twin:?}");
+                assert_eq!(full.livelock, twin.livelock, "{full:?}");
+                assert!(twin.configs <= full.configs, "{full:?} vs {twin:?}");
+                assert_eq!(full.exact_worst, twin.exact_worst, "{full:?}");
+            }
+        }
+        // The rotation-invariant instances genuinely collapse.
+        for full in rows
+            .iter()
+            .filter(|r| !r.symmetry && r.instance.contains("[0,1,0,1]"))
+        {
+            let twin = rows
+                .iter()
+                .find(|r| r.symmetry && r.instance == full.instance)
+                .unwrap();
+            assert!(
+                twin.configs * 2 <= full.configs,
+                "expected ≥2x collapse: {} vs {}",
+                twin.configs,
+                full.configs
+            );
+        }
+        // The snapshot projection is faithful.
+        let snap = snapshot(&rows);
+        assert_eq!(snap.len(), rows.len());
+        assert!(snap.iter().zip(&rows).all(|(s, r)| s.configs == r.configs));
     }
 }

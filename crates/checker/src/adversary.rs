@@ -159,13 +159,18 @@ where
     }
 
     /// Runs a genome and scores it; also evaluates the safety predicate
-    /// on the final partial outputs.
-    fn evaluate(
+    /// on the final partial outputs. `scratch` is reset in place from
+    /// `template` (clone-free evaluation: one allocation-free rewind per
+    /// genome instead of a fresh `Execution` each time).
+    fn evaluate<'e>(
         &self,
+        scratch: &mut Execution<'e, A>,
+        template: &Execution<'e, A>,
         genome: &[ActivationSet],
         safety: &impl Fn(&Topology, &[Option<A::Output>]) -> Option<String>,
     ) -> (u64, Option<String>) {
-        let mut exec = Execution::new(self.alg, self.topo, self.inputs.clone());
+        scratch.reset_from(template);
+        let exec = scratch;
         for set in genome {
             if exec.all_returned() {
                 break;
@@ -218,6 +223,9 @@ where
     where
         A: Sync,
         A::Input: Sync,
+        A::State: Sync,
+        A::Reg: Sync,
+        A::Output: Sync,
     {
         let jobs = if self.config.jobs == 0 {
             crate::parallel::default_jobs()
@@ -226,22 +234,32 @@ where
         }
         .min(genomes.len())
         .max(1);
+        let template = Execution::new(self.alg, self.topo, self.inputs.clone());
         if jobs == 1 {
-            return genomes.iter().map(|g| self.evaluate(g, safety)).collect();
+            let mut scratch = template.clone();
+            return genomes
+                .iter()
+                .map(|g| self.evaluate(&mut scratch, &template, g, safety))
+                .collect();
         }
         let next = std::sync::atomic::AtomicUsize::new(0);
         let mut parts = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = (0..jobs)
                 .map(|_| {
                     let next = &next;
+                    let template = &template;
                     s.spawn(move |_| {
+                        let mut scratch = template.clone();
                         let mut local: Vec<(usize, (u64, Option<String>))> = Vec::new();
                         loop {
                             let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             if i >= genomes.len() {
                                 break;
                             }
-                            local.push((i, self.evaluate(&genomes[i], safety)));
+                            local.push((
+                                i,
+                                self.evaluate(&mut scratch, template, &genomes[i], safety),
+                            ));
                         }
                         local
                     })
@@ -272,6 +290,9 @@ where
     where
         A: Sync,
         A::Input: Sync,
+        A::State: Sync,
+        A::Reg: Sync,
+        A::Output: Sync,
     {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut population: Vec<Vec<ActivationSet>> = self.seed_corpus();

@@ -15,6 +15,12 @@
 //!   is just "no further activations"), checks a safety predicate at
 //!   every configuration, and detects livelocks as cycles in the
 //!   configuration graph;
+//! * [`encode`] — the compact configuration codec backing the explorers:
+//!   packed interned buffers, incremental per-slot hashing, and
+//!   clone-free step/undo successor generation;
+//! * [`symmetry`] — opt-in orbit canonicalization under the cycle's
+//!   automorphism group (rotations + reflections), with the soundness
+//!   guard and the witness de-canonicalization algebra;
 //! * [`parallel`] — a multi-threaded frontier-expansion engine for the
 //!   same exploration, bit-identical to [`modelcheck`] at any thread
 //!   count;
@@ -33,17 +39,23 @@
 
 pub mod adversary;
 pub mod chains;
+pub mod encode;
 pub mod invariants;
 pub mod modelcheck;
 pub mod parallel;
 pub mod shrink;
 pub mod ssb;
 pub mod stats;
+pub mod symmetry;
 
 pub use adversary::{FuzzConfig, FuzzReport, Objective, ScheduleFuzzer};
 pub use chains::ChainAnalysis;
+pub use encode::{CfgKey, ConfigCodec};
 pub use invariants::{check_coloring_report, ColoringCheck};
-pub use modelcheck::{LivelockWitness, ModelCheckOutcome, ModelChecker, SafetyViolation};
+pub use modelcheck::{
+    LivelockWitness, ModelCheckError, ModelCheckOutcome, ModelChecker, SafetyViolation,
+};
 pub use parallel::ParallelModelChecker;
 pub use shrink::{ShrinkStats, Shrinker, ShrunkLivelock, ShrunkSchedule, Witness, WitnessFixture};
-pub use stats::Summary;
+pub use stats::{ExploreStats, Summary};
+pub use symmetry::CycleSymmetry;

@@ -22,16 +22,39 @@
 //!   [`LivelockWitness`] (reach the cycle, then loop its activation sets
 //!   forever).
 //!
+//! # Compact exploration core
+//!
+//! Configurations are stored as packed interned buffers
+//! ([`crate::encode::CfgKey`]): the visited-set, the BFS queue, and the
+//! parent links never hold an [`Execution`] or a heap tuple. Successors
+//! are generated **clone-free** by step/undo on a single scratch
+//! execution — step with a subset, re-encode only the touched slots
+//! (incrementally updating the configuration hash), then restore those
+//! slots from the parent's buffer. Key equality compares the packed
+//! buffers themselves, so deduplication is exact and the explored graph
+//! is bit-identical to the one the old clone-per-successor engine built.
+//!
+//! With [`ModelChecker::with_symmetry`] the checker additionally
+//! canonicalizes every configuration under the cycle's automorphism
+//! group before deduplication, exploring one representative per orbit —
+//! see [`crate::symmetry`] for the soundness contract and the witness
+//! de-canonicalization that keeps every surfaced schedule concretely
+//! replayable on the original instance.
+//!
 //! Experiment E6 runs this on `C3`/`C4` for Algorithms 1–3 (finding the
 //! crash-livelock of Algorithms 2/3 automatically, and verifying
 //! Algorithm 1 clean); E7 runs it on the MIS candidates.
 
+use crate::encode::{CfgKey, ConfigCodec, PassthroughBuild};
+use crate::stats::ExploreStats;
+use crate::symmetry::{CycleSymmetry, SIGMA_ID};
 use ftcolor_model::schedule::ActivationSet;
-use ftcolor_model::{Algorithm, Execution, Topology};
+use ftcolor_model::{Algorithm, Execution, ProcessId, Topology};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::hash::Hash;
+use std::time::Instant;
 
 /// A safety violation found at a reachable configuration.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -57,10 +80,12 @@ pub struct LivelockWitness {
 
 /// Result of an exhaustive exploration.
 ///
-/// Derives `PartialEq` so differential harnesses can assert that two
+/// Implements `PartialEq` so differential harnesses can assert that two
 /// explorations (e.g. sequential vs. parallel) produced *identical*
-/// results, field for field.
-#[derive(Debug, Clone, PartialEq)]
+/// results, field for field. The [`stats`](Self::stats) field carries
+/// wall-clock-dependent performance counters and is deliberately
+/// **excluded** from equality.
+#[derive(Debug, Clone)]
 pub struct ModelCheckOutcome<O> {
     /// Number of distinct reachable configurations.
     pub configs: usize,
@@ -79,6 +104,21 @@ pub struct ModelCheckOutcome<O> {
     /// Whether exploration was truncated by the configuration cap (all
     /// reported facts still hold for the explored subgraph).
     pub truncated: bool,
+    /// Performance counters for this exploration (configs/sec, memory,
+    /// dedup hit-rate). Not part of equality: wall-clock varies.
+    pub stats: ExploreStats,
+}
+
+impl<O: PartialEq> PartialEq for ModelCheckOutcome<O> {
+    fn eq(&self, other: &Self) -> bool {
+        self.configs == other.configs
+            && self.edges == other.edges
+            && self.fully_terminated_configs == other.fully_terminated_configs
+            && self.safety_violation == other.safety_violation
+            && self.livelock == other.livelock
+            && self.outputs_seen == other.outputs_seen
+            && self.truncated == other.truncated
+    }
 }
 
 impl<O> ModelCheckOutcome<O> {
@@ -127,6 +167,7 @@ pub struct ModelChecker<'a, A: Algorithm> {
     topo: &'a Topology,
     inputs: Vec<A::Input>,
     max_configs: usize,
+    symmetry: bool,
 }
 
 /// Exploration failed structurally (e.g. the instance is too large).
@@ -134,12 +175,30 @@ pub struct ModelChecker<'a, A: Algorithm> {
 pub enum ModelCheckError {
     /// The per-process input list has the wrong length.
     InputLengthMismatch,
+    /// Symmetry reduction was requested on a topology whose automorphism
+    /// group the checker cannot certify (only single cycles qualify).
+    SymmetryUnsupported,
+    /// Symmetry reduction was requested for an algorithm that does not
+    /// certify [`Algorithm::relabel_view`], so the checker cannot apply
+    /// graph automorphisms to its states soundly.
+    ///
+    /// [`Algorithm::relabel_view`]: ftcolor_model::Algorithm::relabel_view
+    SymmetryUncertifiedAlgorithm,
 }
 
 impl fmt::Display for ModelCheckError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelCheckError::InputLengthMismatch => write!(f, "one input per node required"),
+            ModelCheckError::SymmetryUnsupported => {
+                write!(f, "symmetry reduction requires a cycle topology")
+            }
+            ModelCheckError::SymmetryUncertifiedAlgorithm => {
+                write!(
+                    f,
+                    "symmetry reduction requires the algorithm to certify relabel_view"
+                )
+            }
         }
     }
 }
@@ -161,34 +220,28 @@ pub fn all_nonempty_subsets(working: &[ftcolor_model::ProcessId]) -> Vec<Activat
         .collect()
 }
 
-pub(crate) type ConfigKey<A> = (
-    Vec<<A as Algorithm>::State>,
-    Vec<Option<<A as Algorithm>::Reg>>,
-    Vec<Option<<A as Algorithm>::Output>>,
-);
-
-/// The full configuration key of an execution: private states, register
-/// contents, and outputs of every process.
-pub(crate) fn key_of<A: Algorithm>(exec: &Execution<'_, A>) -> ConfigKey<A> {
-    let n = exec.topology().len();
-    (
-        (0..n)
-            .map(|i| exec.state(ftcolor_model::ProcessId(i)).clone())
-            .collect(),
-        exec.registers().to_vec(),
-        exec.outputs().to_vec(),
-    )
+/// One transition of the configuration graph: target node, the
+/// activation set taken (in the source node's frame), and the
+/// automorphism that canonicalized the raw successor (`SIGMA_ID`
+/// outside symmetry mode).
+#[derive(Debug, Clone)]
+pub(crate) struct Edge {
+    pub to: usize,
+    pub set: ActivationSet,
+    pub sig: u16,
 }
+
+/// BFS parent link: parent id, activation set, canonicalizing
+/// automorphism of the edge.
+pub(crate) type ParentLink = Option<(usize, ActivationSet, u16)>;
 
 /// Walks the BFS parent chain from node `id` back to the root, returning
 /// the activation-set schedule that reaches `id` from the initial
-/// configuration.
-pub(crate) fn schedule_to(
-    parents: &[Option<(usize, ActivationSet)>],
-    mut id: usize,
-) -> Vec<ActivationSet> {
+/// configuration. Only valid outside symmetry mode (automorphism frames
+/// are ignored); symmetry-mode callers use [`frame_schedule`].
+pub(crate) fn schedule_to(parents: &[ParentLink], mut id: usize) -> Vec<ActivationSet> {
     let mut sched = Vec::new();
-    while let Some((p, set)) = &parents[id] {
+    while let Some((p, set, _)) = &parents[id] {
         sched.push(set.clone());
         id = *p;
     }
@@ -196,17 +249,123 @@ pub(crate) fn schedule_to(
     sched
 }
 
+/// Symmetry-mode replacement for [`schedule_to`]: walks the parent chain
+/// and **de-canonicalizes** it, mapping each canonical-frame activation
+/// set through the cumulative frame automorphism back to the original
+/// instance's process labels. Returns the concrete schedule and the
+/// frame permutation `τ` at `id` (concrete process = `τ[canonical]`).
+pub(crate) fn frame_schedule(
+    parents: &[ParentLink],
+    mut id: usize,
+    sym: &CycleSymmetry,
+    root_sig: u16,
+) -> (Vec<ActivationSet>, u16) {
+    let mut chain: Vec<(ActivationSet, u16)> = Vec::new();
+    while let Some((p, set, sig)) = &parents[id] {
+        chain.push((set.clone(), *sig));
+        id = *p;
+    }
+    chain.reverse();
+
+    // Concrete root = inv(root_sig) · canonical root.
+    let mut tau = sym.invert(root_sig);
+    let mut sched = Vec::with_capacity(chain.len());
+    for (set, sig) in chain {
+        sched.push(sym.apply_to_set(tau, &set));
+        tau = sym.compose(tau, sym.invert(sig));
+    }
+    (sched, tau)
+}
+
+/// Materializes a concrete [`SafetyViolation`] from a quotient-graph
+/// detection: outside symmetry mode the parent chain *is* the concrete
+/// schedule; in symmetry mode the chain is de-canonicalized and then
+/// replayed on the original instance to regenerate the description in
+/// concrete process labels (falling back to the canonical-frame
+/// description if the predicate — against the contract — is not
+/// symmetry-invariant).
+#[allow(clippy::too_many_arguments)] // internal plumbing between the two checkers
+pub(crate) fn concrete_safety_witness<A: Algorithm>(
+    alg: &A,
+    topo: &Topology,
+    inputs: &[A::Input],
+    parents: &[ParentLink],
+    id: usize,
+    canonical_desc: String,
+    sym: Option<&CycleSymmetry>,
+    root_sig: u16,
+    safety: &impl Fn(&Topology, &[Option<A::Output>]) -> Option<String>,
+) -> SafetyViolation
+where
+    A::Input: Clone,
+{
+    match sym {
+        None => SafetyViolation {
+            description: canonical_desc,
+            schedule: schedule_to(parents, id),
+        },
+        Some(s) => {
+            let (schedule, _) = frame_schedule(parents, id, s, root_sig);
+            let mut exec = Execution::new(alg, topo, inputs.to_vec());
+            for set in &schedule {
+                exec.step_with(set);
+            }
+            SafetyViolation {
+                description: safety(topo, exec.outputs()).unwrap_or(canonical_desc),
+                schedule,
+            }
+        }
+    }
+}
+
+/// Materializes a concrete [`LivelockWitness`] from a quotient-graph
+/// cycle. In symmetry mode the quotient cycle closes only up to an
+/// automorphism `ρ` (the composition of the inverted edge
+/// canonicalizers), so the concrete cycle is the quotient cycle
+/// **unrolled `order(ρ)` times** with the frame permutation advanced
+/// per edge — after which the concrete configuration genuinely repeats.
+pub(crate) fn concrete_livelock_witness(
+    parents: &[ParentLink],
+    entry: usize,
+    cycle: &[(ActivationSet, u16)],
+    sym: Option<&CycleSymmetry>,
+    root_sig: u16,
+) -> LivelockWitness {
+    match sym {
+        None => LivelockWitness {
+            prefix: schedule_to(parents, entry),
+            cycle: cycle.iter().map(|(set, _)| set.clone()).collect(),
+        },
+        Some(s) => {
+            let (prefix, mut tau) = frame_schedule(parents, entry, s, root_sig);
+            let rho = cycle
+                .iter()
+                .fold(SIGMA_ID, |acc, (_, sig)| s.compose(acc, s.invert(*sig)));
+            let passes = s.order(rho);
+            let mut sets = Vec::with_capacity(passes * cycle.len());
+            for _ in 0..passes {
+                for (set, sig) in cycle {
+                    sets.push(s.apply_to_set(tau, set));
+                    tau = s.compose(tau, s.invert(*sig));
+                }
+            }
+            LivelockWitness {
+                prefix,
+                cycle: sets,
+            }
+        }
+    }
+}
+
 /// Finds a cycle in the configuration graph via iterative DFS with
-/// tri-color marking; returns the cycle entry node and the activation
-/// sets around the cycle.
+/// tri-color marking; returns the cycle entry node and the
+/// (activation set, edge automorphism) pairs around the cycle.
 ///
 /// Invariant used for witness extraction: after taking edge index `ei`
 /// out of node `u`, the stack entry stores `ei + 1`, so the edge from
 /// `stack[w]` toward `stack[w+1]` (or the closing back edge, for the top
 /// entry) is always `edges[node][stored_ei − 1]`.
-pub(crate) fn find_cycle(
-    edges: &[Vec<(usize, ActivationSet)>],
-) -> Option<(usize, Vec<ActivationSet>)> {
+pub(crate) fn find_cycle(edges: &[Vec<Edge>]) -> Option<(usize, Vec<(ActivationSet, u16)>)> {
     #[derive(Clone, Copy, PartialEq)]
     enum Color {
         White,
@@ -228,7 +387,7 @@ pub(crate) fn find_cycle(
                 continue;
             }
             stack.last_mut().expect("nonempty").1 = ei + 1;
-            let v = edges[u][ei].0;
+            let v = edges[u][ei].to;
             match color[v] {
                 Color::White => {
                     color[v] = Color::Gray;
@@ -242,7 +401,10 @@ pub(crate) fn find_cycle(
                         .expect("gray node is on the stack");
                     let cycle = stack[pos..]
                         .iter()
-                        .map(|&(node, next_ei)| edges[node][next_ei - 1].1.clone())
+                        .map(|&(node, next_ei)| {
+                            let e = &edges[node][next_ei - 1];
+                            (e.set.clone(), e.sig)
+                        })
                         .collect();
                     return Some((v, cycle));
                 }
@@ -257,25 +419,31 @@ pub(crate) fn find_cycle(
 /// **acyclic** configuration graph with `n` processes: topological order
 /// via Kahn's algorithm, then a per-process max-activation DP. Returns
 /// `None` when the graph has a cycle (unbounded worst case).
+///
+/// In symmetry mode each edge relabels the per-process counters through
+/// its canonicalizing automorphism, so every DP entry is the count
+/// vector of a *concrete* path and the maximum over the quotient equals
+/// the maximum over the full graph.
 pub(crate) fn worst_case_from_graph(
-    edges: &[Vec<(usize, ActivationSet)>],
+    edges: &[Vec<Edge>],
     n: usize,
+    sym: Option<&CycleSymmetry>,
 ) -> Option<u64> {
     let m = edges.len();
     let mut indeg = vec![0usize; m];
     for outs in edges {
-        for &(v, _) in outs {
-            indeg[v] += 1;
+        for e in outs {
+            indeg[e.to] += 1;
         }
     }
     let mut order = Vec::with_capacity(m);
     let mut q: VecDeque<usize> = (0..m).filter(|&v| indeg[v] == 0).collect();
     while let Some(u) = q.pop_front() {
         order.push(u);
-        for &(v, _) in &edges[u] {
-            indeg[v] -= 1;
-            if indeg[v] == 0 {
-                q.push_back(v);
+        for e in &edges[u] {
+            indeg[e.to] -= 1;
+            if indeg[e.to] == 0 {
+                q.push_back(e.to);
             }
         }
     }
@@ -288,14 +456,35 @@ pub(crate) fn worst_case_from_graph(
     for &u in &order {
         answer = answer.max(best[u].iter().copied().max().unwrap_or(0));
         let from = best[u].clone();
-        for (v, set) in edges[u].clone() {
-            for (i, slot) in best[v].iter_mut().enumerate() {
-                let inc = u64::from(set.activates(ftcolor_model::ProcessId(i)));
-                *slot = (*slot).max(from[i] + inc);
+        for e in edges[u].clone() {
+            for (i, &acts) in from.iter().enumerate() {
+                let inc = u64::from(e.set.activates(ftcolor_model::ProcessId(i)));
+                // Successor-frame index of source-frame process i.
+                let j = match sym {
+                    Some(s) => s.perm(e.sig)[i] as usize,
+                    None => i,
+                };
+                best[e.to][j] = best[e.to][j].max(acts + inc);
             }
         }
     }
     Some(answer)
+}
+
+/// Everything `explore`/`exact_worst_case` share: the quotiented (or
+/// plain) configuration graph plus bookkeeping.
+struct SeqGraph<O> {
+    edges: Vec<Vec<Edge>>,
+    parents: Vec<ParentLink>,
+    configs: usize,
+    edge_count: usize,
+    fully_terminated: usize,
+    truncated: bool,
+    first_violation: Option<(usize, String)>,
+    outputs_seen: Vec<O>,
+    stats: ExploreStats,
+    sym: Option<CycleSymmetry>,
+    root_sig: u16,
 }
 
 impl<'a, A: Algorithm> ModelChecker<'a, A>
@@ -312,6 +501,7 @@ where
             topo,
             inputs,
             max_configs: 2_000_000,
+            symmetry: false,
         }
     }
 
@@ -322,13 +512,157 @@ where
         self
     }
 
-    fn key_of(exec: &Execution<'_, A>) -> ConfigKey<A> {
-        key_of(exec)
+    /// Enables **symmetry reduction**: configurations are canonicalized
+    /// under the cycle's automorphism group and one representative per
+    /// orbit is explored. Verdicts (safety / livelock / truncation) are
+    /// provably identical to full exploration; `configs`/`edges` counts
+    /// shrink by up to `2n` and all witnesses are de-canonicalized to
+    /// concrete schedules. Two soundness guards apply: exploration fails
+    /// with [`ModelCheckError::SymmetryUnsupported`] unless the topology
+    /// is a single cycle, and with
+    /// [`ModelCheckError::SymmetryUncertifiedAlgorithm`] unless the
+    /// algorithm certifies `Algorithm::relabel_view` (the group action
+    /// must reindex view-position-indexed state data when an
+    /// automorphism flips the order a process sees its neighbors in).
+    pub fn with_symmetry(mut self, on: bool) -> Self {
+        self.symmetry = on;
+        self
     }
 
-    /// Enumerates every non-empty subset of the working processes.
-    fn activation_subsets(working: &[ftcolor_model::ProcessId]) -> Vec<ActivationSet> {
-        all_nonempty_subsets(working)
+    fn symmetry_group(
+        &self,
+        scratch: &Execution<'_, A>,
+    ) -> Result<Option<CycleSymmetry>, ModelCheckError> {
+        if !self.symmetry {
+            return Ok(None);
+        }
+        let sym =
+            CycleSymmetry::for_topology(self.topo).ok_or(ModelCheckError::SymmetryUnsupported)?;
+        // The hook's return value is state-independent by contract, so
+        // probing one (discarded) state clone certifies the algorithm.
+        let mut probe = scratch.state(ProcessId(0)).clone();
+        if !self.alg.relabel_view(&mut probe, &[1, 0]) {
+            return Err(ModelCheckError::SymmetryUncertifiedAlgorithm);
+        }
+        Ok(Some(sym))
+    }
+
+    /// The compact-core BFS shared by [`Self::explore`] and
+    /// [`Self::exact_worst_case`]: step/undo successor generation on one
+    /// scratch execution, packed interned keys, incremental hashing,
+    /// optional orbit canonicalization.
+    fn build_graph(
+        &self,
+        safety: &impl Fn(&Topology, &[Option<A::Output>]) -> Option<String>,
+        track_outputs: bool,
+    ) -> Result<SeqGraph<A::Output>, ModelCheckError> {
+        let t0 = Instant::now();
+        let mut scratch = Execution::try_new(self.alg, self.topo, self.inputs.clone())
+            .map_err(|_| ModelCheckError::InputLengthMismatch)?;
+        let sym = self.symmetry_group(&scratch)?;
+        let codec: ConfigCodec<A> = ConfigCodec::new(self.topo.len());
+
+        let root = codec.encode(&scratch);
+        let (root, root_sig) = match &sym {
+            Some(s) => s.canonicalize(&codec, self.alg, true, &root),
+            None => (root, SIGMA_ID),
+        };
+        if root_sig != SIGMA_ID {
+            codec.restore(&mut scratch, &root);
+        }
+
+        let mut visited: HashMap<CfgKey, usize, PassthroughBuild> =
+            HashMap::with_hasher(PassthroughBuild::default());
+        let mut nodes: Vec<CfgKey> = Vec::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut g = SeqGraph {
+            edges: vec![Vec::new()],
+            parents: vec![None],
+            configs: 1,
+            edge_count: 0,
+            fully_terminated: 0,
+            truncated: false,
+            first_violation: None,
+            outputs_seen: Vec::new(),
+            stats: ExploreStats::default(),
+            sym,
+            root_sig,
+        };
+        let mut seen_set: HashSet<A::Output> = HashSet::new();
+        let (mut dedup_hits, mut dedup_lookups) = (0u64, 0u64);
+
+        visited.insert(root.clone(), 0);
+        nodes.push(root);
+        queue.push_back(0);
+
+        while let Some(id) = queue.pop_front() {
+            codec.restore(&mut scratch, &nodes[id]);
+            // Safety at this configuration (covers the crash-everything-
+            // here execution).
+            if track_outputs {
+                for o in scratch.outputs().iter().flatten() {
+                    if seen_set.insert(o.clone()) {
+                        g.outputs_seen.push(o.clone());
+                    }
+                }
+            }
+            if g.first_violation.is_none() {
+                if let Some(desc) = safety(self.topo, scratch.outputs()) {
+                    g.first_violation = Some((id, desc));
+                }
+            }
+            if scratch.all_returned() {
+                g.fully_terminated += 1;
+                continue;
+            }
+            if g.configs >= self.max_configs {
+                g.truncated = true;
+                continue;
+            }
+            let parent = nodes[id].clone();
+            for set in all_nonempty_subsets(scratch.working()) {
+                let touched = scratch.step_with(&set);
+                let key = codec.encode_delta(&parent, &scratch, &touched);
+                let (key, sig) = match &g.sym {
+                    Some(s) => s.canonicalize(&codec, self.alg, true, &key),
+                    None => (key, SIGMA_ID),
+                };
+                dedup_lookups += 1;
+                let next_id = match visited.get(&key) {
+                    Some(&nid) => {
+                        dedup_hits += 1;
+                        nid
+                    }
+                    None => {
+                        let nid = g.edges.len();
+                        visited.insert(key.clone(), nid);
+                        nodes.push(key);
+                        g.edges.push(Vec::new());
+                        g.parents.push(Some((id, set.clone(), sig)));
+                        queue.push_back(nid);
+                        g.configs += 1;
+                        nid
+                    }
+                };
+                g.edges[id].push(Edge {
+                    to: next_id,
+                    set,
+                    sig,
+                });
+                g.edge_count += 1;
+                codec.restore_procs(&mut scratch, &parent.packed, &touched);
+            }
+        }
+
+        g.stats = ExploreStats::measure(
+            g.configs,
+            t0.elapsed(),
+            visited_bytes(&codec, g.configs),
+            dedup_hits,
+            dedup_lookups,
+            interned_total(&codec),
+        );
+        Ok(g)
     }
 
     /// Explores the reachable configuration graph, checking `safety` at
@@ -338,87 +672,105 @@ where
     /// # Errors
     ///
     /// Returns [`ModelCheckError::InputLengthMismatch`] when inputs don't
-    /// match the topology.
+    /// match the topology, and [`ModelCheckError::SymmetryUnsupported`]
+    /// when symmetry reduction is enabled on a non-cycle topology.
     pub fn explore(
         &self,
         safety: impl Fn(&Topology, &[Option<A::Output>]) -> Option<String>,
     ) -> Result<ModelCheckOutcome<A::Output>, ModelCheckError> {
-        let root = Execution::try_new(self.alg, self.topo, self.inputs.clone())
-            .map_err(|_| ModelCheckError::InputLengthMismatch)?;
-
-        let mut visited: HashMap<ConfigKey<A>, usize> = HashMap::new();
-        let mut edges: Vec<Vec<(usize, ActivationSet)>> = Vec::new();
-        let mut parents: Vec<Option<(usize, ActivationSet)>> = Vec::new();
-        let mut queue: VecDeque<(usize, Execution<'a, A>)> = VecDeque::new();
-
-        let mut outcome = ModelCheckOutcome {
-            configs: 0,
-            edges: 0,
-            fully_terminated_configs: 0,
-            safety_violation: None,
-            livelock: None,
-            outputs_seen: Vec::new(),
-            truncated: false,
-        };
-        let mut seen_set: HashSet<A::Output> = HashSet::new();
-
-        visited.insert(Self::key_of(&root), 0);
-        edges.push(Vec::new());
-        parents.push(None);
-        queue.push_back((0, root.clone()));
-        outcome.configs = 1;
-
-        while let Some((id, exec)) = queue.pop_front() {
-            // Safety at this configuration (covers the crash-everything-
-            // here execution).
-            for o in exec.outputs().iter().flatten() {
-                if seen_set.insert(o.clone()) {
-                    outcome.outputs_seen.push(o.clone());
-                }
-            }
-            if outcome.safety_violation.is_none() {
-                if let Some(desc) = safety(self.topo, exec.outputs()) {
-                    outcome.safety_violation = Some(SafetyViolation {
-                        description: desc,
-                        schedule: schedule_to(&parents, id),
-                    });
-                }
-            }
-            if exec.all_returned() {
-                outcome.fully_terminated_configs += 1;
-                continue;
-            }
-            if outcome.configs >= self.max_configs {
-                outcome.truncated = true;
-                continue;
-            }
-            for set in Self::activation_subsets(exec.working()) {
-                let mut next = exec.clone();
-                next.step_with(&set);
-                let key = Self::key_of(&next);
-                let next_id = match visited.get(&key) {
-                    Some(&id) => id,
-                    None => {
-                        let nid = edges.len();
-                        visited.insert(key, nid);
-                        edges.push(Vec::new());
-                        parents.push(Some((id, set.clone())));
-                        queue.push_back((nid, next));
-                        outcome.configs += 1;
-                        nid
-                    }
-                };
-                edges[id].push((next_id, set));
-                outcome.edges += 1;
-            }
-        }
-
-        outcome.livelock = find_cycle(&edges).map(|(entry, cycle)| LivelockWitness {
-            prefix: schedule_to(&parents, entry),
-            cycle,
+        let g = self.build_graph(&safety, true)?;
+        let safety_violation = g.first_violation.as_ref().map(|(id, desc)| {
+            concrete_safety_witness(
+                self.alg,
+                self.topo,
+                &self.inputs,
+                &g.parents,
+                *id,
+                desc.clone(),
+                g.sym.as_ref(),
+                g.root_sig,
+                &safety,
+            )
         });
-        Ok(outcome)
+        let livelock = find_cycle(&g.edges).map(|(entry, cycle)| {
+            concrete_livelock_witness(&g.parents, entry, &cycle, g.sym.as_ref(), g.root_sig)
+        });
+        Ok(ModelCheckOutcome {
+            configs: g.configs,
+            edges: g.edge_count,
+            fully_terminated_configs: g.fully_terminated,
+            safety_violation,
+            livelock,
+            outputs_seen: g.outputs_seen,
+            truncated: g.truncated,
+            stats: g.stats,
+        })
     }
+
+    /// Computes the **exact worst-case round complexity** over *all*
+    /// schedules: the maximum, over every execution path in the
+    /// configuration graph, of the largest per-process activation count.
+    ///
+    /// Requires the configuration graph to be acyclic (i.e. the
+    /// algorithm wait-free on this instance — e.g. Algorithm 1, as
+    /// certified by [`ModelChecker::explore`]); with a cycle the worst
+    /// case is unbounded and `None` is returned. Exploration is capped
+    /// like `explore`; a truncated exploration also returns `None`.
+    ///
+    /// This turns the paper's *bounds* (`⌊3n/2⌋ + 4` for Algorithm 1)
+    /// into exact constants for small instances — experiment E6 reports
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelCheckError::InputLengthMismatch`] when inputs
+    /// don't match the topology.
+    pub fn exact_worst_case(&self) -> Result<Option<u64>, ModelCheckError> {
+        Ok(self.exact_worst_case_with_stats()?.0)
+    }
+
+    /// [`Self::exact_worst_case`] plus the exploration's performance
+    /// counters — in particular, callers can report *how much* work a
+    /// truncated (`Ok((None, _))`) exploration did instead of silently
+    /// discarding it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelCheckError::InputLengthMismatch`] when inputs
+    /// don't match the topology.
+    pub fn exact_worst_case_with_stats(
+        &self,
+    ) -> Result<(Option<u64>, ExploreStats), ModelCheckError> {
+        let g = self.build_graph(&|_, _| None, false)?;
+        if g.truncated {
+            return Ok((None, g.stats)); // truncated: cannot certify
+        }
+        let w = worst_case_from_graph(&g.edges, self.topo.len(), g.sym.as_ref());
+        Ok((w, g.stats))
+    }
+}
+
+/// Rough visited-set footprint: per-config packed buffer + map entry +
+/// the node arena's key clone, plus the shared interner arenas.
+pub(crate) fn visited_bytes<A: Algorithm>(codec: &ConfigCodec<A>, configs: usize) -> u64
+where
+    A::State: Eq + Hash,
+    A::Reg: Eq + Hash,
+    A::Output: Eq + Hash,
+{
+    let per = codec.approx_bytes_per_config() + std::mem::size_of::<CfgKey>();
+    (configs * per + codec.approx_interner_bytes()) as u64
+}
+
+/// Total distinct interned values across the three component arenas.
+pub(crate) fn interned_total<A: Algorithm>(codec: &ConfigCodec<A>) -> u64
+where
+    A::State: Eq + Hash,
+    A::Reg: Eq + Hash,
+    A::Output: Eq + Hash,
+{
+    let (s, r, o) = codec.interned_counts();
+    (s + r + o) as u64
 }
 
 #[cfg(test)]
@@ -464,6 +816,8 @@ mod tests {
         assert!(outcome.clean(), "{outcome}");
         assert!(outcome.fully_terminated_configs > 0);
         assert!(outcome.configs > 10);
+        assert!(outcome.stats.dedup_lookups > 0);
+        assert!(outcome.stats.peak_visited_bytes > 0);
     }
 
     #[test]
@@ -567,68 +921,69 @@ mod tests {
         }
         assert_eq!(distinct.len(), 7);
     }
-}
 
-impl<'a, A: Algorithm> ModelChecker<'a, A>
-where
-    A::State: Eq + Hash,
-    A::Reg: Eq + Hash,
-    A::Output: Eq + Hash,
-    A::Input: Clone,
-{
-    /// Computes the **exact worst-case round complexity** over *all*
-    /// schedules: the maximum, over every execution path in the
-    /// configuration graph, of the largest per-process activation count.
-    ///
-    /// Requires the configuration graph to be acyclic (i.e. the
-    /// algorithm wait-free on this instance — e.g. Algorithm 1, as
-    /// certified by [`ModelChecker::explore`]); with a cycle the worst
-    /// case is unbounded and `None` is returned. Exploration is capped
-    /// like `explore`; a truncated exploration also returns `None`.
-    ///
-    /// This turns the paper's *bounds* (`⌊3n/2⌋ + 4` for Algorithm 1)
-    /// into exact constants for small instances — experiment E6 reports
-    /// them.
-    pub fn exact_worst_case(&self) -> Result<Option<u64>, ModelCheckError> {
-        let root = Execution::try_new(self.alg, self.topo, self.inputs.clone())
-            .map_err(|_| ModelCheckError::InputLengthMismatch)?;
-        let n = self.topo.len();
+    #[test]
+    fn symmetry_mode_shrinks_the_graph_and_keeps_the_verdict() {
+        // [0, 1, 0, 1] is a proper initial coloring invariant under the
+        // rotation-by-2 subgroup, so orbits genuinely collapse.
+        let topo = Topology::cycle(4).unwrap();
+        let full = ModelChecker::new(&SixColoring, &topo, vec![0, 1, 0, 1])
+            .explore(pair_safety(2))
+            .unwrap();
+        let reduced = ModelChecker::new(&SixColoring, &topo, vec![0, 1, 0, 1])
+            .with_symmetry(true)
+            .explore(pair_safety(2))
+            .unwrap();
+        assert!(full.clean() && reduced.clean());
+        assert!(
+            reduced.configs < full.configs,
+            "symmetric instance must quotient: {} vs {}",
+            reduced.configs,
+            full.configs
+        );
+    }
 
-        let mut visited: HashMap<ConfigKey<A>, usize> = HashMap::new();
-        let mut edges: Vec<Vec<(usize, ActivationSet)>> = Vec::new();
-        let mut queue: VecDeque<(usize, Execution<'a, A>)> = VecDeque::new();
-        visited.insert(Self::key_of(&root), 0);
-        edges.push(Vec::new());
-        queue.push_back((0, root));
+    #[test]
+    fn symmetry_guard_rejects_non_cycles() {
+        let topo = Topology::path(3).unwrap();
+        let err = ModelChecker::new(&SixColoring, &topo, vec![0, 1, 2])
+            .with_symmetry(true)
+            .explore(pair_safety(2))
+            .unwrap_err();
+        assert_eq!(err, ModelCheckError::SymmetryUnsupported);
+    }
 
-        while let Some((id, exec)) = queue.pop_front() {
-            if exec.all_returned() {
-                continue;
-            }
-            if visited.len() >= self.max_configs {
-                return Ok(None); // truncated: cannot certify
-            }
-            for set in Self::activation_subsets(exec.working()) {
-                let mut next = exec.clone();
-                next.step_with(&set);
-                let key = Self::key_of(&next);
-                let next_id = match visited.get(&key) {
-                    Some(&i) => i,
-                    None => {
-                        let nid = edges.len();
-                        visited.insert(key, nid);
-                        edges.push(Vec::new());
-                        queue.push_back((nid, next));
-                        nid
-                    }
-                };
-                edges[id].push((next_id, set));
-            }
+    #[test]
+    fn symmetry_livelock_witness_replays_concretely() {
+        let topo = Topology::cycle(3).unwrap();
+        let outcome = ModelChecker::new(&FiveColoring, &topo, vec![0, 1, 2])
+            .with_symmetry(true)
+            .explore(coloring_safety(5))
+            .unwrap();
+        let lw = outcome
+            .livelock
+            .expect("alg2 livelock survives the quotient");
+        let mut exec = Execution::new(&FiveColoring, &topo, vec![0, 1, 2]);
+        for set in &lw.prefix {
+            exec.step_with(set);
         }
-
-        // Topological order + per-process max-activation DP; `None` when
-        // the graph is cyclic (not wait-free): unbounded worst case.
-        Ok(worst_case_from_graph(&edges, n))
+        let probe = |e: &Execution<'_, FiveColoring>| {
+            (0..3)
+                .map(|i| {
+                    (
+                        *e.state(ProcessId(i)),
+                        e.register(ProcessId(i)).cloned(),
+                        e.outputs()[i],
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let before = probe(&exec);
+        for set in &lw.cycle {
+            exec.step_with(set);
+        }
+        assert_eq!(probe(&exec), before, "de-canonicalized cycle repeats");
+        assert!(!exec.all_returned());
     }
 }
 
@@ -668,5 +1023,29 @@ mod exact_tests {
         let topo = Topology::cycle(3).unwrap();
         let mc = ModelChecker::new(&FiveColoring, &topo, vec![0, 1, 2]);
         assert_eq!(mc.exact_worst_case().unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_worst_case_still_reports_stats() {
+        let topo = Topology::cycle(3).unwrap();
+        let mc = ModelChecker::new(&SixColoring, &topo, vec![0, 1, 2]).with_max_configs(5);
+        let (w, stats) = mc.exact_worst_case_with_stats().unwrap();
+        assert_eq!(w, None, "cap of 5 certifies nothing");
+        assert!(stats.dedup_lookups > 0, "but the work done is reported");
+    }
+
+    #[test]
+    fn symmetry_preserves_exact_worst_case() {
+        let topo = Topology::cycle(4).unwrap();
+        for inputs in [vec![0u64, 1, 2, 3], vec![7, 7, 7, 7], vec![3, 1, 3, 1]] {
+            let full = ModelChecker::new(&SixColoring, &topo, inputs.clone())
+                .exact_worst_case()
+                .unwrap();
+            let reduced = ModelChecker::new(&SixColoring, &topo, inputs.clone())
+                .with_symmetry(true)
+                .exact_worst_case()
+                .unwrap();
+            assert_eq!(full, reduced, "inputs {inputs:?}");
+        }
     }
 }

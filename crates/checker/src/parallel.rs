@@ -20,10 +20,12 @@
 //! 1. **Expand (parallel).** The current frontier (one BFS level) is
 //!    split into per-worker index ranges; workers claim chunks from
 //!    their own range and *steal* from the back of the largest remaining
-//!    range when they run dry. For each node a worker computes the
-//!    expensive part — the safety predicate, the terminal check, and one
-//!    stepped-and-keyed successor per activation subset — consulting the
-//!    sharded visited-set (hash-partitioned by `ConfigKey`, one
+//!    range when they run dry. Each worker decodes frontier nodes into
+//!    its own scratch [`Execution`] (clone-free step/undo — see
+//!    [`crate::encode`]) and computes the expensive part: the safety
+//!    predicate, the terminal check, and one packed successor key per
+//!    activation subset, consulting the sharded visited-set
+//!    (partitioned by the keys' precomputed `u64` hashes, one
 //!    `parking_lot::Mutex`-guarded shard each) to classify successors
 //!    already discovered in previous levels. The visited-set is *frozen*
 //!    during this phase, so reads race with nothing.
@@ -33,23 +35,32 @@
 //!    first-seen output collection, lowest-id-wins safety violation
 //!    (lexicographically smallest counterexample — BFS parent chains
 //!    order witnesses by (length, discovery order)), terminal counting,
-//!    the configuration-cap check, and new-id assignment in (parent,
-//!    subset) order. Duplicates discovered concurrently within one level
-//!    are resolved here, deterministically, never by race outcome.
+//!    the configuration-cap check, new-id assignment in (parent,
+//!    subset) order, and the dedup-statistics counters. Duplicates
+//!    discovered concurrently within one level are resolved here,
+//!    deterministically, never by race outcome.
 //!
 //! Cycle detection and the worst-case DP then run on the resulting edge
 //! list, which is identical to the sequential one — so every downstream
-//! artifact is too.
+//! artifact is too. In [`Self::with_symmetry`] mode both engines
+//! canonicalize successors the same way (orbit representatives are
+//! elected by run-independent value hashes, not intern-index assignment
+//! order), so parallel symmetry-reduced runs match sequential ones too.
 
+use crate::encode::{CfgKey, ConfigCodec, PassthroughBuild};
 use crate::modelcheck::{
-    all_nonempty_subsets, find_cycle, key_of, schedule_to, worst_case_from_graph, ConfigKey,
-    LivelockWitness, ModelCheckError, ModelCheckOutcome, SafetyViolation,
+    all_nonempty_subsets, concrete_livelock_witness, concrete_safety_witness, find_cycle,
+    interned_total, visited_bytes, worst_case_from_graph, Edge, ModelCheckError, ModelCheckOutcome,
+    ParentLink,
 };
+use crate::stats::ExploreStats;
+use crate::symmetry::{CycleSymmetry, SIGMA_ID};
 use ftcolor_model::schedule::ActivationSet;
-use ftcolor_model::{Algorithm, Execution, Topology};
+use ftcolor_model::{Algorithm, Execution, ProcessId, Topology};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
-use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher, Hash};
+use std::hash::Hash;
+use std::time::Instant;
 
 /// Number of hash-partitioned shards in the visited-set. A power of two
 /// comfortably above any realistic worker count, so shard collisions
@@ -58,74 +69,75 @@ const SHARDS: usize = 64;
 
 /// A visited-set hash-partitioned into independently locked shards.
 ///
-/// Shard choice hashes the `ConfigKey` with a **fixed-seed** hasher, so
-/// the partition is a pure function of the key — identical across runs,
-/// threads, and machines.
-struct ShardedMap<K> {
-    shards: Vec<Mutex<HashMap<K, usize>>>,
+/// Shard choice reuses the key's precomputed run-independent `u64`
+/// configuration hash, so the partition is a pure function of the key —
+/// identical across runs, threads, and machines — and the inner maps
+/// skip rehashing entirely ([`PassthroughBuild`]).
+struct ShardedMap {
+    shards: Vec<Mutex<HashMap<CfgKey, usize, PassthroughBuild>>>,
 }
 
-impl<K: Eq + Hash> ShardedMap<K> {
+impl ShardedMap {
     fn new() -> Self {
         ShardedMap {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(HashMap::with_hasher(PassthroughBuild::default())))
+                .collect(),
         }
     }
 
-    fn shard_of(&self, key: &K) -> usize {
-        // BuildHasherDefault<DefaultHasher> is seed-free: deterministic.
-        (BuildHasherDefault::<DefaultHasher>::default().hash_one(key) as usize) % SHARDS
+    fn shard_of(key: &CfgKey) -> usize {
+        (key.hash as usize) % SHARDS
     }
 
-    fn get(&self, key: &K) -> Option<usize> {
-        self.shards[self.shard_of(key)].lock().get(key).copied()
+    fn get(&self, key: &CfgKey) -> Option<usize> {
+        self.shards[Self::shard_of(key)].lock().get(key).copied()
     }
 
-    fn insert(&self, key: K, id: usize) {
-        self.shards[self.shard_of(&key)].lock().insert(key, id);
+    fn insert(&self, key: CfgKey, id: usize) {
+        self.shards[Self::shard_of(&key)].lock().insert(key, id);
     }
 }
 
-/// One successor computed during the parallel expand phase.
-///
-/// `Fresh` is by far the common case in a growing exploration, so the
-/// size skew against tiny `Known` doesn't justify boxing it (that would
-/// put an allocation on the hot path of every expanded successor).
-#[allow(clippy::large_enum_variant)]
-enum Child<'a, A: Algorithm> {
+/// One successor computed during the parallel expand phase: the
+/// activation set taken, the canonicalizing automorphism, and either the
+/// already-known target id or the packed key for merge-phase resolution.
+enum Child {
     /// The configuration was already visited in an earlier level.
-    Known(usize, ActivationSet),
+    Known(usize, ActivationSet, u16),
     /// Not yet in the visited-set at expand time; the merge phase
     /// resolves same-level duplicates and assigns the canonical id.
-    Fresh(ConfigKey<A>, ActivationSet, Execution<'a, A>),
+    Fresh(CfgKey, ActivationSet, u16),
 }
 
 /// Everything the merge phase needs about one expanded frontier node.
-struct Expansion<'a, A: Algorithm> {
+struct Expansion<O> {
     /// Outputs present at this configuration, in process order.
-    outputs: Vec<A::Output>,
+    outputs: Vec<O>,
     /// Safety-predicate result at this configuration.
     violation: Option<String>,
     /// Every process has returned: no successors.
     terminal: bool,
     /// Successors in activation-subset (mask) order; empty when terminal
     /// or when expansion is globally disabled (cap already reached).
-    children: Vec<Child<'a, A>>,
+    children: Vec<Child>,
 }
 
 /// Fully merged exploration result; shared by `explore` and
 /// `exact_worst_case`.
-struct GraphResult<'a, A: Algorithm> {
-    edges: Vec<Vec<(usize, ActivationSet)>>,
-    parents: Vec<Option<(usize, ActivationSet)>>,
+struct GraphResult<O> {
+    edges: Vec<Vec<Edge>>,
+    parents: Vec<ParentLink>,
     configs: usize,
     edge_count: usize,
     fully_terminated: usize,
     truncated: bool,
     /// Lowest-id violating configuration and its description.
     first_violation: Option<(usize, String)>,
-    outputs_seen: Vec<A::Output>,
-    _keep: std::marker::PhantomData<&'a A>,
+    outputs_seen: Vec<O>,
+    stats: ExploreStats,
+    sym: Option<CycleSymmetry>,
+    root_sig: u16,
 }
 
 /// A per-worker index range over the frontier, claimable from the front
@@ -193,6 +205,7 @@ pub struct ParallelModelChecker<'a, A: Algorithm> {
     inputs: Vec<A::Input>,
     max_configs: usize,
     jobs: usize,
+    symmetry: bool,
 }
 
 impl<'a, A: Algorithm + Sync> ParallelModelChecker<'a, A>
@@ -211,6 +224,7 @@ where
             inputs,
             max_configs: 2_000_000,
             jobs: default_jobs(),
+            symmetry: false,
         }
     }
 
@@ -229,6 +243,15 @@ where
         self
     }
 
+    /// Enables symmetry reduction — see
+    /// [`crate::ModelChecker::with_symmetry`] for semantics and the
+    /// soundness guard. Sequential and parallel symmetry-reduced runs
+    /// are bit-identical to each other.
+    pub fn with_symmetry(mut self, on: bool) -> Self {
+        self.symmetry = on;
+        self
+    }
+
     /// The worker count this checker will use.
     pub fn jobs(&self) -> usize {
         self.jobs
@@ -242,22 +265,29 @@ where
     /// # Errors
     ///
     /// Returns [`ModelCheckError::InputLengthMismatch`] when inputs
-    /// don't match the topology.
+    /// don't match the topology, and
+    /// [`ModelCheckError::SymmetryUnsupported`] when symmetry reduction
+    /// is enabled on a non-cycle topology.
     pub fn explore(
         &self,
         safety: impl Fn(&Topology, &[Option<A::Output>]) -> Option<String> + Sync,
     ) -> Result<ModelCheckOutcome<A::Output>, ModelCheckError> {
         let g = self.explore_graph(&safety, true)?;
-        let safety_violation = g
-            .first_violation
-            .as_ref()
-            .map(|(id, desc)| SafetyViolation {
-                description: desc.clone(),
-                schedule: schedule_to(&g.parents, *id),
-            });
-        let livelock = find_cycle(&g.edges).map(|(entry, cycle)| LivelockWitness {
-            prefix: schedule_to(&g.parents, entry),
-            cycle,
+        let safety_violation = g.first_violation.as_ref().map(|(id, desc)| {
+            concrete_safety_witness(
+                self.alg,
+                self.topo,
+                &self.inputs,
+                &g.parents,
+                *id,
+                desc.clone(),
+                g.sym.as_ref(),
+                g.root_sig,
+                &safety,
+            )
+        });
+        let livelock = find_cycle(&g.edges).map(|(entry, cycle)| {
+            concrete_livelock_witness(&g.parents, entry, &cycle, g.sym.as_ref(), g.root_sig)
         });
         Ok(ModelCheckOutcome {
             configs: g.configs,
@@ -267,6 +297,7 @@ where
             livelock,
             outputs_seen: g.outputs_seen,
             truncated: g.truncated,
+            stats: g.stats,
         })
     }
 
@@ -280,11 +311,26 @@ where
     /// Returns [`ModelCheckError::InputLengthMismatch`] when inputs
     /// don't match the topology.
     pub fn exact_worst_case(&self) -> Result<Option<u64>, ModelCheckError> {
+        Ok(self.exact_worst_case_with_stats()?.0)
+    }
+
+    /// [`Self::exact_worst_case`] plus the exploration's performance
+    /// counters, so truncated (`Ok((None, _))`) runs can report the work
+    /// they did instead of silently discarding it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelCheckError::InputLengthMismatch`] when inputs
+    /// don't match the topology.
+    pub fn exact_worst_case_with_stats(
+        &self,
+    ) -> Result<(Option<u64>, ExploreStats), ModelCheckError> {
         let g = self.explore_graph(&|_: &Topology, _: &[Option<A::Output>]| None, false)?;
         if g.truncated {
-            return Ok(None); // truncated: cannot certify
+            return Ok((None, g.stats)); // truncated: cannot certify
         }
-        Ok(worst_case_from_graph(&g.edges, self.topo.len()))
+        let w = worst_case_from_graph(&g.edges, self.topo.len(), g.sym.as_ref());
+        Ok((w, g.stats))
     }
 
     /// Level-synchronized BFS: parallel expand, canonical sequential
@@ -294,12 +340,33 @@ where
         &self,
         safety: &(impl Fn(&Topology, &[Option<A::Output>]) -> Option<String> + Sync),
         track_outputs: bool,
-    ) -> Result<GraphResult<'a, A>, ModelCheckError> {
-        let root = Execution::try_new(self.alg, self.topo, self.inputs.clone())
+    ) -> Result<GraphResult<A::Output>, ModelCheckError> {
+        let t0 = Instant::now();
+        let template = Execution::try_new(self.alg, self.topo, self.inputs.clone())
             .map_err(|_| ModelCheckError::InputLengthMismatch)?;
+        let sym = if self.symmetry {
+            let group = CycleSymmetry::for_topology(self.topo)
+                .ok_or(ModelCheckError::SymmetryUnsupported)?;
+            // Same algorithm-certification guard as the sequential
+            // checker: the group action must be able to reindex
+            // view-position-indexed state data.
+            let mut probe = template.state(ProcessId(0)).clone();
+            if !self.alg.relabel_view(&mut probe, &[1, 0]) {
+                return Err(ModelCheckError::SymmetryUncertifiedAlgorithm);
+            }
+            Some(group)
+        } else {
+            None
+        };
+        let codec: ConfigCodec<A> = ConfigCodec::new(self.topo.len());
+        let root = codec.encode(&template);
+        let (root, root_sig) = match &sym {
+            Some(s) => s.canonicalize(&codec, self.alg, true, &root),
+            None => (root, SIGMA_ID),
+        };
 
-        let visited: ShardedMap<ConfigKey<A>> = ShardedMap::new();
-        visited.insert(key_of(&root), 0);
+        let visited = ShardedMap::new();
+        visited.insert(root.clone(), 0);
 
         let mut g = GraphResult {
             edges: vec![Vec::new()],
@@ -310,20 +377,32 @@ where
             truncated: false,
             first_violation: None,
             outputs_seen: Vec::new(),
-            _keep: std::marker::PhantomData,
+            stats: ExploreStats::default(),
+            sym,
+            root_sig,
         };
         let mut seen_set: HashSet<A::Output> = HashSet::new();
+        let (mut dedup_hits, mut dedup_lookups) = (0u64, 0u64);
 
-        let mut frontier: Vec<(usize, Execution<'a, A>)> = vec![(0, root)];
+        let mut frontier: Vec<(usize, CfgKey)> = vec![(0, root)];
         while !frontier.is_empty() {
             // Once the cap has been reached, no node of this or any later
             // level may expand (the sequential checker would flag each as
             // truncated) — skip the successor work entirely.
             let expand = g.configs < self.max_configs;
-            let results = self.expand_level(&frontier, safety, &visited, expand, track_outputs);
+            let results = self.expand_level(
+                &template,
+                &codec,
+                g.sym.as_ref(),
+                &frontier,
+                safety,
+                &visited,
+                expand,
+                track_outputs,
+            );
 
             // ---- merge, in ascending node-id order ----
-            let mut next_frontier: Vec<(usize, Execution<'a, A>)> = Vec::new();
+            let mut next_frontier: Vec<(usize, CfgKey)> = Vec::new();
             for ((id, _), result) in frontier.iter().zip(results) {
                 let id = *id;
                 if track_outputs {
@@ -347,63 +426,93 @@ where
                     continue;
                 }
                 for child in result.children {
-                    let (next_id, set) = match child {
-                        Child::Known(nid, set) => (nid, set),
-                        Child::Fresh(key, set, exec) => match visited.get(&key) {
+                    dedup_lookups += 1;
+                    let (next_id, set, sig) = match child {
+                        Child::Known(nid, set, sig) => {
+                            dedup_hits += 1;
+                            (nid, set, sig)
+                        }
+                        Child::Fresh(key, set, sig) => match visited.get(&key) {
                             // Discovered by an earlier node of this level.
-                            Some(nid) => (nid, set),
+                            Some(nid) => {
+                                dedup_hits += 1;
+                                (nid, set, sig)
+                            }
                             None => {
                                 let nid = g.edges.len();
-                                visited.insert(key, nid);
+                                visited.insert(key.clone(), nid);
                                 g.edges.push(Vec::new());
-                                g.parents.push(Some((id, set.clone())));
-                                next_frontier.push((nid, exec));
+                                g.parents.push(Some((id, set.clone(), sig)));
+                                next_frontier.push((nid, key));
                                 g.configs += 1;
-                                (nid, set)
+                                (nid, set, sig)
                             }
                         },
                     };
-                    g.edges[id].push((next_id, set));
+                    g.edges[id].push(Edge {
+                        to: next_id,
+                        set,
+                        sig,
+                    });
                     g.edge_count += 1;
                 }
             }
             frontier = next_frontier;
         }
+
+        g.stats = ExploreStats::measure(
+            g.configs,
+            t0.elapsed(),
+            visited_bytes(&codec, g.configs),
+            dedup_hits,
+            dedup_lookups,
+            interned_total(&codec),
+        );
         Ok(g)
     }
 
     /// The parallel phase: expands every frontier node, returning one
-    /// [`Expansion`] per node *in frontier order*. The visited-set is
-    /// only read here, never written.
+    /// [`Expansion`] per node *in frontier order*. Each worker owns a
+    /// scratch execution and generates successors clone-free by
+    /// step/undo. The visited-set is only read here, never written.
+    #[allow(clippy::too_many_arguments)]
     fn expand_level(
         &self,
-        frontier: &[(usize, Execution<'a, A>)],
+        template: &Execution<'a, A>,
+        codec: &ConfigCodec<A>,
+        sym: Option<&CycleSymmetry>,
+        frontier: &[(usize, CfgKey)],
         safety: &(impl Fn(&Topology, &[Option<A::Output>]) -> Option<String> + Sync),
-        visited: &ShardedMap<ConfigKey<A>>,
+        visited: &ShardedMap,
         expand: bool,
         track_outputs: bool,
-    ) -> Vec<Expansion<'a, A>> {
-        let expand_one = |(_, exec): &(usize, Execution<'a, A>)| -> Expansion<'a, A> {
+    ) -> Vec<Expansion<A::Output>> {
+        let expand_one = |scratch: &mut Execution<'a, A>, key: &CfgKey| -> Expansion<A::Output> {
+            codec.restore(scratch, key);
             let outputs = if track_outputs {
-                exec.outputs().iter().flatten().cloned().collect()
+                scratch.outputs().iter().flatten().cloned().collect()
             } else {
                 Vec::new()
             };
             // The predicate is pure, so evaluating it at configurations
             // the sequential checker would skip (those after the first
             // violation) changes nothing observable.
-            let violation = safety(self.topo, exec.outputs());
-            let terminal = exec.all_returned();
+            let violation = safety(self.topo, scratch.outputs());
+            let terminal = scratch.all_returned();
             let mut children = Vec::new();
             if !terminal && expand {
-                for set in all_nonempty_subsets(exec.working()) {
-                    let mut next = exec.clone();
-                    next.step_with(&set);
-                    let key = key_of(&next);
-                    children.push(match visited.get(&key) {
-                        Some(nid) => Child::Known(nid, set),
-                        None => Child::Fresh(key, set, next),
+                for set in all_nonempty_subsets(scratch.working()) {
+                    let touched = scratch.step_with(&set);
+                    let succ = codec.encode_delta(key, scratch, &touched);
+                    let (succ, sig) = match sym {
+                        Some(s) => s.canonicalize(codec, self.alg, true, &succ),
+                        None => (succ, SIGMA_ID),
+                    };
+                    children.push(match visited.get(&succ) {
+                        Some(nid) => Child::Known(nid, set, sig),
+                        None => Child::Fresh(succ, set, sig),
                     });
+                    codec.restore_procs(scratch, &key.packed, &touched);
                 }
             }
             Expansion {
@@ -416,7 +525,11 @@ where
 
         let workers = self.jobs.min(frontier.len()).max(1);
         if workers == 1 {
-            return frontier.iter().map(expand_one).collect();
+            let mut scratch = template.clone();
+            return frontier
+                .iter()
+                .map(|(_, key)| expand_one(&mut scratch, key))
+                .collect();
         }
 
         // Per-worker index ranges with back-half stealing: worker w owns
@@ -431,7 +544,7 @@ where
             .collect();
         let chunk = (frontier.len() / (workers * 8)).max(1);
 
-        let mut results: Vec<Option<Expansion<'a, A>>> =
+        let mut results: Vec<Option<Expansion<A::Output>>> =
             (0..frontier.len()).map(|_| None).collect();
         let mut parts = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
@@ -439,10 +552,11 @@ where
                     let queues = &queues;
                     let expand_one = &expand_one;
                     s.spawn(move |_| {
-                        let mut local: Vec<(usize, Expansion<'a, A>)> = Vec::new();
+                        let mut scratch = template.clone();
+                        let mut local: Vec<(usize, Expansion<A::Output>)> = Vec::new();
                         let mut run = |range: std::ops::Range<usize>| {
                             for i in range {
-                                local.push((i, expand_one(&frontier[i])));
+                                local.push((i, expand_one(&mut scratch, &frontier[i].1)));
                             }
                         };
                         loop {
@@ -538,6 +652,9 @@ mod tests {
                 .explore(pair_safety(2))
                 .unwrap();
             assert_eq!(seq, par, "jobs={jobs}");
+            // Dedup statistics replay the sequential bookkeeping exactly.
+            assert_eq!(seq.stats.dedup_lookups, par.stats.dedup_lookups);
+            assert_eq!(seq.stats.dedup_hits, par.stats.dedup_hits);
         }
     }
 
@@ -592,6 +709,23 @@ mod tests {
                 .unwrap();
             assert!(seq.truncated && par.truncated, "cap={cap}");
             assert_eq!(seq, par, "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn symmetry_matches_sequential_symmetry() {
+        let topo = Topology::cycle(4).unwrap();
+        let seq = ModelChecker::new(&FiveColoring, &topo, vec![0, 1, 0, 1])
+            .with_symmetry(true)
+            .explore(coloring_safety(5))
+            .unwrap();
+        for jobs in [1, 2, 8] {
+            let par = ParallelModelChecker::new(&FiveColoring, &topo, vec![0, 1, 0, 1])
+                .with_symmetry(true)
+                .with_jobs(jobs)
+                .explore(coloring_safety(5))
+                .unwrap();
+            assert_eq!(seq, par, "jobs={jobs}");
         }
     }
 

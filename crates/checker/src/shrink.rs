@@ -37,10 +37,12 @@
 //! * [`Shrinker::shrink_overrun`] — some process performs strictly more
 //!   activations than a claimed bound.
 
-use crate::modelcheck::{key_of, LivelockWitness, SafetyViolation};
+use crate::encode::ConfigCodec;
+use crate::modelcheck::{LivelockWitness, SafetyViolation};
 use ftcolor_model::schedule::ActivationSet;
 use ftcolor_model::{Algorithm, Execution, ProcessId, Topology, Trace};
 use serde::{Deserialize, Serialize};
+use std::hash::Hash;
 
 /// Either kind of replayable counterexample the checker reports, as one
 /// serializable sum — the payload of a [`WitnessFixture`].
@@ -163,9 +165,9 @@ pub struct Shrinker<'a, A: Algorithm> {
 
 impl<'a, A: Algorithm + Sync> Shrinker<'a, A>
 where
-    A::State: Eq,
-    A::Reg: Eq,
-    A::Output: Eq,
+    A::State: Eq + Hash,
+    A::Reg: Eq + Hash,
+    A::Output: Eq + Hash,
     A::Input: Clone + Sync,
 {
     /// Creates a shrinker replaying candidates inline (one worker).
@@ -245,12 +247,15 @@ where
         if exec.all_returned() {
             return false;
         }
-        let entry = key_of(&exec);
+        // Compare packed configuration keys — the same exact-equality
+        // encoding the checker dedups on (hashes never decide equality).
+        let codec: ConfigCodec<A> = ConfigCodec::new(self.topo.len());
+        let entry = codec.encode(&exec);
         let mut activated = false;
         for set in cycle {
             activated |= !exec.step_with(set).is_empty();
         }
-        activated && key_of(&exec) == entry
+        activated && codec.encode(&exec) == entry
     }
 
     // ------------------------------------------------------ normalization

@@ -50,6 +50,82 @@ impl Summary {
     }
 }
 
+/// Performance counters from one exhaustive exploration.
+///
+/// Every field is a property of *how* the exploration ran, not *what* it
+/// found — outcomes deliberately exclude these from equality so that
+/// bit-identity assertions between sequential and parallel runs keep
+/// holding while throughput varies.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ExploreStats {
+    /// Wall-clock time of the exploration, in microseconds.
+    pub elapsed_micros: u64,
+    /// Distinct configurations discovered per second (0 when the run was
+    /// too fast to measure).
+    pub configs_per_sec: u64,
+    /// Approximate peak size of the visited set: packed config buffers,
+    /// hash-map entries, and the shared interner arenas.
+    pub peak_visited_bytes: u64,
+    /// Successor keys that were already in the visited set.
+    pub dedup_hits: u64,
+    /// Total successor-key lookups (`hits / lookups` = dedup hit-rate).
+    pub dedup_lookups: u64,
+    /// Distinct interned component values (states + registers + outputs)
+    /// across all configurations.
+    pub interned_values: u64,
+}
+
+impl ExploreStats {
+    /// Builds the counters from raw measurements.
+    pub fn measure(
+        configs: usize,
+        elapsed: std::time::Duration,
+        peak_visited_bytes: u64,
+        dedup_hits: u64,
+        dedup_lookups: u64,
+        interned_values: u64,
+    ) -> Self {
+        let elapsed_micros = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let configs_per_sec = if elapsed_micros == 0 {
+            0
+        } else {
+            (configs as u128 * 1_000_000 / u128::from(elapsed_micros)) as u64
+        };
+        ExploreStats {
+            elapsed_micros,
+            configs_per_sec,
+            peak_visited_bytes,
+            dedup_hits,
+            dedup_lookups,
+            interned_values,
+        }
+    }
+
+    /// Fraction of successor lookups that hit the visited set, in
+    /// `[0, 1]`; 0 for an empty exploration.
+    pub fn dedup_hit_rate(&self) -> f64 {
+        if self.dedup_lookups == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / self.dedup_lookups as f64
+        }
+    }
+}
+
+impl fmt::Display for ExploreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "configs/sec={} peak_visited_bytes={} dedup_hit_rate={:.3} interned={} elapsed={}µs",
+            self.configs_per_sec,
+            self.peak_visited_bytes,
+            self.dedup_hit_rate(),
+            self.interned_values,
+            self.elapsed_micros
+        )
+    }
+}
+
 impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -91,6 +167,27 @@ mod tests {
         assert_eq!(s.p50, 50);
         assert_eq!(s.p95, 95);
         assert!((s.mean() - 50.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn explore_stats_rates() {
+        let s = ExploreStats::measure(
+            1000,
+            std::time::Duration::from_millis(100),
+            4096,
+            30,
+            40,
+            12,
+        );
+        assert_eq!(s.configs_per_sec, 10_000);
+        assert!((s.dedup_hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(s.peak_visited_bytes, 4096);
+    }
+
+    #[test]
+    fn explore_stats_zero_safe() {
+        let s = ExploreStats::default();
+        assert_eq!(s.dedup_hit_rate(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,464 @@
+//! Symmetry reduction for model checking on cycles.
+//!
+//! The algorithms of the paper are **anonymous**: [`Algorithm::publish`]
+//! and [`Algorithm::step`] never see a `ProcessId`, so relabeling the
+//! processes by any automorphism of the communication graph maps
+//! executions to executions (activate the relabeled set, reach the
+//! relabeled configuration). On the cycle `C_n` the automorphism group
+//! is the dihedral group — `n` rotations and `n` reflections — so up to
+//! `2n` distinct configurations collapse into one orbit.
+//!
+//! [`CycleSymmetry`] canonicalizes configurations to one representative
+//! per orbit, shrinking both the visited-set and the explored graph by
+//! a factor approaching `2n` on symmetric instances. Soundness
+//! requirements, enforced or documented:
+//!
+//! * **vertex-transitive topology** — the guard: construction fails
+//!   unless the topology is a single cycle ([`Topology::is_cycle`]);
+//! * **anonymous transitions** — guaranteed by the [`Algorithm`] trait
+//!   shape itself (only `init` sees the process id, and initial states
+//!   are part of the configuration, so asymmetric *inputs* are handled
+//!   correctly: they simply leave fewer configs with non-trivial
+//!   orbits);
+//! * **view-order certification** — neighbor lists are sorted by id and
+//!   carry no global orientation, so a cycle automorphism generally
+//!   permutes the *positions* in which a given process sees its two
+//!   neighbors. The group action therefore reindexes any
+//!   view-position-indexed state data through
+//!   [`Algorithm::relabel_view`]; an algorithm that does not certify
+//!   that hook (the conservative default) is refused by the checker's
+//!   symmetry mode. Multiset-folding algorithms (Algorithms 1/2, the
+//!   MIS candidates) certify it as a no-op; the patched variants, whose
+//!   frozen-view escape stores the previous view *by position*, reindex
+//!   it — exactly the data that made naive position-permutation unsound
+//!   (a spurious livelock on capped `FiveColoringPatched` runs exposed
+//!   this).
+//!
+//! Every witness surfaced from the quotient graph is **de-canonicalized**
+//! (see `modelcheck::concrete_*_witness`): the per-edge canonicalizing
+//! automorphism is stored, a cumulative frame permutation maps each
+//! canonical-frame activation set back to the original instance's
+//! process labels, and quotient livelock cycles are unrolled by the
+//! order of their net automorphism so the concrete schedule really
+//! revisits a concrete configuration.
+//!
+//! [`Algorithm::publish`]: ftcolor_model::Algorithm::publish
+//! [`Algorithm::step`]: ftcolor_model::Algorithm::step
+//! [`Algorithm`]: ftcolor_model::Algorithm
+//! [`Topology::is_cycle`]: ftcolor_model::Topology::is_cycle
+
+use crate::encode::{CfgKey, ConfigCodec, SLOTS_PER_PROC};
+use ftcolor_model::schedule::ActivationSet;
+use ftcolor_model::{Algorithm, ProcessId, Topology};
+use std::hash::Hash;
+
+/// Identity automorphism index — [`CycleSymmetry::perms`]`[0]` is always
+/// the identity, so plain (non-symmetry) exploration stores `SIGMA_ID`
+/// on every edge.
+pub const SIGMA_ID: u16 = 0;
+
+/// The dihedral automorphism group of a cycle topology, with
+/// canonicalization, composition, and inversion.
+pub struct CycleSymmetry {
+    /// `perms[g][i]` = image of node `i` under automorphism `g`.
+    /// `perms[0]` is the identity.
+    perms: Vec<Vec<u32>>,
+    /// `inv[g]` = index of the inverse of automorphism `g`.
+    inv: Vec<u16>,
+    /// `compose[a][b]` = index of `perms[a] ∘ perms[b]`
+    /// (i.e. `i ↦ perms[a][perms[b][i]]`).
+    compose: Vec<Vec<u16>>,
+    /// `view_swap[g][i]` — whether moving node `i` to `perms[g][i]`
+    /// flips the order in which its (relabeled) neighbors appear in the
+    /// destination's neighbor list, so the state's view-position-indexed
+    /// data must be reindexed by [`Algorithm::relabel_view`].
+    view_swap: Vec<Vec<bool>>,
+    /// Whether `view_swap[g]` has any `true` entry (`perms[0]`, the
+    /// identity, never does).
+    needs_relabel: Vec<bool>,
+}
+
+impl CycleSymmetry {
+    /// Builds the dihedral group of `topo`, or `None` when `topo` is not
+    /// a single cycle — the symmetry-soundness guard.
+    ///
+    /// The cyclic order is recovered by walking the cycle, so relabeled
+    /// cycles (nodes not numbered consecutively around the ring) are
+    /// handled correctly.
+    pub fn for_topology(topo: &Topology) -> Option<CycleSymmetry> {
+        if !topo.is_cycle() {
+            return None;
+        }
+        let n = topo.len();
+        // Walk the ring from node 0 to recover the cyclic order.
+        let mut order = Vec::with_capacity(n);
+        let mut prev = ProcessId(0);
+        let mut cur = topo.neighbors(prev)[0];
+        order.push(prev);
+        while cur != ProcessId(0) {
+            order.push(cur);
+            let nb = topo.neighbors(cur);
+            let next = if nb[0] == prev { nb[1] } else { nb[0] };
+            prev = cur;
+            cur = next;
+        }
+        debug_assert_eq!(order.len(), n);
+
+        // pos[v] = position of node v along the ring.
+        let mut pos = vec![0usize; n];
+        for (k, p) in order.iter().enumerate() {
+            pos[p.index()] = k;
+        }
+
+        // Rotations r_k (ring position += k), then reflections
+        // (position ↦ k − position), expressed on node labels.
+        let mut perms = Vec::with_capacity(2 * n);
+        for k in 0..n {
+            let rot: Vec<u32> = (0..n)
+                .map(|v| order[(pos[v] + k) % n].index() as u32)
+                .collect();
+            perms.push(rot);
+        }
+        for k in 0..n {
+            let refl: Vec<u32> = (0..n)
+                .map(|v| order[(n + k - pos[v]) % n].index() as u32)
+                .collect();
+            perms.push(refl);
+        }
+
+        let index_of = |perm: &[u32]| -> u16 {
+            perms
+                .iter()
+                .position(|p| p == perm)
+                .expect("dihedral group is closed") as u16
+        };
+        let compose: Vec<Vec<u16>> = perms
+            .iter()
+            .map(|a| {
+                perms
+                    .iter()
+                    .map(|b| {
+                        let ab: Vec<u32> = (0..n).map(|i| a[b[i] as usize]).collect();
+                        index_of(&ab)
+                    })
+                    .collect()
+            })
+            .collect();
+        let id: Vec<u32> = (0..n as u32).collect();
+        let inv: Vec<u16> = (0..perms.len())
+            .map(|a| {
+                (0..perms.len())
+                    .find(|&b| {
+                        let ab: Vec<u32> = (0..n).map(|i| perms[a][perms[b][i] as usize]).collect();
+                        ab == id
+                    })
+                    .expect("every group element has an inverse") as u16
+            })
+            .collect();
+        debug_assert_eq!(perms[0], id, "rotation by 0 is the identity");
+
+        // Per-element view-order bookkeeping: neighbor lists are sorted
+        // by id, so an automorphism may flip the order in which a moved
+        // node sees its two neighbors (e.g. across the 0/n−1 wraparound
+        // even for rotations).
+        let adj: Vec<[u32; 2]> = (0..n)
+            .map(|v| {
+                let nb = topo.neighbors(ProcessId(v));
+                [nb[0].index() as u32, nb[1].index() as u32]
+            })
+            .collect();
+        let view_swap: Vec<Vec<bool>> = perms
+            .iter()
+            .map(|perm| {
+                (0..n)
+                    .map(|i| {
+                        let j = perm[i] as usize;
+                        let mapped = [perm[adj[i][0] as usize], perm[adj[i][1] as usize]];
+                        if mapped == adj[j] {
+                            false
+                        } else {
+                            debug_assert_eq!(
+                                [mapped[1], mapped[0]],
+                                adj[j],
+                                "every group element is a graph automorphism"
+                            );
+                            true
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let needs_relabel: Vec<bool> = view_swap.iter().map(|v| v.contains(&true)).collect();
+        debug_assert!(!needs_relabel[SIGMA_ID as usize]);
+
+        Some(CycleSymmetry {
+            perms,
+            inv,
+            compose,
+            view_swap,
+            needs_relabel,
+        })
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.perms[0].len()
+    }
+
+    /// Number of group elements (`2n`).
+    pub fn group_len(&self) -> usize {
+        self.perms.len()
+    }
+
+    /// The permutation array of automorphism `g`.
+    pub fn perm(&self, g: u16) -> &[u32] {
+        &self.perms[g as usize]
+    }
+
+    /// Index of the inverse of `g`.
+    pub fn invert(&self, g: u16) -> u16 {
+        self.inv[g as usize]
+    }
+
+    /// Index of `a ∘ b` (apply `b` first).
+    pub fn compose(&self, a: u16, b: u16) -> u16 {
+        self.compose[a as usize][b as usize]
+    }
+
+    /// Multiplicative order of `g` (smallest `r ≥ 1` with `gʳ = id`).
+    pub fn order(&self, g: u16) -> usize {
+        let mut acc = g;
+        let mut r = 1;
+        while acc != SIGMA_ID {
+            acc = self.compose(g, acc);
+            r += 1;
+        }
+        r
+    }
+
+    /// Maps an activation set through automorphism `g` (canonical-frame
+    /// process labels to concrete ones, when `g` is the cumulative
+    /// frame permutation).
+    pub fn apply_to_set(&self, g: u16, set: &ActivationSet) -> ActivationSet {
+        match set {
+            ActivationSet::All => ActivationSet::All,
+            ActivationSet::Only(ps) => {
+                let perm = self.perm(g);
+                ActivationSet::of(ps.iter().map(|p| ProcessId(perm[p.index()] as usize)))
+            }
+        }
+    }
+
+    /// Whether automorphism `g` flips the neighbor order seen by node
+    /// `i` when it moves to `perm(g)[i]`.
+    pub fn view_swap(&self, g: u16, i: usize) -> bool {
+        self.view_swap[g as usize][i]
+    }
+
+    /// Canonicalizes `key` to its orbit representative: the packed
+    /// buffer that is minimal under the order (slot value-hashes, then
+    /// packed indices) over all `2n` relabelings. Returns the canonical
+    /// key and the automorphism `g` that produced it
+    /// (`canonical[g(i)·3+s] = action_g(key)[i·3+s]`).
+    ///
+    /// The group *action* moves each process's slots to its image and,
+    /// where the automorphism flips a node's neighbor order, replaces
+    /// the state by its view-reindexed twin
+    /// ([`ConfigCodec::view_swapped_state`]) — without that, relabeled
+    /// configurations of algorithms with view-position-indexed state
+    /// (e.g. a stored previous view) would not step equivariantly and
+    /// the quotient would be unsound. When `relabel` is `false` (the
+    /// algorithm does not certify [`Algorithm::relabel_view`]), only
+    /// order-preserving elements participate — sound, but on sorted
+    /// neighbor lists that is the identity alone, so callers should
+    /// refuse symmetry for uncertified algorithms instead.
+    ///
+    /// The primary sort key uses the codec's seed-free *value hashes*
+    /// rather than intern indices, so sequential and parallel runs —
+    /// which may intern values in different orders — still elect the
+    /// same representative.
+    pub fn canonicalize<A: Algorithm>(
+        &self,
+        codec: &ConfigCodec<A>,
+        alg: &A,
+        relabel: bool,
+        key: &CfgKey,
+    ) -> (CfgKey, u16)
+    where
+        A::State: Eq + Hash,
+        A::Reg: Eq + Hash,
+        A::Output: Eq + Hash,
+    {
+        let n = self.n();
+        debug_assert_eq!(key.packed.len(), n * SLOTS_PER_PROC);
+        let hashes = codec.slot_value_hashes(&key.packed);
+        // Per-process view-swapped state (index, value hash), used by
+        // every element that flips that process's neighbor order.
+        let swapped: Vec<(u32, u64)> = if relabel {
+            (0..n)
+                .map(|i| codec.view_swapped_state(alg, key.packed[SLOTS_PER_PROC * i]))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        // candidate(g)[slot] with slot = j·3+s draws from source process
+        // i = inv(g)(j), with the state slot view-reindexed when the
+        // move flips i's neighbor order.
+        let slot_entry = |g: u16, ginv: &[u32], slot: usize| -> (u64, u32) {
+            let (j, s) = (slot / SLOTS_PER_PROC, slot % SLOTS_PER_PROC);
+            let i = ginv[j] as usize;
+            if s == 0 && self.view_swap[g as usize][i] {
+                let (idx, h) = swapped[i];
+                (h, idx)
+            } else {
+                let src = SLOTS_PER_PROC * i + s;
+                (hashes[src], key.packed[src])
+            }
+        };
+
+        let mut best: u16 = SIGMA_ID;
+        let mut best_inv = self.perm(self.invert(best));
+        for g in 1..self.group_len() as u16 {
+            if !relabel && self.needs_relabel[g as usize] {
+                continue;
+            }
+            let ginv = self.perm(self.invert(g));
+            let better = (0..n * SLOTS_PER_PROC)
+                .find_map(|slot| {
+                    let a = slot_entry(g, ginv, slot);
+                    let b = slot_entry(best, best_inv, slot);
+                    match a.cmp(&b) {
+                        std::cmp::Ordering::Less => Some(true),
+                        std::cmp::Ordering::Greater => Some(false),
+                        std::cmp::Ordering::Equal => None,
+                    }
+                })
+                .unwrap_or(false);
+            if better {
+                best = g;
+                best_inv = ginv;
+            }
+        }
+
+        if best == SIGMA_ID {
+            return (key.clone(), SIGMA_ID);
+        }
+        let packed: Vec<u32> = (0..n * SLOTS_PER_PROC)
+            .map(|slot| slot_entry(best, best_inv, slot).1)
+            .collect();
+        let hash = codec.hash_packed(&packed);
+        (
+            CfgKey {
+                hash,
+                packed: packed.into(),
+            },
+            best,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcolor_core::SixColoring;
+    use ftcolor_model::Execution;
+
+    #[test]
+    fn guard_rejects_non_cycles() {
+        let path = Topology::path(4).unwrap();
+        assert!(CycleSymmetry::for_topology(&path).is_none());
+        let k4 = Topology::clique(4).unwrap();
+        assert!(CycleSymmetry::for_topology(&k4).is_none());
+    }
+
+    #[test]
+    fn dihedral_group_structure() {
+        for n in [3usize, 4, 5, 6] {
+            let topo = Topology::cycle(n).unwrap();
+            let sym = CycleSymmetry::for_topology(&topo).unwrap();
+            assert_eq!(sym.group_len(), 2 * n);
+            // Every element composed with its inverse is the identity.
+            for g in 0..sym.group_len() as u16 {
+                assert_eq!(sym.compose(g, sym.invert(g)), SIGMA_ID, "n={n} g={g}");
+                assert_eq!(sym.compose(sym.invert(g), g), SIGMA_ID, "n={n} g={g}");
+                let ord = sym.order(g);
+                assert!(ord >= 1 && 2 * n % ord == 0, "n={n} g={g} order={ord}");
+                // Each perm really is a graph automorphism.
+                let perm = sym.perm(g);
+                for p in topo.nodes() {
+                    for q in topo.neighbors(p) {
+                        let (pp, qq) = (
+                            ProcessId(perm[p.index()] as usize),
+                            ProcessId(perm[q.index()] as usize),
+                        );
+                        assert!(topo.neighbors(pp).contains(&qq), "n={n} g={g}");
+                    }
+                }
+            }
+            // All 2n permutations are distinct.
+            let mut seen: Vec<&[u32]> = Vec::new();
+            for g in 0..sym.group_len() as u16 {
+                assert!(!seen.contains(&sym.perm(g)), "duplicate perm n={n} g={g}");
+                seen.push(sym.perm(g));
+            }
+        }
+    }
+
+    #[test]
+    fn canonicalization_is_orbit_invariant() {
+        // Encode a configuration, relabel it by every automorphism, and
+        // check all orbit members canonicalize to the same representative.
+        let topo = Topology::cycle(5).unwrap();
+        let sym = CycleSymmetry::for_topology(&topo).unwrap();
+        let codec: ConfigCodec<SixColoring> = ConfigCodec::new(5);
+        let mut exec = Execution::new(&SixColoring, &topo, vec![4, 1, 3, 0, 2]);
+        exec.step_with(&ActivationSet::of([ProcessId(0), ProcessId(2)]));
+        exec.step_with(&ActivationSet::solo(ProcessId(1)));
+        let key = codec.encode(&exec);
+        let (canon, g0) = sym.canonicalize(&codec, &SixColoring, true, &key);
+
+        for g in 0..sym.group_len() as u16 {
+            let perm = sym.perm(g).to_vec();
+            let mut packed = vec![0u32; key.packed.len()];
+            for i in 0..5 {
+                for s in 0..SLOTS_PER_PROC {
+                    packed[perm[i] as usize * SLOTS_PER_PROC + s] =
+                        key.packed[i * SLOTS_PER_PROC + s];
+                }
+            }
+            let hash = codec.hash_packed(&packed);
+            let relabeled = CfgKey {
+                hash,
+                packed: packed.into(),
+            };
+            let (c2, _) = sym.canonicalize(&codec, &SixColoring, true, &relabeled);
+            assert_eq!(c2, canon, "orbit member g={g} has the same canonical form");
+        }
+
+        // The returned automorphism really maps key to canon.
+        let perm = sym.perm(g0).to_vec();
+        for (i, &pi) in perm.iter().enumerate() {
+            for s in 0..SLOTS_PER_PROC {
+                assert_eq!(
+                    canon.packed[pi as usize * SLOTS_PER_PROC + s],
+                    key.packed[i * SLOTS_PER_PROC + s]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_to_set_relabels() {
+        let topo = Topology::cycle(4).unwrap();
+        let sym = CycleSymmetry::for_topology(&topo).unwrap();
+        // Find the rotation mapping 0 → 1.
+        let g = (0..sym.group_len() as u16)
+            .find(|&g| sym.perm(g)[0] == 1 && sym.perm(g)[1] == 2)
+            .unwrap();
+        let set = ActivationSet::of([ProcessId(0), ProcessId(3)]);
+        let mapped = sym.apply_to_set(g, &set);
+        assert_eq!(mapped, ActivationSet::of([ProcessId(1), ProcessId(0)]));
+        assert_eq!(sym.apply_to_set(g, &ActivationSet::All), ActivationSet::All);
+    }
+}

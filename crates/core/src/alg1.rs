@@ -92,6 +92,12 @@ impl Algorithm for SixColoring {
         state.color.b = mex(view.awake().filter(|r| r.x < state.x).map(|r| r.color.b));
         Step::Continue
     }
+
+    // `step` folds the view as a multiset (`awake()` only) and the state
+    // holds no view-position-indexed data, so view reindexing is a no-op.
+    fn relabel_view(&self, _state: &mut State1, _perm: &[usize]) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -191,6 +191,21 @@ impl Algorithm for FiveColoringPatched {
         state.last_view = Some(current);
         Step::Continue
     }
+
+    // `step` folds the live view as a multiset, but `last_view` is
+    // stored *by view position* (the frozen-view escape compares it
+    // entry-wise against the next read), so it must be reindexed when a
+    // relabeling changes the neighbor order this process sees.
+    fn relabel_view(&self, state: &mut State2P, perm: &[usize]) -> bool {
+        if let Some(v) = &mut state.last_view {
+            debug_assert_eq!(v.len(), perm.len());
+            let old = v.clone();
+            for (k, &src) in perm.iter().enumerate() {
+                v[k] = old[src];
+            }
+        }
+        true
+    }
 }
 
 #[cfg(test)]

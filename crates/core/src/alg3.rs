@@ -209,6 +209,15 @@ impl Algorithm for FastFiveColoring {
         }
         Step::Continue
     }
+
+    // Every view read is symmetric in the two neighbors: the coloring
+    // component folds over `view.awake()` as a multiset, and the
+    // identifier component only uses `min`/`max` of the neighbor ranks
+    // and identifiers plus a `mex` over both reductions. The state holds
+    // no view-position-indexed data, so relabeling is a no-op.
+    fn relabel_view(&self, _state: &mut State3, _perm: &[usize]) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

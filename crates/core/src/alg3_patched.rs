@@ -169,6 +169,21 @@ impl Algorithm for FastFiveColoringPatched {
         state.last_view = Some(current);
         Step::Continue
     }
+
+    // Both view reads are symmetric in the two neighbors (multiset folds
+    // and `min`/`max`/`mex` over `{reg(0), reg(1)}`), but `last_view` is
+    // stored by view position and must be reindexed under relabeling,
+    // exactly as in [`crate::alg2_patched`].
+    fn relabel_view(&self, state: &mut State3P, perm: &[usize]) -> bool {
+        if let Some(v) = &mut state.last_view {
+            debug_assert_eq!(v.len(), perm.len());
+            let old = v.clone();
+            for (k, &src) in perm.iter().enumerate() {
+                v[k] = old[src];
+            }
+        }
+        true
+    }
 }
 
 #[cfg(test)]

@@ -112,6 +112,12 @@ impl Algorithm for LocalMaxMis {
         state.tentative = want;
         Step::Continue
     }
+
+    // `desired` folds the view as a multiset and `MisReg` holds no
+    // view-position-indexed data, so view reindexing is a no-op.
+    fn relabel_view(&self, _state: &mut MisReg, _perm: &[usize]) -> bool {
+        true
+    }
 }
 
 /// Candidate 2: **ImpatientMis** — like [`LocalMaxMis`] but committing
@@ -166,6 +172,11 @@ impl Algorithm for ImpatientMis {
         }
         Step::Continue
     }
+
+    // Multiset view folds only; no view-position-indexed state.
+    fn relabel_view(&self, _state: &mut MisReg, _perm: &[usize]) -> bool {
+        true
+    }
 }
 
 /// Candidate 3: **EagerMis** — publishes its tentative verdict and, at
@@ -213,6 +224,11 @@ impl Algorithm for EagerMis {
         }
         state.tentative = LocalMaxMis::desired(state.x, view);
         Step::Continue
+    }
+
+    // Multiset view folds only; no view-position-indexed state.
+    fn relabel_view(&self, _state: &mut MisReg, _perm: &[usize]) -> bool {
+        true
     }
 }
 

@@ -129,6 +129,33 @@ pub trait Algorithm {
         state: &mut Self::State,
         view: &Neighborhood<'_, Self::Reg>,
     ) -> Step<Self::Output>;
+
+    /// Reindexes any *view-position-indexed* data held in `state` after a
+    /// graph automorphism moves the process to a node whose neighbor list
+    /// enumerates the (relabeled) neighbors in a different order:
+    /// position `k` of the reindexed data must take the value previously
+    /// at position `perm[k]`.
+    ///
+    /// Symmetry-reduced model checking relabels configurations by graph
+    /// automorphisms, and neighbor lists carry no global orientation
+    /// (they are sorted by id), so a relabeling generally permutes the
+    /// order in which a given process sees its neighbors. Algorithms
+    /// whose `step` folds the view as a multiset and whose state holds no
+    /// per-view-position data are oblivious to this: they override the
+    /// hook to return `true` without touching `state`. Algorithms that
+    /// remember view positions (e.g. a stored previous view, compared
+    /// entry-wise) must reindex that data here and return `true`.
+    ///
+    /// Contract: the return value must depend only on the algorithm, not
+    /// on the particular state; registers and outputs must never hold
+    /// view-position-indexed data; and `step` must commute with
+    /// simultaneously permuting the view and reindexing the state. The
+    /// default conservatively returns `false` ("not certified"), which
+    /// makes the checker refuse symmetry reduction for this algorithm
+    /// rather than risk unsound orbit collapsing.
+    fn relabel_view(&self, _state: &mut Self::State, _perm: &[usize]) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -282,6 +282,65 @@ impl<'a, A: Algorithm> Execution<'a, A> {
         &self.recorded
     }
 
+    /// Overwrites the configuration slot of process `p` — private state,
+    /// register, and output — keeping the working set consistent (a
+    /// process is working iff it has no output).
+    ///
+    /// This is the checker's encoding hook: the compact-state engines
+    /// materialize stored configurations into a scratch execution and
+    /// undo exploratory steps slot by slot instead of cloning whole
+    /// executions. Time and activation counters are left untouched; they
+    /// are not part of a configuration (step semantics never read them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn restore_slot(
+        &mut self,
+        p: ProcessId,
+        state: A::State,
+        reg: Option<A::Reg>,
+        output: Option<A::Output>,
+    ) {
+        let i = p.index();
+        let was_working = self.outputs[i].is_none();
+        let now_working = output.is_none();
+        self.states[i] = state;
+        self.registers[i] = reg;
+        self.outputs[i] = output;
+        if was_working && !now_working {
+            self.working.retain(|&q| q != p);
+        } else if !was_working && now_working {
+            let pos = self.working.partition_point(|&q| q < p);
+            self.working.insert(pos, p);
+        }
+    }
+
+    /// Resets this execution to the exact state of `other` (same
+    /// algorithm instance and topology), reusing this execution's
+    /// buffers instead of allocating fresh ones — the cheap way to
+    /// re-evaluate many schedules from one root configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two executions run on topologies of different
+    /// sizes.
+    pub fn reset_from(&mut self, other: &Execution<'a, A>) {
+        assert_eq!(
+            self.topo.len(),
+            other.topo.len(),
+            "reset_from needs same-size instances"
+        );
+        self.states.clone_from(&other.states);
+        self.registers.clone_from(&other.registers);
+        self.outputs.clone_from(&other.outputs);
+        self.activations.clone_from(&other.activations);
+        self.working.clone_from(&other.working);
+        self.time = other.time;
+        self.record = other.record;
+        self.recorded.clone_from(&other.recorded);
+    }
+
     /// Consumes the execution, yielding the recorded trace.
     pub fn into_trace(self) -> Trace {
         Trace::new(self.topo.len(), self.recorded)

@@ -25,8 +25,8 @@
 use ftcolor::analyze::{self, render_json, Diagnostic, RuleId};
 use ftcolor::checker::shrink::WITNESS_SCHEMA;
 use ftcolor::checker::{
-    FuzzConfig, LivelockWitness, ParallelModelChecker, SafetyViolation, ScheduleFuzzer, Shrinker,
-    Witness, WitnessFixture,
+    ExploreStats, FuzzConfig, LivelockWitness, ParallelModelChecker, SafetyViolation,
+    ScheduleFuzzer, Shrinker, Witness, WitnessFixture,
 };
 use ftcolor::core::mis::{mis_violation, EagerMis};
 use ftcolor::model::render::{render_ring_coloring, render_schedule, render_timeline};
@@ -76,7 +76,8 @@ ftcolor — wait-free coloring of the asynchronous cycle (PODC 2022 reproduction
 
 USAGE:
   ftcolor color      [--alg A] [--n N | --ids LIST] [--input KIND] [--sched S] [--seed K] [--timeline]
-  ftcolor modelcheck [--alg A] [--ids LIST] [--max-configs M] [--jobs J]
+  ftcolor modelcheck [--alg A] [--ids LIST] [--max-configs M] [--jobs J] [--symmetry]
+                     [--format text|json]
   ftcolor fuzz       [--alg A] [--n N | --ids LIST] [--generations G] [--seed K] [--jobs J]
   ftcolor shrink     --in FILE [--out FILE] [--alg A] [--ids LIST] [--bound B] [--jobs J]
   ftcolor analyze    [--alg NAME|all] [--sizes LIST] [--rules CODES] [--format text|json]
@@ -96,6 +97,10 @@ FLAGS:
   --seed         u64 seed for inputs/schedules          (default 0)
   --timeline     print the step-by-step execution
   --max-configs  exploration cap for modelcheck        (default 2000000)
+  --symmetry     modelcheck: canonicalize configurations under the
+                 cycle's rotations/reflections (sound only on cycle
+                 topologies — guarded; witnesses are de-canonicalized,
+                 verdicts provably match full exploration)
   --generations  fuzzer generations                    (default 150)
   --jobs         worker threads; 0 = all CPUs           (default 1)
                  results are identical for every value
@@ -108,7 +113,7 @@ FLAGS:
   --sizes        analyze: cycle sizes to lint on, e.g. 5,8 (default 5,8)
   --rules        analyze: keep only these rule codes, e.g.
                  FTC-SWMR-001,FTC-RT-104 (default: all rules)
-  --format       analyze/netsim: text | json           (default text)
+  --format       analyze/netsim/modelcheck: text | json (default text)
   --faults       netsim: inline fault-plan JSON, e.g.
                  '{\"drop\":0.1,\"crashes\":[{\"node\":2,\"at\":5}]}'
                  (default: the clean plan — no faults)
@@ -130,7 +135,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(key) = a.strip_prefix("--") else {
             return Err(format!("expected a --flag, got `{a}`"));
         };
-        let value = if matches!(key, "timeline" | "emit-trace") {
+        let value = if matches!(key, "timeline" | "emit-trace" | "symmetry") {
             "true".to_string()
         } else {
             it.next()
@@ -255,6 +260,31 @@ fn coloring_safety(topo: &Topology, outs: &[Option<u64>]) -> Option<String> {
         .map(|c| format!("color {c} outside the palette"))
 }
 
+/// Symmetry-invariant part of the modelcheck JSON output: counts shrink
+/// under `--symmetry`, these booleans must not — CI diffs this object
+/// between the two modes.
+#[derive(serde::Serialize)]
+struct VerdictJson {
+    safety_violated: bool,
+    livelock_found: bool,
+    truncated: bool,
+}
+
+/// `ftcolor modelcheck --format json` payload.
+#[derive(serde::Serialize)]
+struct ModelcheckJson {
+    alg: String,
+    ids: Vec<u64>,
+    symmetry: bool,
+    jobs: usize,
+    verdict: VerdictJson,
+    safety_description: Option<String>,
+    configs: usize,
+    edges: usize,
+    fully_terminated_configs: usize,
+    stats: ExploreStats,
+}
+
 fn cmd_modelcheck(opts: &HashMap<String, String>) -> Result<(), String> {
     let ids = parse_ids(opts)?;
     if ids.len() > 5 {
@@ -264,6 +294,12 @@ fn cmd_modelcheck(opts: &HashMap<String, String>) -> Result<(), String> {
         .parse()
         .map_err(|e| format!("bad --max-configs: {e}"))?;
     let jobs = parse_jobs(opts)?;
+    let symmetry = opts.contains_key("symmetry");
+    let format = get(opts, "format", "text");
+    if !matches!(format, "text" | "json") {
+        return Err(format!("unknown --format `{format}`"));
+    }
+    let alg_name = get(opts, "alg", "alg2").to_string();
     let topo = Topology::cycle(ids.len()).map_err(|e| e.to_string())?;
 
     macro_rules! check {
@@ -271,9 +307,34 @@ fn cmd_modelcheck(opts: &HashMap<String, String>) -> Result<(), String> {
             let safety = $safety;
             let mc = ParallelModelChecker::new($alg, &topo, ids.clone())
                 .with_max_configs(cap)
-                .with_jobs(jobs);
+                .with_jobs(jobs)
+                .with_symmetry(symmetry);
             let o = mc.explore(&safety).map_err(|e| e.to_string())?;
+            if format == "json" {
+                let j = ModelcheckJson {
+                    alg: alg_name,
+                    ids: ids.clone(),
+                    symmetry,
+                    jobs,
+                    verdict: VerdictJson {
+                        safety_violated: o.safety_violation.is_some(),
+                        livelock_found: o.livelock.is_some(),
+                        truncated: o.truncated,
+                    },
+                    safety_description: o.safety_violation.as_ref().map(|v| v.description.clone()),
+                    configs: o.configs,
+                    edges: o.edges,
+                    fully_terminated_configs: o.fully_terminated_configs,
+                    stats: o.stats.clone(),
+                };
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&j).map_err(|e| e.to_string())?
+                );
+                return Ok(());
+            }
             println!("{o}");
+            println!("{}", o.stats);
             let sh = Shrinker::new($alg, &topo, ids.clone()).with_jobs(jobs);
             if let Some(v) = &o.safety_violation {
                 println!("safety violation: {}", v.description);
@@ -509,9 +570,9 @@ fn shrink_and_report<A>(
 ) -> Result<(), String>
 where
     A: Algorithm<Input = u64> + Sync,
-    A::State: Eq,
-    A::Reg: Eq,
-    A::Output: Eq,
+    A::State: Eq + std::hash::Hash,
+    A::Reg: Eq + std::hash::Hash,
+    A::Output: Eq + std::hash::Hash,
 {
     let topo = Topology::cycle(ids.len()).map_err(|e| e.to_string())?;
     let sh = Shrinker::new(alg, &topo, ids.to_vec()).with_jobs(jobs);

@@ -1,0 +1,145 @@
+//! Property-based equivalence of the compact configuration encoding
+//! ([`ftcolor::checker::ConfigCodec`]) with the semantic configuration
+//! it replaces: two executions encode to equal [`CfgKey`]s **iff** their
+//! (states, registers, outputs) tuples — the old checker's `ConfigKey` —
+//! are equal. This is the exact-dedup soundness argument of the
+//! exploration core, so it gets the widest net we can cast: random ring
+//! sizes, random identifiers, random schedule prefixes, two algorithms
+//! with different state shapes.
+
+use ftcolor::checker::{CfgKey, ConfigCodec};
+use ftcolor::model::inputs;
+use ftcolor::prelude::*;
+use proptest::prelude::*;
+
+/// The heap-tuple configuration key the codec replaced; equality on this
+/// is the ground truth the packed encoding must reproduce.
+type OldKey<A> = (
+    Vec<<A as Algorithm>::State>,
+    Vec<Option<<A as Algorithm>::Reg>>,
+    Vec<Option<<A as Algorithm>::Output>>,
+);
+
+fn old_key<A: Algorithm>(exec: &Execution<'_, A>) -> OldKey<A> {
+    let n = exec.topology().len();
+    (
+        (0..n).map(|i| exec.state(ProcessId(i)).clone()).collect(),
+        (0..n)
+            .map(|i| exec.register(ProcessId(i)).cloned())
+            .collect(),
+        exec.outputs().to_vec(),
+    )
+}
+
+/// Drives `exec` through `len` pseudo-random steps derived from `seed`,
+/// returning the codec key after every step (delta-encoded from the
+/// previous key, exactly as the checker does).
+fn random_walk_keys<A: Algorithm>(
+    codec: &ConfigCodec<A>,
+    exec: &mut Execution<'_, A>,
+    len: usize,
+    seed: u64,
+) -> Vec<(CfgKey, OldKey<A>)>
+where
+    A::State: Eq + std::hash::Hash,
+    A::Reg: Eq + std::hash::Hash,
+    A::Output: Eq + std::hash::Hash,
+{
+    let n = exec.topology().len();
+    let mut s = seed;
+    let mut next = move || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        s >> 33
+    };
+    let mut keys = vec![(codec.encode(exec), old_key(exec))];
+    for _ in 0..len {
+        if exec.all_returned() {
+            break;
+        }
+        let set = match next() % 3 {
+            0 => ActivationSet::All,
+            1 => ActivationSet::solo(ProcessId(next() as usize % n)),
+            _ => {
+                let k = 1 + next() as usize % n;
+                ActivationSet::of((0..k).map(|_| ProcessId(next() as usize % n)))
+            }
+        };
+        let parent = keys.last().expect("nonempty").0.clone();
+        let touched = exec.step_with(&set);
+        keys.push((codec.encode_delta(&parent, exec, &touched), old_key(exec)));
+    }
+    keys
+}
+
+fn instance() -> impl Strategy<Value = (usize, u64, u64, u64)> {
+    (3usize..8, 0u64..u64::MAX / 2, 0u64..10_000, 0u64..10_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Compact-key equality ⇔ old tuple-key equality, across every pair
+    /// of configurations on two independent random walks of the same
+    /// instance (so colliding configurations genuinely occur).
+    #[test]
+    fn compact_equality_iff_tuple_equality((n, idseed, s1, s2) in instance()) {
+        let ids = inputs::random_unique(n, (n as u64).pow(3).max(16), idseed);
+        let topo = Topology::cycle(n).unwrap();
+        let codec: ConfigCodec<FiveColoring> = ConfigCodec::new(n);
+        let mut a = Execution::new(&FiveColoring, &topo, ids.clone());
+        let mut b = Execution::new(&FiveColoring, &topo, ids.clone());
+        let ka = random_walk_keys(&codec, &mut a, 40, s1);
+        let kb = random_walk_keys(&codec, &mut b, 40, s2);
+        for (ck1, ok1) in ka.iter().chain(kb.iter()) {
+            for (ck2, ok2) in ka.iter().chain(kb.iter()) {
+                prop_assert_eq!(ck1 == ck2, ok1 == ok2,
+                    "packed equality must coincide with semantic equality");
+                if ck1 == ck2 {
+                    // Equal keys must also agree on the precomputed hash
+                    // (the visited-map invariant).
+                    prop_assert_eq!(ck1.hash, ck2.hash);
+                }
+            }
+        }
+    }
+
+    /// Incremental (delta) encoding along a walk equals full re-encoding
+    /// at every configuration, hash included, for a second algorithm
+    /// with a different state/register shape.
+    #[test]
+    fn delta_encoding_matches_full((n, idseed, s1, _s2) in instance()) {
+        let ids = inputs::random_unique(n, (n as u64).pow(3).max(16), idseed);
+        let topo = Topology::cycle(n).unwrap();
+        let codec: ConfigCodec<SixColoring> = ConfigCodec::new(n);
+        let mut exec = Execution::new(&SixColoring, &topo, ids);
+        let keys = random_walk_keys(&codec, &mut exec, 60, s1);
+        for (delta_key, _) in &keys {
+            // Every incrementally-maintained hash must equal the hash
+            // recomputed from scratch over the packed buffer.
+            prop_assert_eq!(codec.hash_packed(&delta_key.packed), delta_key.hash);
+        }
+        // The walk left `exec` at its final configuration: the last
+        // delta-encoded key must equal a full re-encoding of it.
+        let full = codec.encode(&exec);
+        prop_assert_eq!(&keys.last().expect("nonempty").0, &full);
+    }
+
+    /// `restore` round-trips: decoding a key into a scratch execution
+    /// and re-encoding yields the identical key.
+    #[test]
+    fn restore_round_trips_through_random_walks((n, idseed, s1, _s2) in instance()) {
+        let ids = inputs::random_unique(n, (n as u64).pow(3).max(16), idseed);
+        let topo = Topology::cycle(n).unwrap();
+        let codec: ConfigCodec<FiveColoring> = ConfigCodec::new(n);
+        let mut exec = Execution::new(&FiveColoring, &topo, ids.clone());
+        let keys = random_walk_keys(&codec, &mut exec, 30, s1);
+        let mut scratch = Execution::new(&FiveColoring, &topo, ids);
+        for (key, old) in &keys {
+            codec.restore(&mut scratch, key);
+            prop_assert_eq!(&codec.encode(&scratch), key);
+            prop_assert_eq!(&old_key(&scratch), old);
+        }
+    }
+}

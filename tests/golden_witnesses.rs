@@ -109,9 +109,9 @@ fn assert_locally_minimal<A>(
     safety: &(impl Fn(&Topology, &[Option<A::Output>]) -> Option<String> + Sync),
 ) where
     A: Algorithm + Sync,
-    A::State: Eq,
-    A::Reg: Eq,
-    A::Output: Eq,
+    A::State: Eq + std::hash::Hash,
+    A::Reg: Eq + std::hash::Hash,
+    A::Output: Eq + std::hash::Hash,
     A::Input: Clone + Sync,
 {
     match witness {
