@@ -1,0 +1,140 @@
+//! The live node process: `ftcolor node`.
+//!
+//! One OS process per ring node. Protocol logic lives entirely in
+//! [`crate::NodeCore`]; this module is the I/O shell around it, in the
+//! Gossip-Glomers / Maelstrom idiom:
+//!
+//! * stdin — line-delimited JSON frames from the orchestrator's router
+//!   (first line is always `init`);
+//! * stdout — line-delimited JSON frames back to the router, flushed
+//!   per batch;
+//! * a reader thread feeds stdin lines into an mpsc channel so the
+//!   main loop can multiplex frame arrival against the retransmit
+//!   timer with `recv_timeout`;
+//! * EOF on stdin (the orchestrator closed the pipe or died) is the
+//!   shutdown signal — a node never outlives its orchestrator, which
+//!   is half of the no-zombie story (the other half is the
+//!   orchestrator's kill-on-drop guards).
+//!
+//! Timing knobs arrive in the `init` frame: `rto_ms` is the retransmit
+//! period for unanswered `snapshot_req`s; `pace_ms` is an artificial
+//! pause before each round start, used by fault-injection runs to
+//! stretch the run so a SIGKILL can land mid-protocol.
+
+use std::io::{self, BufRead, Write as _};
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ftcolor_core::{
+    FastFiveColoring, FastFiveColoringPatched, FiveColoring, FiveColoringPatched, SixColoring,
+};
+use ftcolor_model::Algorithm;
+use ftcolor_net::{Body, Frame, Init};
+use serde::{Deserialize, Serialize};
+
+use crate::core::NodeCore;
+
+/// Runs one node to completion: reads `init` from stdin, speaks the
+/// register protocol until stdin closes.
+///
+/// # Errors
+///
+/// Returns a message when stdin closes before `init`, the first line
+/// is not an `init` frame, or the algorithm name is unknown.
+pub fn node_main() -> Result<(), String> {
+    let mut first = String::new();
+    io::stdin()
+        .lock()
+        .read_line(&mut first)
+        .map_err(|e| format!("node: reading init: {e}"))?;
+    if first.trim().is_empty() {
+        return Err("node: stdin closed before init".into());
+    }
+    let frame = Frame::decode(first.trim()).map_err(|e| format!("node: bad init frame: {e}"))?;
+    let Body::Init(init) = frame.body else {
+        return Err(format!(
+            "node: first frame must be `init`, got `{}`",
+            frame.body.kind()
+        ));
+    };
+    match init.alg.as_str() {
+        "alg1" => run_node(&SixColoring, &init),
+        "alg2" => run_node(&FiveColoring, &init),
+        "alg2p" => run_node(&FiveColoringPatched, &init),
+        "alg3" => run_node(&FastFiveColoring, &init),
+        "alg3p" => run_node(&FastFiveColoringPatched, &init),
+        other => Err(format!("node: unknown algorithm `{other}`")),
+    }
+}
+
+fn run_node<A>(alg: &A, init: &Init) -> Result<(), String>
+where
+    A: Algorithm<Input = u64>,
+    A::Reg: Serialize + Deserialize,
+    A::Output: Serialize,
+{
+    let mut core = NodeCore::new(alg, init.node, init.neighbors.clone(), init.input);
+    let pace = Duration::from_millis(init.pace_ms);
+    let rto = Duration::from_millis(init.rto_ms.max(1));
+
+    // Reader thread: stdin lines -> channel; dropping the sender on
+    // EOF turns into `RecvTimeoutError::Disconnected` below.
+    let (tx, rx) = mpsc::channel::<String>();
+    thread::spawn(move || {
+        for line in io::stdin().lock().lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+
+    if !pace.is_zero() {
+        thread::sleep(pace);
+    }
+    emit(&core.start())?;
+    let mut next_rto = Instant::now() + rto;
+    loop {
+        let timeout = next_rto.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(timeout) {
+            Ok(line) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                // Robustness: a torn or garbage line is dropped like a
+                // corrupt packet, never a crash.
+                let Ok(frame) = Frame::decode(trimmed) else {
+                    continue;
+                };
+                let before = core.round();
+                let out = core.on_frame(&frame);
+                if core.round() > before && !pace.is_zero() {
+                    thread::sleep(pace); // pause between rounds
+                }
+                emit(&out)?;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                emit(&core.retransmits())?;
+                next_rto = Instant::now() + rto;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
+        }
+    }
+}
+
+/// Writes a batch of frames to stdout, one JSON line each, and flushes
+/// once. A broken pipe means the orchestrator is gone: exit quietly.
+fn emit(frames: &[Frame]) -> Result<(), String> {
+    if frames.is_empty() {
+        return Ok(());
+    }
+    let mut out = io::stdout().lock();
+    for f in frames {
+        if writeln!(out, "{}", f.encode()).is_err() {
+            return Err("node: stdout closed".into());
+        }
+    }
+    out.flush().map_err(|_| "node: stdout closed".to_string())
+}

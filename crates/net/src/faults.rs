@@ -19,6 +19,8 @@
 //! --faults '{"drop":0.15,"partitions":[{"start":5,"end":60,"side":[0,1]}]}'
 //! ```
 
+use rand::rngs::StdRng;
+use rand::Rng;
 use serde::{Deserialize, Error, Serialize, Value};
 
 /// Default minimum link delay (logical ticks).
@@ -209,6 +211,54 @@ impl FaultPlan {
     pub fn partitioned(&self, now: u64, from: usize, to: usize) -> bool {
         self.partitions.iter().any(|p| p.cuts(now, from, to))
     }
+}
+
+/// The fate of one send, relative to its send time: the shared
+/// fault-plan interpreter's verdict, before any substrate turns the
+/// delays into absolute logical ticks (the simulator) or wall-clock
+/// milliseconds (the real-process cluster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Deliver after `delay` ticks; if `dup_extra` is set, deliver an
+    /// extra duplicate copy `dup_extra` ticks after the primary.
+    Deliver {
+        /// Primary-copy delay in logical ticks.
+        delay: u64,
+        /// Extra delay of the injected duplicate copy, if any.
+        dup_extra: Option<u64>,
+    },
+    /// Lost to the per-link drop probability.
+    Drop,
+    /// Lost to an active partition window.
+    PartitionDrop,
+}
+
+/// Draws the fate of one send `from -> to` at logical time `now` from
+/// `plan`, consuming `rng` in a fixed order (partition check first —
+/// cut messages consume no randomness — then drop, delay, reorder,
+/// duplicate). This is the single fault-plan interpreter behind both
+/// message-passing substrates: the discrete-event simulator consumes it
+/// with a logical clock, the real-process cluster orchestrator with a
+/// wall-clock tick mapping.
+pub fn draw_fate(plan: &FaultPlan, rng: &mut StdRng, now: u64, from: usize, to: usize) -> Fate {
+    if plan.partitioned(now, from, to) {
+        return Fate::PartitionDrop;
+    }
+    let lp = plan.link(from, to);
+    if rng.gen_bool(lp.drop) {
+        return Fate::Drop;
+    }
+    let extra_max = plan.reorder_max.max(1);
+    let mut delay = rng.gen_range(lp.delay_min..=lp.delay_max);
+    if rng.gen_bool(lp.reorder) {
+        delay += rng.gen_range(1..=extra_max);
+    }
+    let dup_extra = if rng.gen_bool(lp.duplicate) {
+        Some(rng.gen_range(1..=extra_max))
+    } else {
+        None
+    };
+    Fate::Deliver { delay, dup_extra }
 }
 
 impl Serialize for FaultPlan {

@@ -38,8 +38,8 @@ pub mod sim;
 pub mod trace;
 
 pub use decoupled::{replay_decoupled_net, run_decoupled_net};
-pub use faults::{CrashAt, FaultPlan, LinkFault, LinkParams, Partition};
-pub use msg::{Body, Frame, SnapshotReq, SnapshotResp, Write};
+pub use faults::{draw_fate, CrashAt, Fate, FaultPlan, LinkFault, LinkParams, Partition};
+pub use msg::{Body, Decide, Frame, Init, InitOk, SnapshotReq, SnapshotResp, Write, ORCHESTRATOR};
 pub use shrink::shrink_plan;
 pub use sim::{replay_net, run_net, NetConfig, NetReport, NetStats};
 pub use trace::{DeliveryTrace, Outcome, TraceEntry};

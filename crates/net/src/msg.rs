@@ -1,7 +1,8 @@
-//! The wire protocol: three JSON-framed message types.
+//! The wire protocol shared by both message-passing substrates.
 //!
-//! Every message crossing the simulated network is a [`Frame`] — source,
-//! destination, and a [`Body`] that is one of:
+//! Every message crossing the simulated network (`ftcolor-net`) or the
+//! real-process cluster (`ftcolor-cluster`) is a [`Frame`] — source,
+//! destination, and a [`Body`]. The register protocol is three messages:
 //!
 //! * `write` — a process announcing the new value of its own SWMR
 //!   register. Sent to its co-located register server (loopback) to
@@ -13,13 +14,36 @@
 //! * `snapshot_resp` — the register server's answer: the current value
 //!   and its write stamp (`0` = never written).
 //!
+//! The cluster substrate adds a control plane spoken between the
+//! orchestrator (address [`ORCHESTRATOR`]) and its spawned node
+//! processes, on the same line-delimited frame format:
+//!
+//! * `init` — orchestrator → node: the node's identity, ring size,
+//!   algorithm name, input identifier, neighbor list, and timer config;
+//!   always the first line a node reads on stdin.
+//! * `init_ok` — node → orchestrator: the node is up and entering its
+//!   first round.
+//! * `decide` — node → orchestrator: the algorithm returned; carries the
+//!   encoded output and the round it was decided in. The node keeps
+//!   serving `snapshot_req`s afterwards (its register server outlives
+//!   the algorithm).
+//!
 //! Bodies are externally tagged with the snake_case names above, so the
 //! frames read naturally in delivery traces and match what a real
 //! Maelstrom-style node loop would exchange. Register payloads travel as
-//! [`serde::Value`] trees: the substrate is generic over the algorithm's
-//! register type and encodes/decodes it at the network boundary.
+//! [`serde::Value`] trees: the substrates are generic over the
+//! algorithm's register type and encode/decode it at the network
+//! boundary. The discrete-event simulator only ever puts the register
+//! subset on its wire; the codec is one vocabulary so traces from either
+//! substrate parse with the same decoder.
 
 use serde::{Deserialize, Error, Serialize, Value};
+
+/// The orchestrator's frame address in the cluster substrate. Control
+/// frames (`init`, `init_ok`, `decide`) travel between a node and this
+/// address; they are part of the run harness, not the network, and are
+/// never subjected to fault injection.
+pub const ORCHESTRATOR: usize = usize::MAX;
 
 /// One message in flight: source node, destination node, payload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -32,8 +56,11 @@ pub struct Frame {
     pub body: Body,
 }
 
-/// The three protocol messages (externally tagged as `write`,
-/// `snapshot_req`, `snapshot_resp`).
+/// The protocol messages: the register subset (externally tagged as
+/// `write`, `snapshot_req`, `snapshot_resp`) spoken on both
+/// message-passing substrates, and the cluster control plane (`init`,
+/// `init_ok`, `decide`) spoken between the orchestrator and real node
+/// processes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Body {
     /// A register write announcement.
@@ -42,6 +69,12 @@ pub enum Body {
     SnapshotReq(SnapshotReq),
     /// A snapshot read response.
     SnapshotResp(SnapshotResp),
+    /// Orchestrator → node: configuration, first line on stdin.
+    Init(Init),
+    /// Node → orchestrator: up and running.
+    InitOk(InitOk),
+    /// Node → orchestrator: the algorithm returned this output.
+    Decide(Decide),
 }
 
 /// `write`: the sender's register now holds `value` (written in the
@@ -76,6 +109,49 @@ pub struct SnapshotResp {
     pub stamp: u64,
 }
 
+/// `init`: the orchestrator hands a freshly spawned node its identity
+/// and configuration. Always the first frame on a node's stdin; a node
+/// that never receives it stays silent forever (which is exactly how the
+/// orchestrator's wedge-timeout machinery is exercised in tests).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Init {
+    /// The node's 0-based ring position (its frame address).
+    pub node: usize,
+    /// Ring size.
+    pub n: usize,
+    /// Registry name of the algorithm to run (`alg1`, `alg2p`, …).
+    pub alg: String,
+    /// The node's input identifier (the paper's `X_p`).
+    pub input: u64,
+    /// Neighbor node indices, in the topology's neighbor order.
+    pub neighbors: Vec<usize>,
+    /// Retransmit timeout for unanswered `snapshot_req`s, in wall-clock
+    /// milliseconds.
+    pub rto_ms: u64,
+    /// Pause before starting each round, in milliseconds (0 = run at
+    /// full speed). Used to stretch runs so mid-run fault injection has
+    /// a window to land in.
+    pub pace_ms: u64,
+}
+
+/// `init_ok`: the node parsed its `init` and is entering round 0.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InitOk {
+    /// Echo of the node's ring position.
+    pub node: usize,
+}
+
+/// `decide`: the node's algorithm returned. The encoded output travels
+/// as a [`serde::Value`] tree, decoded by the orchestrator against the
+/// algorithm's typed output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decide {
+    /// The 0-based round the decision was committed in.
+    pub round: u64,
+    /// The encoded `Algorithm::Output`.
+    pub output: Value,
+}
+
 impl Body {
     /// The snake_case tag of this message type (as it appears on the
     /// wire and in delivery traces).
@@ -84,6 +160,9 @@ impl Body {
             Body::Write(_) => "write",
             Body::SnapshotReq(_) => "snapshot_req",
             Body::SnapshotResp(_) => "snapshot_resp",
+            Body::Init(_) => "init",
+            Body::InitOk(_) => "init_ok",
+            Body::Decide(_) => "decide",
         }
     }
 }
@@ -94,6 +173,9 @@ impl Serialize for Body {
             Body::Write(m) => ("write", m.to_value()),
             Body::SnapshotReq(m) => ("snapshot_req", m.to_value()),
             Body::SnapshotResp(m) => ("snapshot_resp", m.to_value()),
+            Body::Init(m) => ("init", m.to_value()),
+            Body::InitOk(m) => ("init_ok", m.to_value()),
+            Body::Decide(m) => ("decide", m.to_value()),
         };
         Value::Object(vec![(tag.to_string(), inner)])
     }
@@ -116,6 +198,9 @@ impl Deserialize for Body {
             "write" => Ok(Body::Write(Write::from_value(inner)?)),
             "snapshot_req" => Ok(Body::SnapshotReq(SnapshotReq::from_value(inner)?)),
             "snapshot_resp" => Ok(Body::SnapshotResp(SnapshotResp::from_value(inner)?)),
+            "init" => Ok(Body::Init(Init::from_value(inner)?)),
+            "init_ok" => Ok(Body::InitOk(InitOk::from_value(inner)?)),
+            "decide" => Ok(Body::Decide(Decide::from_value(inner)?)),
             other => Err(Error::custom(format!("unknown message tag `{other}`"))),
         }
     }
@@ -170,6 +255,44 @@ mod tests {
         for f in frames {
             let text = f.encode();
             let back = Frame::decode(&text).expect("decodes");
+            assert_eq!(back, f);
+            assert_eq!(back.encode(), text, "re-encode is byte-identical");
+        }
+    }
+
+    #[test]
+    fn control_frames_round_trip_through_json() {
+        let frames = [
+            Frame {
+                src: ORCHESTRATOR,
+                dest: 0,
+                body: Body::Init(Init {
+                    node: 0,
+                    n: 5,
+                    alg: "alg2p".into(),
+                    input: 42,
+                    neighbors: vec![4, 1],
+                    rto_ms: 25,
+                    pace_ms: 0,
+                }),
+            },
+            Frame {
+                src: 0,
+                dest: ORCHESTRATOR,
+                body: Body::InitOk(InitOk { node: 0 }),
+            },
+            Frame {
+                src: 3,
+                dest: ORCHESTRATOR,
+                body: Body::Decide(Decide {
+                    round: 7,
+                    output: Value::Number(serde::Number::PosInt(2)),
+                }),
+            },
+        ];
+        for f in frames {
+            let text = f.encode();
+            let back = Frame::decode(&text).expect("control frames decode");
             assert_eq!(back, f);
             assert_eq!(back.encode(), text, "re-encode is byte-identical");
         }

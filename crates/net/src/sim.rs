@@ -55,7 +55,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize, Value};
 
-use crate::faults::FaultPlan;
+use crate::faults::{Fate, FaultPlan};
 use crate::msg::{Body, Frame, SnapshotReq, SnapshotResp, Write};
 use crate::trace::{DeliveryTrace, Outcome, TraceEntry};
 
@@ -345,27 +345,14 @@ pub(crate) fn decide_fate(
     seq: u64,
 ) -> (Outcome, Option<u64>) {
     match mode {
-        Mode::Record => {
-            if plan.partitioned(now, from, to) {
-                return (Outcome::PartitionDrop, None);
+        Mode::Record => match crate::faults::draw_fate(plan, rng, now, from, to) {
+            Fate::PartitionDrop => (Outcome::PartitionDrop, None),
+            Fate::Drop => (Outcome::Drop, None),
+            Fate::Deliver { delay, dup_extra } => {
+                let at = now + delay;
+                (Outcome::Deliver { at }, dup_extra.map(|d| at + d))
             }
-            let lp = plan.link(from, to);
-            if rng.gen_bool(lp.drop) {
-                return (Outcome::Drop, None);
-            }
-            let extra_max = plan.reorder_max.max(1);
-            let mut delay = rng.gen_range(lp.delay_min..=lp.delay_max);
-            if rng.gen_bool(lp.reorder) {
-                delay += rng.gen_range(1..=extra_max);
-            }
-            let at = now + delay;
-            let dup_at = if rng.gen_bool(lp.duplicate) {
-                Some(at + rng.gen_range(1..=extra_max))
-            } else {
-                None
-            };
-            (Outcome::Deliver { at }, dup_at)
-        }
+        },
         Mode::Replay { entries, pos } => {
             let e = entries.get(*pos).unwrap_or_else(|| {
                 panic!("replay trace exhausted at send #{seq} ({kind} {from}->{to})")
@@ -580,6 +567,10 @@ where
                 );
             }
             Body::SnapshotResp(r) => self.on_resp(frame.src, frame.dest, r),
+            // The discrete-event simulator's wire carries only the
+            // register subset of the shared vocabulary; control frames
+            // belong to the real-process cluster substrate.
+            other => unreachable!("control frame `{}` on the simulator wire", other.kind()),
         }
     }
 

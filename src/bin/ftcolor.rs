@@ -20,7 +20,13 @@
 //!   and race-check the threaded runtime's event logs;
 //! * `netsim` — run registry algorithms on the message-passing network
 //!   substrate under a seeded fault plan (drop/delay/duplicate/reorder,
-//!   partitions, crashes) with a replayable delivery trace.
+//!   partitions, crashes) with a replayable delivery trace;
+//! * `cluster` — run a ring of *real OS processes* (one `ftcolor node`
+//!   each) under the same fault-plan vocabulary, with plan crashes
+//!   executed as SIGKILL and a recorded routed-frame trace that
+//!   `--replay` re-verifies offline;
+//! * `node` — one cluster node (spawned by the orchestrator; speaks
+//!   line-delimited JSON frames on stdin/stdout).
 
 use ftcolor::analyze::{self, render_json, Diagnostic, RuleId};
 use ftcolor::checker::shrink::WITNESS_SCHEMA;
@@ -28,6 +34,7 @@ use ftcolor::checker::{
     ExploreStats, FuzzConfig, LivelockWitness, ParallelModelChecker, SafetyViolation,
     ScheduleFuzzer, Shrinker, Witness, WitnessFixture,
 };
+use ftcolor::cluster::{self, ClusterOptions, ClusterTrace};
 use ftcolor::core::mis::{mis_violation, EagerMis};
 use ftcolor::model::render::{render_ring_coloring, render_schedule, render_timeline};
 use ftcolor::model::{inputs, Topology};
@@ -56,6 +63,8 @@ fn main() -> ExitCode {
         "shrink" => cmd_shrink(&opts),
         "analyze" => cmd_analyze(&opts),
         "netsim" => cmd_netsim(&opts),
+        "cluster" => cmd_cluster(&opts),
+        "node" => cluster::node_main(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -83,6 +92,11 @@ USAGE:
   ftcolor analyze    [--alg NAME|all] [--sizes LIST] [--rules CODES] [--format text|json]
   ftcolor netsim     [--alg NAME|all] [--n N] [--seed K] [--faults JSON] [--max-time T]
                      [--format text|json] [--emit-trace]
+  ftcolor cluster    [--alg NAME|all] [--n N] [--seed K] [--faults JSON] [--rto-ms MS]
+                     [--pace-ms MS] [--tick-ms MS] [--max-wall-ms MS] [--format text|json]
+                     [--emit-trace] [--record FILE] [--replay FILE]
+  ftcolor node       (internal: one cluster node, spawned by `ftcolor cluster`;
+                     speaks line-delimited JSON frames on stdin/stdout)
 
 FLAGS:
   --alg          alg1 | alg2 | alg2p | alg3 | alg3p    (default alg3)
@@ -118,7 +132,16 @@ FLAGS:
                  '{\"drop\":0.1,\"crashes\":[{\"node\":2,\"at\":5}]}'
                  (default: the clean plan — no faults)
   --max-time     netsim: logical-time budget            (default 100000)
-  --emit-trace   netsim: include the full delivery trace in the output
+  --emit-trace   netsim/cluster: include the full trace in the output
+  --rto-ms       cluster: node retransmit timeout in ms  (default 25)
+  --pace-ms      cluster: node pause per round in ms     (default 15;
+                 nonzero stretches runs so SIGKILLs land mid-protocol)
+  --tick-ms      cluster: wall ms per fault-plan tick    (default 5)
+  --max-wall-ms  cluster: wall-clock cap before the run times out and
+                 reports stalls                          (default 30000)
+  --record       cluster: write the recorded trace to FILE (pretty JSON)
+  --replay       cluster: skip the live run; re-verify a recorded trace
+                 offline against in-process node replicas
 ";
 
 /// Parses `--jobs` (default 1 worker; `0` means all CPUs downstream).
@@ -826,4 +849,137 @@ fn cmd_netsim(opts: &HashMap<String, String>) -> Result<(), String> {
         return Err(failures.join("; "));
     }
     Ok(())
+}
+
+/// `ftcolor cluster`: run registry algorithms on a ring of real node
+/// processes under a fault plan (crashes become SIGKILL), or — with
+/// `--replay` — re-verify a recorded trace offline. Exits nonzero on a
+/// coloring violation, a palette violation, or an unexpected stall.
+fn cmd_cluster(opts: &HashMap<String, String>) -> Result<(), String> {
+    let format = get(opts, "format", "text");
+    if !matches!(format, "text" | "json") {
+        return Err(format!("unknown --format `{format}`"));
+    }
+
+    if let Some(path) = opts.get("replay") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let trace = ClusterTrace::from_json(&text)?;
+        let summary = cluster::cluster_replay(&trace)?;
+        print_cluster_summary(&summary, format, "replay", None)?;
+        return cluster_verdict(&[summary]);
+    }
+
+    let n: usize = get(opts, "n", "5")
+        .parse()
+        .map_err(|e| format!("bad --n: {e}"))?;
+    let seed: u64 = get(opts, "seed", "0")
+        .parse()
+        .map_err(|e| format!("bad --seed: {e}"))?;
+    let plan: FaultPlan = match opts.get("faults") {
+        Some(text) => serde_json::from_str(text).map_err(|e| format!("bad --faults: {e}"))?,
+        None => FaultPlan::default(),
+    };
+    let parse_ms = |key: &str, default: &str| -> Result<u64, String> {
+        get(opts, key, default)
+            .parse()
+            .map_err(|e| format!("bad --{key}: {e}"))
+    };
+    let copts = ClusterOptions {
+        rto_ms: parse_ms("rto-ms", "25")?,
+        pace_ms: parse_ms("pace-ms", "15")?,
+        tick_ms: parse_ms("tick-ms", "5")?.max(1),
+        max_wall_ms: parse_ms("max-wall-ms", "30000")?,
+        ..ClusterOptions::default()
+    };
+    let emit_trace = opts.contains_key("emit-trace");
+
+    let alg = get(opts, "alg", "alg2p");
+    let names: Vec<&str> = if alg == "all" {
+        cluster::CLUSTER_ALGS.to_vec()
+    } else {
+        vec![alg]
+    };
+
+    let mut summaries = Vec::new();
+    for name in names {
+        let outcome = cluster::cluster_run(name, n, seed, &plan, &copts)?;
+        if let Some(path) = opts.get("record") {
+            std::fs::write(path, outcome.trace.to_json_pretty() + "\n")
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        let trace_json = emit_trace.then(|| outcome.trace.to_json());
+        print_cluster_summary(&outcome.summary, format, "live", trace_json.as_deref())?;
+        summaries.push(outcome.summary);
+    }
+    cluster_verdict(&summaries)
+}
+
+fn print_cluster_summary(
+    s: &cluster::ClusterSummary,
+    format: &str,
+    mode: &str,
+    trace_json: Option<&str>,
+) -> Result<(), String> {
+    match format {
+        "json" => {
+            let mut v = serde_json::to_value(s).map_err(|e| e.to_string())?;
+            if let serde::Value::Object(pairs) = &mut v {
+                pairs.push(("mode".to_string(), serde::Value::String(mode.to_string())));
+            }
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&v).map_err(|e| e.to_string())?
+            );
+        }
+        _ => {
+            println!(
+                "{}: n={} seed={} mode={mode} valid={} palette_ok={} returned={}",
+                s.alg, s.n, s.seed, s.valid, s.palette_ok, s.all_correct_returned
+            );
+            println!(
+                "  colors: {:?}  crashed: {:?}  stalled: {:?}  timed_out={}",
+                s.colors, s.crashed, s.stalled, s.timed_out
+            );
+            println!(
+                "  rounds_max={} wall_ms={} sent={} delivered={} dropped={} \
+                 dead_reads={} malformed={}",
+                s.rounds_max,
+                s.wall_ms,
+                s.stats.sent,
+                s.stats.delivered,
+                s.stats.dropped + s.stats.partition_dropped,
+                s.stats.served_dead_reads,
+                s.stats.malformed
+            );
+            println!(
+                "  trace: {} entries, digest {}",
+                s.trace_len, s.trace_digest
+            );
+        }
+    }
+    if let Some(t) = trace_json {
+        println!("  {t}");
+    }
+    Ok(())
+}
+
+fn cluster_verdict(summaries: &[cluster::ClusterSummary]) -> Result<(), String> {
+    let mut failures = Vec::new();
+    for s in summaries {
+        if !s.valid {
+            failures.push(format!("{}: coloring violation", s.alg));
+        }
+        if !s.palette_ok {
+            failures.push(format!("{}: color outside the declared palette", s.alg));
+        }
+        if !s.all_correct_returned {
+            failures.push(format!("{}: stalled nodes {:?}", s.alg, s.stalled));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
 }

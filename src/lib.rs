@@ -15,6 +15,10 @@
 //! * [`net`] — a discrete-event message-passing substrate with seeded
 //!   fault injection (drop/delay/duplicate/reorder, partitions, crashes)
 //!   and bit-identical trace replay, behind `ftcolor netsim`,
+//! * [`cluster`] — the real-process cluster substrate: one OS process
+//!   per ring node speaking line-delimited JSON frames, an orchestrator
+//!   with real SIGKILL crash injection, and deterministic trace replay,
+//!   behind `ftcolor cluster` / `ftcolor node`,
 //! * [`analyze`] — the model-contract linter and happens-before race
 //!   detector behind `ftcolor analyze`.
 //!
@@ -24,6 +28,7 @@
 
 pub use ftcolor_analyze as analyze;
 pub use ftcolor_checker as checker;
+pub use ftcolor_cluster as cluster;
 pub use ftcolor_core as core;
 pub use ftcolor_model as model;
 pub use ftcolor_net as net;

@@ -1,7 +1,7 @@
-//! Simulator vs OS-thread vs message-passing substrate: the same
-//! algorithm objects run on all three, and every claim that is
-//! schedule-independent (safety, palette, activation bounds) must hold
-//! on each.
+//! Simulator vs OS-thread vs message-passing vs real-process cluster:
+//! the same algorithm objects run on every substrate, and every claim
+//! that is schedule-independent (safety, palette, activation bounds)
+//! must hold on each.
 //!
 //! The conformance matrix at the bottom drives {Alg1, Alg2-patched,
 //! Alg3-patched} × {C5, C8} × {no-fault, 1-crash, lossy} × 4 seeds
@@ -12,7 +12,9 @@
 //! `CrashPlan` schedules. The lossy cell maps to each substrate's
 //! native notion of adversity: a sparse random schedule on the
 //! simulator, heavy jitter on threads, and 15% link loss on the
-//! network.
+//! network. A fourth leg runs the matrix on the real-process cluster
+//! substrate (crashes as SIGKILL); it spawns process rings, so it is
+//! gated behind `FTCOLOR_CLUSTER_E2E=1`.
 
 use ftcolor::checker::invariants::{theorem_3_1_bound, theorem_4_4_bound};
 use ftcolor::core::PairColor;
@@ -223,6 +225,66 @@ fn conformance_matrix_on_all_three_substrates() {
                     fault,
                     &|&c: &u64| c <= 4,
                 );
+            }
+        }
+    }
+}
+
+/// The fourth leg: the same {algorithm} × {C5, C8} × {clean, crash,
+/// lossy} matrix on the real-process cluster substrate — every ring
+/// node its own OS process, crashes delivered as SIGKILL. Spawning
+/// dozens of process rings is slow and needs the `ftcolor` binary, so
+/// the leg is gated:
+///
+/// ```text
+/// FTCOLOR_CLUSTER_E2E=1 cargo test --test cross_substrate
+/// ```
+///
+/// Two seeds (not four) keep the gated leg under a minute; inputs come
+/// from the registry (`cluster_inputs`), which matches the matrix above
+/// for alg1/alg2p and uses the staircase family for alg3p. Each live
+/// run's journal must also replay cleanly — the recorded trace is the
+/// reproducible artifact, so an unreplayable run is a failure even when
+/// its coloring is proper.
+#[test]
+fn conformance_matrix_on_cluster_substrate() {
+    use ftcolor::cluster::{self, ClusterOptions};
+
+    if std::env::var_os("FTCOLOR_CLUSTER_E2E").is_none() {
+        eprintln!("skipping cluster leg: set FTCOLOR_CLUSTER_E2E=1 to run it");
+        return;
+    }
+    let node_cmd = std::path::PathBuf::from(env!("CARGO_BIN_EXE_ftcolor"));
+    for &n in &[5usize, 8] {
+        for seed in 0..2u64 {
+            let one_crash = Fault::Crash((seed as usize + n) % n, 2 + seed % 3);
+            for fault in [Fault::None, one_crash, Fault::Lossy] {
+                let plan = match fault {
+                    Fault::None => FaultPlan::clean(),
+                    Fault::Crash(p, rounds) => FaultPlan::default().with_crash(p, 2 * rounds + 1),
+                    Fault::Lossy => FaultPlan::lossy(0.15),
+                };
+                for name in ["alg1", "alg2p", "alg3p"] {
+                    let label = format!("{name} on C{n} seed {seed} fault {fault:?} (cluster)");
+                    let opts = ClusterOptions::default()
+                        .pace_ms(10)
+                        .node_cmd(node_cmd.clone());
+                    let outcome = cluster::cluster_run(name, n, seed, &plan, &opts)
+                        .unwrap_or_else(|e| panic!("{label}: {e}"));
+                    let s = &outcome.summary;
+                    assert!(!s.timed_out, "{label}: hit the wall-clock cap");
+                    assert!(s.valid, "{label}: improper coloring {:?}", s.colors);
+                    assert!(s.palette_ok, "{label}: color outside the palette");
+                    assert!(
+                        s.all_correct_returned,
+                        "{label}: live nodes stalled: {:?}",
+                        s.stalled
+                    );
+                    let replayed = cluster::cluster_replay(&outcome.trace)
+                        .unwrap_or_else(|e| panic!("{label}: journal replay: {e}"));
+                    assert_eq!(replayed.colors, s.colors, "{label}: replay diverged");
+                    assert_eq!(replayed.crashed, s.crashed, "{label}: replay diverged");
+                }
             }
         }
     }

@@ -1,0 +1,94 @@
+//! Golden recorded-trace fixture for the cluster substrate.
+//!
+//! A live cluster run races on OS scheduling and can never be re-run
+//! bit-for-bit — but its journal can. One representative run (alg2p on
+//! C5, node 2 SIGKILLed mid-run, seed 7) is committed as a fixture,
+//! and this test replays the journal against in-process replicas of
+//! the node state machine on every `cargo test`: no processes are
+//! spawned, yet the full wire transcript of a real crashy run is
+//! re-verified, byte for byte, including its recorded outputs and
+//! crash set.
+//!
+//! To re-record the fixture after an intentional protocol change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_cluster_trace
+//! ```
+//!
+//! (Blessing runs a live cluster, so it needs a few hundred ms and a
+//! working `ftcolor` binary — cargo builds one for the test.)
+
+use std::path::{Path, PathBuf};
+
+use ftcolor::cluster::{self, ClusterOptions, ClusterTrace};
+use ftcolor::net::FaultPlan;
+
+const FIXTURE: &str = "cluster_alg2p_c5_crash.json";
+const SEED: u64 = 7;
+const VICTIM: usize = 2;
+
+fn fixture_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(FIXTURE)
+}
+
+/// Records a fresh trace from a live run (bless flow only).
+fn record_live() -> ClusterTrace {
+    let plan = FaultPlan::default().with_crash(VICTIM, 4);
+    let opts = ClusterOptions::default()
+        .pace_ms(15)
+        .node_cmd(PathBuf::from(env!("CARGO_BIN_EXE_ftcolor")));
+    let outcome = cluster::cluster_run("alg2p", 5, SEED, &plan, &opts).expect("live recording run");
+    let s = &outcome.summary;
+    assert!(
+        s.valid && s.palette_ok && s.all_correct_returned && s.crashed == vec![VICTIM],
+        "refusing to bless a bad run: {s:?}"
+    );
+    outcome.trace
+}
+
+#[test]
+fn golden_cluster_trace_replays() {
+    let path = fixture_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let trace = record_live();
+        std::fs::write(&path, trace.to_json_pretty() + "\n").expect("write fixture");
+    }
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {path:?} ({e}); run with UPDATE_GOLDEN=1"));
+    let trace = ClusterTrace::from_json(&text).expect("fixture decodes");
+
+    // The committed bytes are canonical: our own encoder wrote them.
+    assert_eq!(
+        text,
+        trace.to_json_pretty() + "\n",
+        "fixture was not written by `to_json_pretty` — re-bless it"
+    );
+
+    assert_eq!(trace.alg, "alg2p");
+    assert_eq!(trace.n, 5);
+    assert_eq!(trace.seed, SEED);
+
+    // The replayer re-derives outputs/crashed/stalled from the journal
+    // alone and fails on any byte-level divergence from the recorded
+    // outcome — this is the "replays through the oracle" guarantee.
+    let summary = cluster::cluster_replay(&trace).expect("golden trace replays");
+    assert!(summary.valid, "improper coloring: {:?}", summary.colors);
+    assert!(summary.palette_ok);
+    assert!(summary.all_correct_returned);
+    assert_eq!(summary.crashed, vec![VICTIM]);
+    assert!(summary.stalled.is_empty());
+    assert_eq!(
+        summary.trace_digest,
+        format!("{:016x}", trace.digest()),
+        "summary digest must identify the exact journal it verified"
+    );
+    // The victim's neighbors really did read its cached register: the
+    // journal contains deliveries to the dead node (served reads).
+    assert!(
+        summary.trace_len > 100,
+        "suspiciously short journal: {} entries",
+        summary.trace_len
+    );
+}
