@@ -1,0 +1,531 @@
+//! The struct-of-arrays batch engine.
+//!
+//! One [`BatchEngine`] holds a homogeneous fleet of `C_n` instances.
+//! An instance at rest is three flat slab rows — `3n` packed interned
+//! slots ([`ConfigCodec`]), `n` activation counters, and one time
+//! counter — plus a tiny control block (its live schedule struct, fuel,
+//! crash record). Stepping swaps the row through a per-worker scratch
+//! [`Execution`]: restore ([`ConfigCodec::restore_slice`]), up to
+//! `quantum` schedule iterations, re-encode
+//! ([`ConfigCodec::encode_slice`]). No `Execution` is ever cloned and
+//! no per-instance heap state survives between visits; a parked C5
+//! instance costs 60 bytes of slab plus its control block, which is
+//! what makes millions of concurrent instances fit.
+//!
+//! ## Equivalence to the sequential executor
+//!
+//! The visit loop replays [`Execution::run`]'s loop *exactly*: check
+//! the working set, check fuel, call `Schedule::next(time + 1,
+//! working)`, crash on `None` (snapshotting the working set), step on
+//! `Some`. The schedule structs are the real model types (stored per
+//! instance), the step is the real [`Execution::step_with`], and the
+//! time/activation counters are maintained to the same definitions —
+//! so outcomes are bit-identical to `Execution::run` by construction,
+//! which `tests/batch_equivalence.rs` pins per algorithm, instance,
+//! fault pattern, and thread count.
+//!
+//! ## Sweeps, rounds, and determinism
+//!
+//! [`BatchEngine::run_round`] visits every in-flight instance exactly
+//! once, partitioned across workers with the checker's claim/steal
+//! [`sweep::RangeQueue`]s. Instances never share
+//! mutable state, so the thread count affects wall-clock only: every
+//! per-instance outcome, every completion round (= latency), and every
+//! aggregate over them is identical at `jobs = 1` and `jobs = 64`.
+//! Interner *index assignment* does depend on visit interleaving — but
+//! indices never leave the engine; only decoded values do.
+//!
+//! ## When not to batch
+//!
+//! A single giant ring shares no values with anyone; interning its
+//! millions of distinct per-identifier states would cost memory and
+//! buy nothing. [`run_materialized`] runs such instances on a live
+//! `Execution` instead — same spec, same schedule construction, same
+//! outcome shape (and trivially oracle-identical, because it *is* the
+//! oracle).
+
+use crate::spec::{BatchSchedule, InstanceSpec};
+use ftcolor_model::encode::{ConfigCodec, SLOTS_PER_PROC};
+use ftcolor_model::schedule::ActivationSet;
+use ftcolor_model::sweep;
+use ftcolor_model::{
+    Algorithm, Execution, ExecutionReport, ModelError, ProcessId, Schedule, Time, Topology,
+};
+use parking_lot::Mutex;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+/// How one instance ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// Every process returned an output.
+    Returned,
+    /// The schedule ended; the processes still working crashed. The
+    /// survivors' outputs stand (this is the wait-free guarantee).
+    Crashed,
+    /// Fuel ran out with processes still working — the batch rendering
+    /// of [`ModelError::NonTermination`].
+    Stalled,
+}
+
+/// Slab status byte. `InFlight` is engine-internal; the other values
+/// mirror [`Termination`].
+const ST_IN_FLIGHT: u8 = 0;
+const ST_RETURNED: u8 = 1;
+const ST_CRASHED: u8 = 2;
+const ST_STALLED: u8 = 3;
+
+impl Termination {
+    fn as_status(self) -> u8 {
+        match self {
+            Termination::Returned => ST_RETURNED,
+            Termination::Crashed => ST_CRASHED,
+            Termination::Stalled => ST_STALLED,
+        }
+    }
+}
+
+/// Everything known about one finished instance, delivered to the
+/// completion sink from whichever worker retired it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcome<O> {
+    /// Admission index of the instance within its engine.
+    pub index: usize,
+    /// How the instance ended.
+    pub termination: Termination,
+    /// Output of each process (`None` = crashed before returning).
+    pub outputs: Vec<Option<O>>,
+    /// Activation count of each process.
+    pub activations: Vec<u64>,
+    /// Time steps executed.
+    pub time_steps: Time,
+    /// Processes crashed by the schedule ending (empty unless
+    /// [`Termination::Crashed`]).
+    pub crashed: Vec<ProcessId>,
+    /// Sweep round at which the instance was admitted.
+    pub admitted_round: u64,
+    /// Sweep round at which it finished; `completed_round -
+    /// admitted_round` is the completion latency in rounds.
+    pub completed_round: u64,
+    /// Per-step resolved activation sets (only when trace recording is
+    /// on — the crash-composition property test reads these).
+    pub trace: Option<Vec<ActivationSet>>,
+}
+
+impl<O: Clone> BatchOutcome<O> {
+    /// This outcome as the sequential executor's report type (what
+    /// `Execution::run` returns on its `Ok` path) — the object the
+    /// differential suite compares bit-for-bit.
+    pub fn report(&self) -> ExecutionReport<O> {
+        ExecutionReport {
+            outputs: self.outputs.clone(),
+            activations: self.activations.clone(),
+            time_steps: self.time_steps,
+            crashed: self.crashed.clone(),
+        }
+    }
+}
+
+/// Engine knobs.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Worker threads per sweep (`0` = one per CPU).
+    pub jobs: usize,
+    /// Schedule iterations per instance per round (`≥ 1`). Latency is
+    /// measured in rounds, so the quantum is the latency resolution.
+    pub quantum: u32,
+    /// Record per-step activation traces into every outcome (tests
+    /// only — costs an allocation per step).
+    pub record_traces: bool,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            jobs: 1,
+            quantum: 8,
+            record_traces: false,
+        }
+    }
+}
+
+/// Per-instance control block: the live schedule plus everything that
+/// does not pack into flat `u32` slabs. Locked only by the (single)
+/// worker visiting the instance this round.
+struct Ctrl {
+    sched: BatchSchedule,
+    fuel: u64,
+    crashed: Vec<ProcessId>,
+    trace: Option<Vec<ActivationSet>>,
+}
+
+/// A homogeneous batch of `C_n` instances of one algorithm. See the
+/// module docs for the execution model.
+pub struct BatchEngine<'a, A: Algorithm<Input = u64>>
+where
+    A::State: Eq + Hash,
+    A::Reg: Eq + Hash,
+    A::Output: Eq + Hash,
+{
+    alg: &'a A,
+    topo: Topology,
+    codec: ConfigCodec<A>,
+    n: usize,
+    cfg: BatchConfig,
+    round: u64,
+    /// Packed configuration slab: `3n` interned slots per instance.
+    packed: Vec<AtomicU32>,
+    /// Activation-counter slab: `n` counters per instance.
+    activ: Vec<AtomicU32>,
+    /// Time steps executed, per instance.
+    time: Vec<AtomicU64>,
+    /// `ST_*` status byte, per instance.
+    status: Vec<AtomicU8>,
+    /// Admission round, per instance (written once, before any sweep).
+    admitted: Vec<u64>,
+    /// Control blocks, per instance.
+    ctrl: Vec<Mutex<Ctrl>>,
+    /// Indices still in flight (pruned after every round).
+    runnable: Vec<u32>,
+}
+
+impl<'a, A> BatchEngine<'a, A>
+where
+    A: Algorithm<Input = u64> + Sync,
+    A::State: Eq + Hash + Clone + Send + Sync,
+    A::Reg: Eq + Hash + Clone + Send + Sync,
+    A::Output: Eq + Hash + Clone + Send + Sync,
+{
+    /// An empty engine for `C_n` instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` (no such cycle).
+    pub fn new(alg: &'a A, n: usize, cfg: BatchConfig) -> Self {
+        let topo = Topology::cycle(n).expect("batch engine needs a ring of size >= 3");
+        BatchEngine {
+            alg,
+            topo,
+            codec: ConfigCodec::new(n),
+            n,
+            cfg: BatchConfig {
+                jobs: if cfg.jobs == 0 {
+                    sweep::default_jobs()
+                } else {
+                    cfg.jobs
+                },
+                quantum: cfg.quantum.max(1),
+                record_traces: cfg.record_traces,
+            },
+            round: 0,
+            packed: Vec::new(),
+            activ: Vec::new(),
+            time: Vec::new(),
+            status: Vec::new(),
+            admitted: Vec::new(),
+            ctrl: Vec::new(),
+            runnable: Vec::new(),
+        }
+    }
+
+    /// Ring size of every instance in this engine.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sweep rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// Instances currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.runnable.len()
+    }
+
+    /// Instances admitted over the engine's lifetime.
+    pub fn admitted(&self) -> usize {
+        self.status.len()
+    }
+
+    /// Distinct interned (states, registers, outputs) — the sharing the
+    /// packed representation lives off.
+    pub fn interned_counts(&self) -> (usize, usize, usize) {
+        self.codec.interned_counts()
+    }
+
+    /// Rough heap footprint of the interners.
+    pub fn approx_interner_bytes(&self) -> usize {
+        self.codec.approx_interner_bytes()
+    }
+
+    /// Admits one instance, returning its index. The instance is
+    /// initialized exactly as `Execution::new` would (it is — a scratch
+    /// execution is built once and immediately parked into the slab).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's ring size differs from the engine's.
+    pub fn admit(&mut self, spec: &InstanceSpec) -> usize {
+        assert_eq!(spec.n(), self.n, "spec ring size != engine ring size");
+        let idx = self.status.len();
+        let exec = Execution::new(self.alg, &self.topo, spec.ids.clone());
+        let mut row = vec![0u32; self.n * SLOTS_PER_PROC];
+        self.codec.encode_slice(&exec, &mut row);
+        self.packed.extend(row.into_iter().map(AtomicU32::new));
+        self.activ
+            .extend(std::iter::repeat_with(|| AtomicU32::new(0)).take(self.n));
+        self.time.push(AtomicU64::new(0));
+        self.status.push(AtomicU8::new(ST_IN_FLIGHT));
+        self.admitted.push(self.round);
+        self.ctrl.push(Mutex::new(Ctrl {
+            sched: spec.schedule(),
+            fuel: spec.fuel,
+            crashed: Vec::new(),
+            trace: self.cfg.record_traces.then(Vec::new),
+        }));
+        self.runnable
+            .push(u32::try_from(idx).expect("fewer than 2^32 instances"));
+        idx
+    }
+
+    /// One sweep round: every in-flight instance is visited exactly
+    /// once (up to `quantum` schedule iterations each) by `jobs`
+    /// workers. Finished instances are delivered to `sink` from the
+    /// retiring worker's thread — the sink must aggregate
+    /// order-independently (sinks run concurrently, in no fixed order).
+    /// Returns the number of instances retired this round.
+    pub fn run_round(&mut self, sink: &(impl Fn(BatchOutcome<A::Output>) + Sync)) -> usize {
+        self.round += 1;
+        let before = self.runnable.len();
+        if before == 0 {
+            return 0;
+        }
+        let workers = self.cfg.jobs.min(before).max(1);
+        let queues = sweep::partition(before, workers);
+        let this: &Self = self;
+        let round = self.round;
+        crossbeam::thread::scope(|s| {
+            for w in 0..workers {
+                let queues = &queues;
+                s.spawn(move |_| {
+                    let mut scratch = Execution::new(this.alg, &this.topo, vec![0u64; this.n]);
+                    let mut row = vec![0u32; this.n * SLOTS_PER_PROC];
+                    let mut act_row = vec![0u32; this.n];
+                    let visit_all = |range: std::ops::Range<usize>,
+                                     scratch: &mut Execution<'_, A>,
+                                     row: &mut [u32],
+                                     act_row: &mut [u32]| {
+                        for i in range {
+                            this.visit(
+                                this.runnable[i] as usize,
+                                round,
+                                scratch,
+                                row,
+                                act_row,
+                                sink,
+                            );
+                        }
+                    };
+                    loop {
+                        if let Some(range) = queues[w].claim(CLAIM_CHUNK) {
+                            visit_all(range, &mut scratch, &mut row, &mut act_row);
+                            continue;
+                        }
+                        let victim = (0..workers)
+                            .filter(|&v| v != w)
+                            .max_by_key(|&v| queues[v].remaining());
+                        match victim.and_then(|v| queues[v].steal()) {
+                            Some(range) => visit_all(range, &mut scratch, &mut row, &mut act_row),
+                            None => break,
+                        }
+                    }
+                });
+            }
+        })
+        .expect("batch worker panicked");
+        self.runnable
+            .retain(|&i| this_status(&self.status, i as usize) == ST_IN_FLIGHT);
+        before - self.runnable.len()
+    }
+
+    /// Sweeps until the fleet drains or `max_rounds` elapse. Returns
+    /// `true` if everything finished.
+    pub fn run_to_completion(
+        &mut self,
+        max_rounds: u64,
+        sink: &(impl Fn(BatchOutcome<A::Output>) + Sync),
+    ) -> bool {
+        while !self.runnable.is_empty() && self.round < max_rounds {
+            self.run_round(sink);
+        }
+        self.runnable.is_empty()
+    }
+
+    /// Visits one instance: restore its slab row, run up to `quantum`
+    /// schedule iterations of `Execution::run`'s exact loop, park or
+    /// retire.
+    fn visit(
+        &self,
+        idx: usize,
+        round: u64,
+        scratch: &mut Execution<'_, A>,
+        row: &mut [u32],
+        act_row: &mut [u32],
+        sink: &impl Fn(BatchOutcome<A::Output>),
+    ) {
+        let slots = self.n * SLOTS_PER_PROC;
+        let base = idx * slots;
+        let abase = idx * self.n;
+        let mut ctrl = self.ctrl[idx].lock();
+
+        for (k, r) in row.iter_mut().enumerate() {
+            *r = self.packed[base + k].load(Ordering::Relaxed);
+        }
+        self.codec.restore_slice(scratch, row);
+        for (k, a) in act_row.iter_mut().enumerate() {
+            *a = self.activ[abase + k].load(Ordering::Relaxed);
+        }
+        let mut time = self.time[idx].load(Ordering::Relaxed);
+
+        // `Execution::run`, quantum iterations at a time: working-set
+        // check first, then fuel, then the schedule. The order matters
+        // for the fuel-boundary cases and is pinned by the differential
+        // suite.
+        let mut done: Option<Termination> = None;
+        for _ in 0..self.cfg.quantum {
+            if scratch.working().is_empty() {
+                done = Some(Termination::Returned);
+                break;
+            }
+            if time >= ctrl.fuel {
+                done = Some(Termination::Stalled);
+                break;
+            }
+            match ctrl.sched.next(time + 1, scratch.working()) {
+                None => {
+                    ctrl.crashed = scratch.working().to_vec();
+                    done = Some(Termination::Crashed);
+                    break;
+                }
+                Some(set) => {
+                    let active = scratch.step_with(&set);
+                    for &p in &active {
+                        act_row[p.index()] += 1;
+                    }
+                    if let Some(trace) = &mut ctrl.trace {
+                        trace.push(ActivationSet::Only(active));
+                    }
+                    time += 1;
+                }
+            }
+        }
+
+        match done {
+            None => {
+                // Still in flight: park the row back into the slab.
+                self.codec.encode_slice(scratch, row);
+                for (k, r) in row.iter().enumerate() {
+                    self.packed[base + k].store(*r, Ordering::Relaxed);
+                }
+                for (k, a) in act_row.iter().enumerate() {
+                    self.activ[abase + k].store(*a, Ordering::Relaxed);
+                }
+                self.time[idx].store(time, Ordering::Relaxed);
+            }
+            Some(term) => {
+                self.status[idx].store(term.as_status(), Ordering::Relaxed);
+                let outcome = BatchOutcome {
+                    index: idx,
+                    termination: term,
+                    outputs: scratch.outputs().to_vec(),
+                    activations: act_row.iter().map(|&a| u64::from(a)).collect(),
+                    time_steps: time,
+                    crashed: std::mem::take(&mut ctrl.crashed),
+                    admitted_round: self.admitted[idx],
+                    completed_round: round,
+                    trace: ctrl.trace.take(),
+                };
+                drop(ctrl);
+                sink(outcome);
+            }
+        }
+    }
+}
+
+/// Chunk size workers claim from their own queue per lock acquisition.
+const CLAIM_CHUNK: usize = 64;
+
+fn this_status(status: &[AtomicU8], idx: usize) -> u8 {
+    status[idx].load(Ordering::Relaxed)
+}
+
+/// Runs one instance *materialized* — on a live [`Execution`] instead
+/// of through the codec. This is the path for giant rings (a single
+/// `n = 10M` instance shares no values, so interning would only cost),
+/// and it is trivially oracle-identical: it literally calls
+/// [`Execution::run`] with [`InstanceSpec::schedule`].
+///
+/// `quantum` only scales the reported `completed_round`
+/// (`ceil(time_steps / quantum)`), keeping round-latency comparable
+/// with batched instances.
+///
+/// # Panics
+///
+/// Panics if the spec's ring has fewer than three processes.
+pub fn run_materialized<A>(
+    alg: &A,
+    spec: &InstanceSpec,
+    quantum: u32,
+    record_trace: bool,
+) -> BatchOutcome<A::Output>
+where
+    A: Algorithm<Input = u64>,
+    A::State: Eq + Hash,
+    A::Reg: Eq + Hash,
+    A::Output: Eq + Hash + Clone,
+{
+    let topo = Topology::cycle(spec.n()).expect("materialized instance needs a ring of size >= 3");
+    let mut exec = Execution::new(alg, &topo, spec.ids.clone());
+    exec.record_trace(record_trace);
+    let quantum = u64::from(quantum.max(1));
+    let (termination, outputs, activations, time_steps, crashed) =
+        match exec.run(spec.schedule(), spec.fuel) {
+            Ok(report) => {
+                let term = if report.crashed.is_empty() {
+                    Termination::Returned
+                } else {
+                    Termination::Crashed
+                };
+                (
+                    term,
+                    report.outputs,
+                    report.activations,
+                    report.time_steps,
+                    report.crashed,
+                )
+            }
+            Err(ModelError::NonTermination { .. }) => (
+                Termination::Stalled,
+                exec.outputs().to_vec(),
+                (0..spec.n())
+                    .map(|i| exec.activation_count(ProcessId(i)))
+                    .collect(),
+                exec.time(),
+                Vec::new(),
+            ),
+            Err(other) => unreachable!("Execution::run only fails with NonTermination: {other}"),
+        };
+    let trace = record_trace.then(|| exec.recorded().to_vec());
+    BatchOutcome {
+        index: 0,
+        termination,
+        outputs,
+        activations,
+        time_steps,
+        crashed,
+        admitted_round: 0,
+        completed_round: time_steps.div_ceil(quantum),
+        trace,
+    }
+}

@@ -1,0 +1,39 @@
+//! E16 (batch service): Criterion timings for the struct-of-arrays
+//! batch engine — a burst fleet of small instances through the packed
+//! slab path, and a mid-sized synchronous ring through the
+//! materialized path. The headline scales (1M fleet, 10M ring) live in
+//! `bench_service` / `BENCH_service.json`; these benches keep the same
+//! code paths honest at Criterion-friendly sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftcolor_bench::e16_service::{fleet_row, ring_row};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e16_service");
+    g.sample_size(10);
+
+    // Claim check once: both workloads finish valid (the row builders
+    // assert validity internally).
+    let fleet = fleet_row(1_000);
+    assert_eq!(fleet.completed, 1_000);
+    let ring = ring_row(10_000);
+    assert_eq!(ring.completed, 1);
+
+    for instances in [1_000u64, 10_000] {
+        g.bench_with_input(
+            BenchmarkId::new("fleet_c5_burst", instances),
+            &instances,
+            |b, &instances| b.iter(|| fleet_row(instances)),
+        );
+    }
+
+    for n in [10_000usize, 100_000] {
+        g.bench_with_input(BenchmarkId::new("ring_logstar_sync", n), &n, |b, &n| {
+            b.iter(|| ring_row(n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

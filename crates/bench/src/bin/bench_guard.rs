@@ -23,7 +23,20 @@
 //! Rows present on only one side are reported and ignored — that is
 //! what happens when the instance list grows, or when the baseline was
 //! generated at a different cap than the current run.
+//!
+//! With `--service`, the same comparison runs over `BENCH_service.json`
+//! rows instead (see `e16_service`): the **deterministic fields**
+//! (completed, rounds, latency percentiles, outputs digest) must match
+//! exactly on rows with the same (workload, algorithm, n, instances) —
+//! the batch engine is deterministic at every thread count, so drift is
+//! a semantic change — and throughput is gated only on rows with at
+//! least 100k instances (the CI-sized fleet finishes too fast for its
+//! colorings/sec to be more than timer noise). Peak RSS is reported,
+//! never gated. The committed baseline carries the full-mode rows (1M
+//! fleet, 10M ring); CI regenerates quick mode only, so those show up
+//! one-sided and are skipped.
 
+use ftcolor_bench::e16_service::ServiceBenchRow;
 use ftcolor_bench::e6_modelcheck::BenchRow;
 
 fn load(path: &str) -> Result<Vec<BenchRow>, String> {
@@ -37,6 +50,7 @@ fn key(r: &BenchRow) -> (String, String, bool, usize) {
 
 fn main() {
     let mut max_drop: u64 = 30;
+    let mut service = false;
     let mut paths: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -45,15 +59,21 @@ fn main() {
                 .next()
                 .and_then(|v| v.parse().ok())
                 .expect("--max-drop needs a percentage");
+        } else if a == "--service" {
+            service = true;
         } else {
             paths.push(a);
         }
     }
     if paths.len() != 2 {
-        eprintln!("usage: bench_guard <baseline.json> <current.json> [--max-drop PCT]");
+        eprintln!("usage: bench_guard <baseline.json> <current.json> [--max-drop PCT] [--service]");
         std::process::exit(2);
     }
     let max_drop = max_drop.min(100);
+    if service {
+        guard_service(&paths[0], &paths[1], max_drop);
+        return;
+    }
     let baseline = load(&paths[0]).unwrap_or_else(|e| {
         eprintln!("bench_guard: {e}");
         std::process::exit(2);
@@ -115,6 +135,115 @@ fn main() {
     }
     if failures.is_empty() {
         println!("bench_guard: {compared} rows compared, no regression");
+    } else {
+        for f in &failures {
+            eprintln!("REGRESSION: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn load_service(path: &str) -> Result<Vec<ServiceBenchRow>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn service_key(r: &ServiceBenchRow) -> (String, String, usize, u64) {
+    (r.workload.clone(), r.algorithm.clone(), r.n, r.instances)
+}
+
+/// The `--service` comparison over `BENCH_service.json` rows (see the
+/// module docs for the exact/gated split).
+fn guard_service(baseline_path: &str, current_path: &str, max_drop: u64) {
+    let baseline = load_service(baseline_path).unwrap_or_else(|e| {
+        eprintln!("bench_guard: {e}");
+        std::process::exit(2);
+    });
+    let current = load_service(current_path).unwrap_or_else(|e| {
+        eprintln!("bench_guard: {e}");
+        std::process::exit(2);
+    });
+    let mut compared = 0usize;
+    let mut failures = Vec::new();
+    for b in &baseline {
+        let Some(c) = current.iter().find(|c| service_key(c) == service_key(b)) else {
+            println!(
+                "skip (no current row): {} / {} n={} instances={}",
+                b.workload, b.algorithm, b.n, b.instances
+            );
+            continue;
+        };
+        compared += 1;
+        let exact: [(&str, String, String); 5] = [
+            (
+                "completed",
+                b.completed.to_string(),
+                c.completed.to_string(),
+            ),
+            ("rounds", b.rounds.to_string(), c.rounds.to_string()),
+            (
+                "latency_p50",
+                b.latency_p50.to_string(),
+                c.latency_p50.to_string(),
+            ),
+            (
+                "latency_p99",
+                b.latency_p99.to_string(),
+                c.latency_p99.to_string(),
+            ),
+            (
+                "outputs_digest",
+                b.outputs_digest.clone(),
+                c.outputs_digest.clone(),
+            ),
+        ];
+        for (field, bv, cv) in &exact {
+            if bv != cv {
+                failures.push(format!(
+                    "{} / {}: {field} {bv} -> {cv} (determinism break!)",
+                    b.workload, b.algorithm
+                ));
+            }
+        }
+        if b.instances >= 100_000
+            && c.colorings_per_sec * 100 < b.colorings_per_sec * (100 - max_drop)
+        {
+            failures.push(format!(
+                "{} / {}: throughput {} -> {} colorings/s (>{}% drop)",
+                b.workload, b.algorithm, b.colorings_per_sec, c.colorings_per_sec, max_drop
+            ));
+        }
+        println!(
+            "ok: {} / {} n={} instances={}: {} completed, {} -> {} colorings/s, \
+             peak {} -> {} KiB",
+            b.workload,
+            b.algorithm,
+            b.n,
+            b.instances,
+            c.completed,
+            b.colorings_per_sec,
+            c.colorings_per_sec,
+            b.peak_rss_kib,
+            c.peak_rss_kib
+        );
+    }
+    for c in &current {
+        if !baseline.iter().any(|b| service_key(b) == service_key(c)) {
+            println!(
+                "new row (no baseline): {} / {} n={} instances={}",
+                c.workload, c.algorithm, c.n, c.instances
+            );
+        }
+    }
+    if compared == 0 {
+        eprintln!(
+            "bench_guard: no comparable service rows — baseline and current were \
+             generated at different scales?"
+        );
+        std::process::exit(2);
+    }
+    if failures.is_empty() {
+        println!("bench_guard: {compared} service rows compared, no regression");
     } else {
         for f in &failures {
             eprintln!("REGRESSION: {f}");

@@ -1,0 +1,45 @@
+//! Generates the `BENCH_service.json` snapshot for the batch service.
+//!
+//! ```text
+//! cargo run -p ftcolor-bench --release --bin bench_service -- [--quick] [--out FILE]
+//! ```
+//!
+//! Default (no flags) runs quick mode **and** full mode — the 1M-
+//! instance `C5` fleet and the `n = 10M` `O(log* n)` ring — which is
+//! minutes of single-core work; that is how the committed baseline at
+//! the repository root was produced. `--quick` runs only the CI-sized
+//! rows (seconds), which is what CI regenerates and feeds to
+//! `bench_guard --service` against the committed baseline (the full
+//! rows then show up as one-sided and are skipped by the guard).
+
+use ftcolor_bench::e16_service;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick_only = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_service.json".to_string());
+
+    let t0 = std::time::Instant::now();
+    let mut rows = e16_service::quick_rows();
+    if quick_only {
+        eprintln!("quick rows done in {:.1?}", t0.elapsed());
+    } else {
+        eprintln!(
+            "quick rows done in {:.1?}; starting full mode (1M fleet + 10M ring, \
+             minutes of single-core work)…",
+            t0.elapsed()
+        );
+        rows.extend(e16_service::full_rows());
+        eprintln!("full rows done in {:.1?}", t0.elapsed());
+    }
+
+    print!("{}", e16_service::table(&rows));
+    let json = serde_json::to_string_pretty(&rows).expect("serializable snapshot");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("snapshot written to {out}");
+}

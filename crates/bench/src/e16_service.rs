@@ -1,0 +1,211 @@
+//! **E16 — batch service throughput.** The struct-of-arrays batch
+//! engine (`ftcolor-batch`) against the two regimes the paper's
+//! algorithms span:
+//!
+//! * **`fleet-c5`** — a burst of small `C5` instances (Algorithm 2′
+//!   under seeded random-subset schedules with 5% crash noise), all in
+//!   flight at once: the millions-of-concurrent-instances regime the
+//!   packed interned slab representation exists for. Full mode admits
+//!   1,000,000 instances in a single arrival round.
+//! * **`ring-logstar`** — one giant synchronous ring on the
+//!   materialized path (Algorithm 3′, seeded identifier permutation):
+//!   the `O(log* n)` regime. Full mode runs `n = 10,000,000`.
+//!
+//! Each run produces one [`ServiceBenchRow`] mixing deterministic
+//! outcome facts (completed counts, rounds, latency percentiles, the
+//! commutative outputs digest) with honest wall-clock measurements
+//! (colorings/sec, elapsed, peak RSS). The committed
+//! `BENCH_service.json` at the repository root is the baseline;
+//! `bench_guard --service` re-checks the deterministic fields exactly
+//! and gates throughput on the big rows (see the guard's docs).
+
+use ftcolor_batch::{run_service, ServiceConfig};
+use ftcolor_core::{FastFiveColoringPatched, FiveColoringPatched};
+use serde::{Deserialize, Serialize};
+
+/// One row of the committed `BENCH_service.json` snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceBenchRow {
+    /// Workload label (`fleet-c5` or `ring-logstar`).
+    pub workload: String,
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Ring size of every instance.
+    pub n: usize,
+    /// Instances admitted.
+    pub instances: u64,
+    /// Worker threads the run used.
+    pub jobs: usize,
+    /// Instances that finished (deterministic; must match exactly).
+    pub completed: u64,
+    /// Sweep rounds executed (deterministic; must match exactly).
+    pub rounds: u64,
+    /// Median completion latency in sweep rounds (deterministic).
+    pub latency_p50: u64,
+    /// 99th-percentile completion latency in sweep rounds
+    /// (deterministic).
+    pub latency_p99: u64,
+    /// Commutative digest over all outcomes (deterministic; must match
+    /// exactly — it condenses every color, crash set, and step count).
+    pub outputs_digest: String,
+    /// Wall-clock throughput: completed colorings per second.
+    pub colorings_per_sec: u64,
+    /// Wall-clock of the run in milliseconds.
+    pub elapsed_ms: u64,
+    /// Peak resident set in KiB (reported, never gated).
+    pub peak_rss_kib: u64,
+}
+
+/// The `fleet-c5` workload at a given scale: a single-round burst
+/// (rate far above the instance count) so the whole fleet is in flight
+/// simultaneously.
+pub fn fleet_row(instances: u64) -> ServiceBenchRow {
+    let cfg = ServiceConfig {
+        n: 5,
+        instances,
+        rate: 1e12,
+        seed: 2022,
+        sync: false,
+        p: 0.5,
+        crash_prob: 0.05,
+        crash_horizon: 8,
+        universe: 64,
+        fuel: 100_000,
+        quantum: 8,
+        jobs: 0,
+    };
+    let (summary, timings) = run_service(
+        &FiveColoringPatched,
+        "alg2p",
+        5,
+        |c: &u64| usize::try_from(*c).expect("color fits usize"),
+        &cfg,
+    );
+    assert!(
+        summary.valid,
+        "refusing to snapshot an invalid fleet run: {summary:?}"
+    );
+    ServiceBenchRow {
+        workload: "fleet-c5".to_string(),
+        algorithm: summary.algorithm,
+        n: summary.n,
+        instances: summary.instances,
+        jobs: timings.jobs,
+        completed: summary.completed,
+        rounds: summary.rounds,
+        latency_p50: summary.latency_p50,
+        latency_p99: summary.latency_p99,
+        outputs_digest: summary.outputs_digest,
+        colorings_per_sec: timings.colorings_per_sec,
+        elapsed_ms: timings.elapsed_ms,
+        peak_rss_kib: timings.peak_rss_kib,
+    }
+}
+
+/// The `ring-logstar` workload: one synchronous ring of size `n` on
+/// the materialized path (Algorithm 3′, seeded identifier permutation).
+pub fn ring_row(n: usize) -> ServiceBenchRow {
+    let cfg = ServiceConfig {
+        n,
+        instances: 1,
+        rate: 1.0,
+        seed: 7,
+        sync: true,
+        p: 0.5,
+        crash_prob: 0.0,
+        crash_horizon: 8,
+        universe: n as u64,
+        fuel: 100_000,
+        quantum: 8,
+        jobs: 1,
+    };
+    let (summary, timings) = run_service(
+        &FastFiveColoringPatched,
+        "alg3p",
+        5,
+        |c: &u64| usize::try_from(*c).expect("color fits usize"),
+        &cfg,
+    );
+    assert!(
+        summary.valid,
+        "refusing to snapshot an invalid ring run: {summary:?}"
+    );
+    ServiceBenchRow {
+        workload: "ring-logstar".to_string(),
+        algorithm: summary.algorithm,
+        n: summary.n,
+        instances: summary.instances,
+        jobs: timings.jobs,
+        completed: summary.completed,
+        rounds: summary.rounds,
+        latency_p50: summary.latency_p50,
+        latency_p99: summary.latency_p99,
+        outputs_digest: summary.outputs_digest,
+        colorings_per_sec: timings.colorings_per_sec,
+        elapsed_ms: timings.elapsed_ms,
+        peak_rss_kib: timings.peak_rss_kib,
+    }
+}
+
+/// CI-sized rows: small enough for a per-commit run, same workload
+/// shapes as full mode so the deterministic fields guard the engine.
+pub fn quick_rows() -> Vec<ServiceBenchRow> {
+    vec![fleet_row(20_000), ring_row(200_000)]
+}
+
+/// The headline rows: 1M concurrent `C5` instances and the `n = 10M`
+/// `O(log* n)` ring. Minutes of single-core work — run locally to
+/// refresh the committed baseline, not in CI.
+pub fn full_rows() -> Vec<ServiceBenchRow> {
+    vec![fleet_row(1_000_000), ring_row(10_000_000)]
+}
+
+/// Renders rows as a human-readable table (for the experiments log).
+pub fn table(rows: &[ServiceBenchRow]) -> String {
+    let mut out = String::from(
+        "E16 (batch service) — workload | alg | n | instances | completed | rounds | \
+         p50/p99 | colorings/s | ms | peak KiB\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{} | {} | {} | {} | {} | {} | {}/{} | {} | {} | {}\n",
+            r.workload,
+            r.algorithm,
+            r.n,
+            r.instances,
+            r.completed,
+            r.rounds,
+            r.latency_p50,
+            r.latency_p99,
+            r.colorings_per_sec,
+            r.elapsed_ms,
+            r.peak_rss_kib
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_row_is_deterministic_where_it_claims_to_be() {
+        let a = fleet_row(500);
+        let b = fleet_row(500);
+        assert_eq!(a.completed, 500);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.latency_p50, b.latency_p50);
+        assert_eq!(a.latency_p99, b.latency_p99);
+        assert_eq!(a.outputs_digest, b.outputs_digest);
+    }
+
+    #[test]
+    fn ring_row_colors_a_synchronous_ring() {
+        let r = ring_row(1_000);
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.instances, 1);
+        assert!(!r.outputs_digest.is_empty());
+    }
+}

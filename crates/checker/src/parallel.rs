@@ -42,7 +42,7 @@
 //!
 //! Cycle detection and the worst-case DP then run on the resulting edge
 //! list, which is identical to the sequential one — so every downstream
-//! artifact is too. In [`Self::with_symmetry`] mode both engines
+//! artifact is too. In [`ParallelModelChecker::with_symmetry`] mode both engines
 //! canonicalize successors the same way (orbit representatives are
 //! elected by run-independent value hashes, not intern-index assignment
 //! order), so parallel symmetry-reduced runs match sequential ones too.
@@ -56,6 +56,7 @@ use crate::modelcheck::{
 use crate::stats::ExploreStats;
 use crate::symmetry::{CycleSymmetry, SIGMA_ID};
 use ftcolor_model::schedule::ActivationSet;
+use ftcolor_model::sweep::RangeQueue;
 use ftcolor_model::{Algorithm, Execution, ProcessId, Topology};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
@@ -138,45 +139,6 @@ struct GraphResult<O> {
     stats: ExploreStats,
     sym: Option<CycleSymmetry>,
     root_sig: u16,
-}
-
-/// A per-worker index range over the frontier, claimable from the front
-/// by its owner and stealable from the back by idle workers.
-struct RangeQueue {
-    range: Mutex<(usize, usize)>,
-}
-
-impl RangeQueue {
-    fn new(lo: usize, hi: usize) -> Self {
-        RangeQueue {
-            range: Mutex::new((lo, hi)),
-        }
-    }
-
-    /// Owner side: claim up to `chunk` indices from the front.
-    fn claim(&self, chunk: usize) -> Option<std::ops::Range<usize>> {
-        let mut r = self.range.lock();
-        if r.0 >= r.1 {
-            return None;
-        }
-        let end = (r.0 + chunk).min(r.1);
-        let claimed = r.0..end;
-        r.0 = end;
-        Some(claimed)
-    }
-
-    /// Thief side: steal the back half of the remaining range.
-    fn steal(&self) -> Option<std::ops::Range<usize>> {
-        let mut r = self.range.lock();
-        let len = r.1.saturating_sub(r.0);
-        if len < 2 {
-            return None; // leave trivial remainders to their owner
-        }
-        let mid = r.0 + len / 2;
-        let stolen = mid..r.1;
-        r.1 = mid;
-        Some(stolen)
-    }
 }
 
 /// Multi-threaded drop-in for [`crate::ModelChecker`].
@@ -568,10 +530,9 @@ where
                             // most left (scan order fixed, outcome not —
                             // but results are reassembled by index, so
                             // scheduling can't leak into the output).
-                            let victim = (0..workers).filter(|&v| v != w).max_by_key(|&v| {
-                                let r = queues[v].range.lock();
-                                r.1.saturating_sub(r.0)
-                            });
+                            let victim = (0..workers)
+                                .filter(|&v| v != w)
+                                .max_by_key(|&v| queues[v].remaining());
                             match victim.and_then(|v| queues[v].steal()) {
                                 Some(range) => run(range),
                                 None => break,
@@ -598,10 +559,10 @@ where
     }
 }
 
-/// One worker per available CPU (at least one).
-pub(crate) fn default_jobs() -> usize {
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-}
+// The per-worker claim/steal queues and the CPU-count default moved to
+// `ftcolor_model::sweep` so the batch executor can sweep with the same
+// scaffolding; re-exported for the checker-internal call sites.
+pub(crate) use ftcolor_model::sweep::default_jobs;
 
 #[cfg(test)]
 mod tests {

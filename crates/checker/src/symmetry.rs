@@ -52,7 +52,7 @@ use ftcolor_model::schedule::ActivationSet;
 use ftcolor_model::{Algorithm, ProcessId, Topology};
 use std::hash::Hash;
 
-/// Identity automorphism index — [`CycleSymmetry::perms`]`[0]` is always
+/// Identity automorphism index — `CycleSymmetry::perms[0]` is always
 /// the identity, so plain (non-symmetry) exploration stores `SIGMA_ID`
 /// on every edge.
 pub const SIGMA_ID: u16 = 0;

@@ -1,0 +1,694 @@
+//! Compact interned configuration encoding, shared by the model checker
+//! and the batch executor.
+//!
+//! The exploration engines used to key their visited-sets on
+//! heap-heavy tuples `(Vec<State>, Vec<Option<Reg>>, Vec<Option<Output>>)`
+//! and to clone a full [`Execution`] per successor. This module replaces
+//! both with a flat, arena-backed representation:
+//!
+//! * every distinct private state, register value, and output value is
+//!   **interned** once in a [`ValueInterner`] and referred to by a `u32`
+//!   index thereafter;
+//! * a configuration is a packed `3n`-word buffer ([`CfgKey`]) — per
+//!   process: state index, register index (+1, `0` = `⊥`), output index
+//!   (+1, `0` = still working) — shared behind an `Arc` so the visited
+//!   map, the BFS queue, and the frontier all alias one allocation;
+//! * each key carries a **slot-wise incremental hash**: the XOR over all
+//!   slots of `mix(slot, value_hash)`, where `value_hash` is a fixed
+//!   (seed-free) hash of the value computed once at intern time.
+//!   A successor's hash is the parent's hash with only the touched
+//!   slots' contributions swapped — O(activated) instead of O(n).
+//!
+//! Equality of two [`CfgKey`]s is equality of the packed index vectors
+//! (indices are canonical per value within one codec), so deduplication
+//! is **exact** — hashes only steer bucket/shard placement and can never
+//! merge distinct configurations. That is what keeps the compact engine
+//! bit-identical to the old tuple-keyed one.
+//!
+//! [`ConfigCodec::restore`] and [`Execution::restore_slot`] are the
+//! write half: a checker materializes a configuration into a scratch
+//! execution, steps it, re-encodes only the touched slots
+//! ([`ConfigCodec::encode_delta`]), and undoes the step by restoring the
+//! touched slots from the parent's packed buffer — no `Execution::clone`
+//! anywhere on the hot path.
+//!
+//! ## The batch half
+//!
+//! `ftcolor-batch` keeps *millions of concurrent instances* parked as
+//! packed rows in one flat slab and swaps each row through a per-worker
+//! scratch [`Execution`] to step it. That hot path needs neither hashes
+//! nor `Arc`s, so it gets two dedicated entry points that operate on
+//! caller-owned `&[u32]` rows:
+//!
+//! * [`ConfigCodec::encode_slice`] — intern + pack into an existing row
+//!   (no allocation after the interners saturate),
+//! * [`ConfigCodec::restore_slice`] — materialize a row into a scratch
+//!   execution, overwriting every slot (and thereby the working set).
+//!
+//! The codec pays off exactly when many instances share a value
+//! universe (fleets of small rings with identifiers drawn from a common
+//! pool); a single giant ring with all-distinct identifiers would intern
+//! every value exactly once and gain nothing — such instances should run
+//! on a live `Execution` instead.
+
+use crate::{Algorithm, Execution, ProcessId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher, Hash, Hasher};
+use std::sync::Arc;
+
+/// Packed slots per process: state, register, output.
+pub const SLOTS_PER_PROC: usize = 3;
+
+/// Hash contribution of an empty (`⊥` register / no output) slot,
+/// before slot mixing. An arbitrary odd constant, distinct from any
+/// realistic value hash only probabilistically — harmless, since hashes
+/// never decide equality.
+const EMPTY_SLOT_HASH: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Finalizing mix (splitmix64) of a slot index and a value hash into
+/// that slot's contribution to the configuration hash. XOR-combining
+/// per-slot contributions is what makes the hash incrementally
+/// updatable slot by slot.
+fn slot_contrib(slot: usize, value_hash: u64) -> u64 {
+    let mut z = value_hash ^ (slot as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seed-free value hash — a pure function of the value, identical
+/// across runs, threads, and machines (same property the parallel
+/// checker has always relied on for shard choice).
+fn value_hash<T: Hash>(v: &T) -> u64 {
+    BuildHasherDefault::<DefaultHasher>::default().hash_one(v)
+}
+
+/// A deduplicating store of values of one type: each distinct value is
+/// kept once and addressed by a dense `u32` index; its seed-free hash
+/// is cached at intern time so hot paths never re-hash values.
+pub struct ValueInterner<T> {
+    map: HashMap<T, u32>,
+    values: Vec<T>,
+    hashes: Vec<u64>,
+}
+
+impl<T: Eq + Hash + Clone> ValueInterner<T> {
+    fn new() -> Self {
+        ValueInterner {
+            map: HashMap::new(),
+            values: Vec::new(),
+            hashes: Vec::new(),
+        }
+    }
+
+    /// Index of `v` if already interned.
+    fn lookup(&self, v: &T) -> Option<u32> {
+        self.map.get(v).copied()
+    }
+
+    /// Interns `v` (cloning it on first sight), returning its index.
+    fn intern(&mut self, v: &T) -> u32 {
+        if let Some(&i) = self.map.get(v) {
+            return i;
+        }
+        let i = u32::try_from(self.values.len()).expect("fewer than 2^32 distinct values");
+        self.map.insert(v.clone(), i);
+        self.values.push(v.clone());
+        self.hashes.push(value_hash(v));
+        i
+    }
+
+    /// The value at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` was never returned by [`Self::intern`].
+    fn value(&self, idx: u32) -> &T {
+        &self.values[idx as usize]
+    }
+
+    /// The cached seed-free hash of the value at `idx`.
+    fn hash_of(&self, idx: u32) -> u64 {
+        self.hashes[idx as usize]
+    }
+
+    /// Number of distinct values interned.
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Rough heap footprint: values stored twice (map key + arena) plus
+    /// cached hashes and map overhead.
+    fn approx_bytes(&self) -> usize {
+        let per = 2 * std::mem::size_of::<T>() + std::mem::size_of::<u64>() + 16;
+        self.values.len() * per
+    }
+}
+
+/// A compact configuration key: packed interned slots plus the
+/// slot-wise XOR hash.
+///
+/// Equality compares the packed buffer only — exact, never
+/// hash-approximate. `Hash` forwards the precomputed `hash`, so visited
+/// maps built with [`PassthroughBuild`] never touch the buffer.
+#[derive(Debug, Clone)]
+pub struct CfgKey {
+    /// Slot-wise XOR of `slot_contrib` values; stable across runs.
+    pub hash: u64,
+    /// `3n` interned slots, process-major.
+    pub packed: Arc<[u32]>,
+}
+
+impl PartialEq for CfgKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.packed == other.packed
+    }
+}
+impl Eq for CfgKey {}
+
+impl Hash for CfgKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+/// A hasher that passes a pre-computed `u64` straight through —
+/// [`CfgKey`] already carries its hash, so map insertion must not pay
+/// for hashing again.
+#[derive(Default)]
+pub struct PassthroughHasher(u64);
+
+impl Hasher for PassthroughHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Only `write_u64` is expected ([`CfgKey::hash`]); fold other
+        // input deterministically rather than panic.
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// `BuildHasher` for visited maps keyed by [`CfgKey`].
+pub type PassthroughBuild = BuildHasherDefault<PassthroughHasher>;
+
+/// Interners for one exploration: states, registers, outputs.
+struct CodecInner<A: Algorithm> {
+    states: ValueInterner<A::State>,
+    regs: ValueInterner<A::Reg>,
+    outs: ValueInterner<A::Output>,
+    /// Memo for symmetry canonicalization: state index → index of the
+    /// same state with its two view positions swapped
+    /// ([`Algorithm::relabel_view`] with `[1, 0]`). Populated lazily;
+    /// the swap is an involution, so entries are recorded in both
+    /// directions.
+    swapped_states: HashMap<u32, u32>,
+}
+
+impl<A: Algorithm> CodecInner<A>
+where
+    A::State: Eq + Hash,
+    A::Reg: Eq + Hash,
+    A::Output: Eq + Hash,
+{
+    /// The pre-mix hash of the value packed as `v` in slot kind `s`
+    /// (0 = state, 1 = register, 2 = output).
+    fn packed_value_hash(&self, s: usize, v: u32) -> u64 {
+        match (s, v) {
+            (0, v) => self.states.hash_of(v),
+            (_, 0) => EMPTY_SLOT_HASH,
+            (1, v) => self.regs.hash_of(v - 1),
+            (_, v) => self.outs.hash_of(v - 1),
+        }
+    }
+
+    /// Interns the three slot values of process `p` in `exec`, writing
+    /// the packed indices into `row[3i..3i+3]`.
+    fn intern_proc(&mut self, exec: &Execution<'_, A>, i: usize, row: &mut [u32]) {
+        let p = ProcessId(i);
+        row[SLOTS_PER_PROC * i] = self.states.intern(exec.state(p));
+        row[SLOTS_PER_PROC * i + 1] = match exec.register(p) {
+            None => 0,
+            Some(r) => self.regs.intern(r) + 1,
+        };
+        row[SLOTS_PER_PROC * i + 2] = match &exec.outputs()[i] {
+            None => 0,
+            Some(o) => self.outs.intern(o) + 1,
+        };
+    }
+
+    /// Looks up the three slot values of process `p` without interning;
+    /// `false` if any value is unknown.
+    fn lookup_proc(&self, exec: &Execution<'_, A>, i: usize, row: &mut [u32]) -> bool {
+        let p = ProcessId(i);
+        let Some(si) = self.states.lookup(exec.state(p)) else {
+            return false;
+        };
+        let ri = match exec.register(p) {
+            None => 0,
+            Some(r) => match self.regs.lookup(r) {
+                Some(v) => v + 1,
+                None => return false,
+            },
+        };
+        let oi = match &exec.outputs()[i] {
+            None => 0,
+            Some(o) => match self.outs.lookup(o) {
+                Some(v) => v + 1,
+                None => return false,
+            },
+        };
+        row[SLOTS_PER_PROC * i] = si;
+        row[SLOTS_PER_PROC * i + 1] = ri;
+        row[SLOTS_PER_PROC * i + 2] = oi;
+        true
+    }
+}
+
+/// The shared encoding context of one exploration or batch: a
+/// [`ValueInterner`] per component type behind a single `RwLock` (reads
+/// vastly dominate — the universe of distinct values saturates within
+/// the first BFS levels / service rounds).
+pub struct ConfigCodec<A: Algorithm> {
+    n: usize,
+    inner: RwLock<CodecInner<A>>,
+}
+
+impl<A: Algorithm> ConfigCodec<A>
+where
+    A::State: Eq + Hash,
+    A::Reg: Eq + Hash,
+    A::Output: Eq + Hash,
+{
+    /// A fresh codec for instances with `n` processes.
+    pub fn new(n: usize) -> Self {
+        ConfigCodec {
+            n,
+            inner: RwLock::new(CodecInner {
+                states: ValueInterner::new(),
+                regs: ValueInterner::new(),
+                outs: ValueInterner::new(),
+                swapped_states: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Number of processes this codec encodes for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Encodes the full configuration of `exec`.
+    ///
+    /// This is the single configuration-key entry point (the old
+    /// `key_of` free function and its method twin both folded in here).
+    pub fn encode(&self, exec: &Execution<'_, A>) -> CfgKey {
+        let mut packed = vec![0u32; self.n * SLOTS_PER_PROC];
+        let mut hash = 0u64;
+        let mut inner = self.inner.write();
+        for i in 0..self.n {
+            inner.intern_proc(exec, i, &mut packed);
+            for s in 0..SLOTS_PER_PROC {
+                let slot = SLOTS_PER_PROC * i + s;
+                hash ^= slot_contrib(slot, inner.packed_value_hash(s, packed[slot]));
+            }
+        }
+        CfgKey {
+            hash,
+            packed: packed.into(),
+        }
+    }
+
+    /// Encodes the full configuration of `exec` into a caller-owned
+    /// `3n`-slot row — the batch executor's parking half. No hash is
+    /// computed and nothing is allocated once the interners have seen
+    /// every value; the row contents are exactly what [`Self::encode`]
+    /// would pack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != 3n`.
+    pub fn encode_slice(&self, exec: &Execution<'_, A>, out: &mut [u32]) {
+        assert_eq!(
+            out.len(),
+            self.n * SLOTS_PER_PROC,
+            "encode_slice row must hold 3n slots"
+        );
+        // Fast path: every value already interned (read lock only, so
+        // saturated batch sweeps encode concurrently).
+        {
+            let inner = self.inner.read();
+            if (0..self.n).all(|i| inner.lookup_proc(exec, i, out)) {
+                return;
+            }
+        }
+        let mut inner = self.inner.write();
+        for i in 0..self.n {
+            inner.intern_proc(exec, i, out);
+        }
+    }
+
+    /// Encodes the configuration of `exec`, which differs from the
+    /// parent configuration `parent` only in the slots of `touched`
+    /// processes. The hash is updated incrementally: only the touched
+    /// slots' contributions are swapped.
+    pub fn encode_delta(
+        &self,
+        parent: &CfgKey,
+        exec: &Execution<'_, A>,
+        touched: &[ProcessId],
+    ) -> CfgKey {
+        debug_assert_eq!(parent.packed.len(), self.n * SLOTS_PER_PROC);
+        let mut packed: Vec<u32> = parent.packed.to_vec();
+        let mut hash = parent.hash;
+
+        // Fast path: all touched values already interned (read lock).
+        let all_known = {
+            let inner = self.inner.read();
+            touched.iter().all(|&p| {
+                inner.states.lookup(exec.state(p)).is_some()
+                    && exec
+                        .register(p)
+                        .is_none_or(|r| inner.regs.lookup(r).is_some())
+                    && exec.outputs()[p.index()]
+                        .as_ref()
+                        .is_none_or(|o| inner.outs.lookup(o).is_some())
+            })
+        };
+        if !all_known {
+            let mut inner = self.inner.write();
+            for &p in touched {
+                inner.states.intern(exec.state(p));
+                if let Some(r) = exec.register(p) {
+                    inner.regs.intern(r);
+                }
+                if let Some(o) = &exec.outputs()[p.index()] {
+                    inner.outs.intern(o);
+                }
+            }
+        }
+
+        let inner = self.inner.read();
+        for &p in touched {
+            let i = p.index();
+            let new = [
+                inner
+                    .states
+                    .lookup(exec.state(p))
+                    .expect("state interned above"),
+                exec.register(p)
+                    .map_or(0, |r| inner.regs.lookup(r).expect("register interned") + 1),
+                exec.outputs()[i]
+                    .as_ref()
+                    .map_or(0, |o| inner.outs.lookup(o).expect("output interned") + 1),
+            ];
+            for (s, &nv) in new.iter().enumerate() {
+                let slot = SLOTS_PER_PROC * i + s;
+                let ov = packed[slot];
+                if ov != nv {
+                    hash ^= slot_contrib(slot, inner.packed_value_hash(s, ov));
+                    hash ^= slot_contrib(slot, inner.packed_value_hash(s, nv));
+                    packed[slot] = nv;
+                }
+            }
+        }
+        drop(inner);
+        CfgKey {
+            hash,
+            packed: packed.into(),
+        }
+    }
+
+    /// Recomputes the hash of an already-packed buffer (used after
+    /// symmetry canonicalization permutes slots).
+    pub fn hash_packed(&self, packed: &[u32]) -> u64 {
+        let inner = self.inner.read();
+        packed.iter().enumerate().fold(0u64, |h, (slot, &v)| {
+            h ^ slot_contrib(slot, inner.packed_value_hash(slot % SLOTS_PER_PROC, v))
+        })
+    }
+
+    /// The interned state at `idx` with its two view positions swapped
+    /// (a degree-2 relabeling through [`Algorithm::relabel_view`] with
+    /// perm `[1, 0]`), as `(index, value hash)`. Memoized per distinct
+    /// state, so symmetry canonicalization pays the clone + relabel +
+    /// re-intern once per state value, not once per configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the algorithm's [`Algorithm::relabel_view`] returns
+    /// `false` — callers must gate symmetry reduction on the algorithm
+    /// certifying the hook first.
+    pub fn view_swapped_state(&self, alg: &A, idx: u32) -> (u32, u64) {
+        {
+            let inner = self.inner.read();
+            if let Some(&j) = inner.swapped_states.get(&idx) {
+                return (j, inner.states.hash_of(j));
+            }
+        }
+        let mut value = {
+            let inner = self.inner.read();
+            inner.states.value(idx).clone()
+        };
+        assert!(
+            alg.relabel_view(&mut value, &[1, 0]),
+            "view_swapped_state requires an algorithm that certifies relabel_view"
+        );
+        let mut inner = self.inner.write();
+        let j = inner.states.intern(&value);
+        inner.swapped_states.insert(idx, j);
+        inner.swapped_states.insert(j, idx);
+        let h = inner.states.hash_of(j);
+        (j, h)
+    }
+
+    /// Pre-mix value hashes of every slot of `packed` (used by symmetry
+    /// canonicalization to order orbit elements without touching value
+    /// representations).
+    pub fn slot_value_hashes(&self, packed: &[u32]) -> Vec<u64> {
+        let inner = self.inner.read();
+        packed
+            .iter()
+            .enumerate()
+            .map(|(slot, &v)| inner.packed_value_hash(slot % SLOTS_PER_PROC, v))
+            .collect()
+    }
+
+    /// Materializes the configuration `key` into `exec`, overwriting
+    /// every process slot (and thereby the working set).
+    pub fn restore(&self, exec: &mut Execution<'_, A>, key: &CfgKey) {
+        self.restore_slice(exec, &key.packed);
+    }
+
+    /// Materializes a packed `3n`-slot row (as written by
+    /// [`Self::encode_slice`] or carried by a [`CfgKey`]) into `exec`,
+    /// overwriting every process slot — the batch executor's wake-up
+    /// half.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packed.len() != 3n` or any slot index was never
+    /// interned by this codec.
+    pub fn restore_slice(&self, exec: &mut Execution<'_, A>, packed: &[u32]) {
+        assert_eq!(
+            packed.len(),
+            self.n * SLOTS_PER_PROC,
+            "restore_slice row must hold 3n slots"
+        );
+        let inner = self.inner.read();
+        for i in 0..self.n {
+            Self::restore_one(&inner, exec, ProcessId(i), packed);
+        }
+    }
+
+    /// Restores only the slots of `procs` from `packed` — the undo half
+    /// of step/undo successor generation.
+    pub fn restore_procs(&self, exec: &mut Execution<'_, A>, packed: &[u32], procs: &[ProcessId]) {
+        let inner = self.inner.read();
+        for &p in procs {
+            Self::restore_one(&inner, exec, p, packed);
+        }
+    }
+
+    fn restore_one(
+        inner: &CodecInner<A>,
+        exec: &mut Execution<'_, A>,
+        p: ProcessId,
+        packed: &[u32],
+    ) {
+        let i = p.index();
+        let state = inner.states.value(packed[SLOTS_PER_PROC * i]).clone();
+        let reg = match packed[SLOTS_PER_PROC * i + 1] {
+            0 => None,
+            v => Some(inner.regs.value(v - 1).clone()),
+        };
+        let out = match packed[SLOTS_PER_PROC * i + 2] {
+            0 => None,
+            v => Some(inner.outs.value(v - 1).clone()),
+        };
+        exec.restore_slot(p, state, reg, out);
+    }
+
+    /// Distinct interned (states, registers, outputs).
+    pub fn interned_counts(&self) -> (usize, usize, usize) {
+        let inner = self.inner.read();
+        (inner.states.len(), inner.regs.len(), inner.outs.len())
+    }
+
+    /// Rough heap footprint of the interners themselves.
+    pub fn approx_interner_bytes(&self) -> usize {
+        let inner = self.inner.read();
+        inner.states.approx_bytes() + inner.regs.approx_bytes() + inner.outs.approx_bytes()
+    }
+
+    /// Rough per-configuration footprint of a visited-set entry built on
+    /// [`CfgKey`]: the packed buffer, the `Arc` header, the key struct,
+    /// and the map's id + bucket overhead.
+    pub fn approx_bytes_per_config(&self) -> usize {
+        self.n * SLOTS_PER_PROC * std::mem::size_of::<u32>()
+            + 16 // Arc strong/weak counts
+            + std::mem::size_of::<CfgKey>()
+            + std::mem::size_of::<usize>()
+            + 8 // amortized open-addressing slack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{Neighborhood, Step};
+    use crate::schedule::ActivationSet;
+    use crate::Topology;
+
+    /// A minimal in-crate coloring-ish algorithm (the real registry
+    /// lives in `ftcolor-core`, which depends on this crate): publish
+    /// the id, then return `id mod 7` after two activations.
+    struct ModSeven;
+
+    impl Algorithm for ModSeven {
+        type Input = u64;
+        type State = (u64, u8);
+        type Reg = u64;
+        type Output = u64;
+
+        fn init(&self, _p: ProcessId, input: u64) -> (u64, u8) {
+            (input, 0)
+        }
+
+        fn publish(&self, state: &(u64, u8)) -> u64 {
+            state.0.wrapping_mul(3) + u64::from(state.1)
+        }
+
+        fn step(&self, state: &mut (u64, u8), view: &Neighborhood<'_, u64>) -> Step<u64> {
+            state.1 += 1;
+            let seen: u64 = view.iter().flatten().sum();
+            if state.1 >= 2 {
+                Step::Return((state.0 + seen) % 7)
+            } else {
+                Step::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn encode_is_stable_and_delta_matches_full() {
+        let topo = Topology::cycle(4).unwrap();
+        let codec: ConfigCodec<ModSeven> = ConfigCodec::new(4);
+        let mut exec = Execution::new(&ModSeven, &topo, vec![3, 1, 4, 1]);
+        let root = codec.encode(&exec);
+        assert_eq!(root, codec.encode(&exec), "encoding is deterministic");
+
+        let mut parent = root.clone();
+        for step in 0..6 {
+            let set = ActivationSet::solo(ProcessId(step % 4));
+            let touched = exec.step_with(&set);
+            let delta = codec.encode_delta(&parent, &exec, &touched);
+            let full = codec.encode(&exec);
+            assert_eq!(delta, full, "step {step}: delta and full encodings agree");
+            assert_eq!(
+                delta.hash, full.hash,
+                "step {step}: incremental hash agrees with full hash"
+            );
+            assert_eq!(codec.hash_packed(&full.packed), full.hash);
+            parent = delta;
+        }
+    }
+
+    #[test]
+    fn restore_round_trips() {
+        let topo = Topology::cycle(4).unwrap();
+        let codec: ConfigCodec<ModSeven> = ConfigCodec::new(4);
+        let mut exec = Execution::new(&ModSeven, &topo, vec![7, 2, 9, 5]);
+        let root = codec.encode(&exec);
+        for _ in 0..3 {
+            exec.step_with(&ActivationSet::All);
+        }
+        let later = codec.encode(&exec);
+        assert_ne!(root, later);
+
+        // Restore the root configuration into the stepped execution.
+        let mut scratch = Execution::new(&ModSeven, &topo, vec![7, 2, 9, 5]);
+        for _ in 0..3 {
+            scratch.step_with(&ActivationSet::All);
+        }
+        codec.restore(&mut scratch, &root);
+        assert_eq!(codec.encode(&scratch), root);
+        assert_eq!(scratch.working().len(), 4, "everyone working again");
+
+        // And back to the later one via restore_procs on all slots.
+        let all: Vec<ProcessId> = (0..4).map(ProcessId).collect();
+        codec.restore_procs(&mut scratch, &later.packed, &all);
+        assert_eq!(codec.encode(&scratch), later);
+    }
+
+    #[test]
+    fn slice_entry_points_match_keyed_ones() {
+        let topo = Topology::cycle(5).unwrap();
+        let codec: ConfigCodec<ModSeven> = ConfigCodec::new(5);
+        let mut exec = Execution::new(&ModSeven, &topo, vec![8, 6, 7, 5, 3]);
+        let mut row = vec![0u32; 5 * SLOTS_PER_PROC];
+        for _ in 0..4 {
+            exec.step_with(&ActivationSet::solo(ProcessId(2)));
+            exec.step_with(&ActivationSet::All);
+            codec.encode_slice(&exec, &mut row);
+            let key = codec.encode(&exec);
+            assert_eq!(&row[..], &key.packed[..], "slice packs what encode packs");
+
+            // A fresh scratch (different inputs, so different init
+            // states) restored from the row re-encodes identically.
+            let mut scratch = Execution::new(&ModSeven, &topo, vec![0, 1, 2, 3, 4]);
+            codec.restore_slice(&mut scratch, &row);
+            assert_eq!(codec.encode(&scratch), key);
+            assert_eq!(scratch.working(), exec.working());
+            assert_eq!(scratch.outputs(), exec.outputs());
+        }
+    }
+
+    #[test]
+    fn step_undo_is_identity() {
+        let topo = Topology::cycle(3).unwrap();
+        let codec: ConfigCodec<ModSeven> = ConfigCodec::new(3);
+        let mut exec = Execution::new(&ModSeven, &topo, vec![0, 1, 2]);
+        exec.step_with(&ActivationSet::All);
+        let parent = codec.encode(&exec);
+
+        let touched = exec.step_with(&ActivationSet::solo(ProcessId(1)));
+        codec.restore_procs(&mut exec, &parent.packed, &touched);
+        assert_eq!(codec.encode(&exec), parent, "undo restores the parent");
+    }
+
+    #[test]
+    fn passthrough_hasher_forwards_u64() {
+        let mut h = PassthroughHasher::default();
+        h.write_u64(0xdead_beef);
+        assert_eq!(h.finish(), 0xdead_beef);
+    }
+}

@@ -29,6 +29,11 @@
 //! * [`executor::Execution`] — the engine that runs an algorithm on a
 //!   topology under a schedule and reports outputs and round complexity,
 //! * [`trace::Trace`] — recorded, replayable, serializable executions,
+//! * [`encode::ConfigCodec`] — the compact interned per-slot
+//!   configuration encoding shared by the model checker's visited sets
+//!   and the batch executor's instance slabs,
+//! * [`sweep`] — work-stealing index-range scaffolding for
+//!   level-synchronized parallel sweeps,
 //! * [`inputs`] — identifier assignments (staircase, random, alternating…),
 //! * [`logstar`] — the iterated-logarithm machinery behind the paper's
 //!   `O(log* n)` bound,
@@ -74,6 +79,7 @@
 
 pub mod algorithm;
 pub mod decoupled;
+pub mod encode;
 pub mod error;
 pub mod executor;
 pub mod graph;
@@ -83,9 +89,11 @@ pub mod logstar;
 pub mod render;
 pub mod schedule;
 pub mod substrate;
+pub mod sweep;
 pub mod trace;
 
 pub use algorithm::{Algorithm, Neighborhood, Step};
+pub use encode::{CfgKey, ConfigCodec};
 pub use error::{GraphError, ModelError};
 pub use executor::{ExecObserver, Execution, ExecutionReport, ProcessStatus};
 pub use graph::Topology;

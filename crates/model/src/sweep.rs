@@ -1,0 +1,133 @@
+//! Work-stealing index sweeps — the scheduling scaffolding shared by
+//! the parallel model checker and the batch executor.
+//!
+//! Both engines face the same shape of work: a level (a BFS frontier,
+//! or one round over every in-flight batch instance) is an index range
+//! `0..len` whose items cost wildly different amounts, and the level
+//! must fully complete before the next one starts. The pattern that
+//! keeps workers busy without a shared queue bottleneck:
+//!
+//! 1. split `0..len` into one contiguous [`RangeQueue`] per worker,
+//! 2. each worker [`claim`](RangeQueue::claim)s small chunks off the
+//!    front of *its own* queue,
+//! 3. a worker whose queue drains [`steal`](RangeQueue::steal)s the
+//!    back half of the fullest-looking victim (round-robin probe).
+//!
+//! Items are identified by index only; what an index *means* (and where
+//! its mutable state lives) is the caller's business, which is what
+//! keeps the result independent of the thread count: workers never
+//! share per-item state, so the set of indices processed — and each
+//! item's outcome — is the same for every `jobs` value.
+
+use parking_lot::Mutex;
+
+/// A per-worker index range over one level, claimable from the front
+/// by its owner and stealable from the back by idle workers.
+pub struct RangeQueue {
+    range: Mutex<(usize, usize)>,
+}
+
+impl RangeQueue {
+    /// A queue holding the indices `lo..hi`.
+    pub fn new(lo: usize, hi: usize) -> Self {
+        RangeQueue {
+            range: Mutex::new((lo, hi)),
+        }
+    }
+
+    /// Owner side: claim up to `chunk` indices from the front.
+    pub fn claim(&self, chunk: usize) -> Option<std::ops::Range<usize>> {
+        let mut r = self.range.lock();
+        if r.0 >= r.1 {
+            return None;
+        }
+        let end = (r.0 + chunk).min(r.1);
+        let claimed = r.0..end;
+        r.0 = end;
+        Some(claimed)
+    }
+
+    /// Thief side: steal the back half of the remaining range.
+    pub fn steal(&self) -> Option<std::ops::Range<usize>> {
+        let mut r = self.range.lock();
+        let len = r.1.saturating_sub(r.0);
+        if len < 2 {
+            return None; // leave trivial remainders to their owner
+        }
+        let mid = r.0 + len / 2;
+        let stolen = mid..r.1;
+        r.1 = mid;
+        Some(stolen)
+    }
+
+    /// Indices not yet claimed or stolen (a racy snapshot — only useful
+    /// as a victim-selection heuristic).
+    pub fn remaining(&self) -> usize {
+        let r = self.range.lock();
+        r.1.saturating_sub(r.0)
+    }
+}
+
+/// Splits `0..len` into `workers` near-equal contiguous [`RangeQueue`]s
+/// (the standard level setup: worker `w` owns queue `w`).
+pub fn partition(len: usize, workers: usize) -> Vec<RangeQueue> {
+    let workers = workers.max(1);
+    (0..workers)
+        .map(|w| {
+            let lo = len * w / workers;
+            let hi = len * (w + 1) / workers;
+            RangeQueue::new(lo, hi)
+        })
+        .collect()
+}
+
+/// One worker per available CPU (at least one).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_drains_front_in_order() {
+        let q = RangeQueue::new(0, 10);
+        assert_eq!(q.claim(4), Some(0..4));
+        assert_eq!(q.claim(4), Some(4..8));
+        assert_eq!(q.claim(4), Some(8..10));
+        assert_eq!(q.claim(4), None);
+    }
+
+    #[test]
+    fn steal_takes_back_half_and_respects_remainders() {
+        let q = RangeQueue::new(0, 100);
+        assert_eq!(q.steal(), Some(50..100));
+        assert_eq!(q.steal(), Some(25..50));
+        assert_eq!(q.remaining(), 25);
+
+        let tiny = RangeQueue::new(7, 8);
+        assert_eq!(tiny.steal(), None, "singletons stay with their owner");
+        assert_eq!(tiny.claim(10), Some(7..8));
+    }
+
+    #[test]
+    fn partition_covers_exactly_once() {
+        for (len, workers) in [(0, 3), (1, 4), (10, 3), (100, 7), (5, 1)] {
+            let queues = partition(len, workers);
+            assert_eq!(queues.len(), workers.max(1));
+            let mut seen = Vec::new();
+            for q in &queues {
+                while let Some(r) = q.claim(3) {
+                    seen.extend(r);
+                }
+            }
+            assert_eq!(seen, (0..len).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

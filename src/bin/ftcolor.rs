@@ -21,6 +21,10 @@
 //! * `netsim` — run registry algorithms on the message-passing network
 //!   substrate under a seeded fault plan (drop/delay/duplicate/reorder,
 //!   partitions, crashes) with a replayable delivery trace;
+//! * `serve` — drive a seeded open-loop fleet of ring instances through
+//!   the struct-of-arrays batch engine (`ftcolor-batch`) and print a
+//!   deterministic summary (identical at every `--jobs` value); timing
+//!   numbers go to stderr;
 //! * `cluster` — run a ring of *real OS processes* (one `ftcolor node`
 //!   each) under the same fault-plan vocabulary, with plan crashes
 //!   executed as SIGKILL and a recorded routed-frame trace that
@@ -63,6 +67,7 @@ fn main() -> ExitCode {
         "shrink" => cmd_shrink(&opts),
         "analyze" => cmd_analyze(&opts),
         "netsim" => cmd_netsim(&opts),
+        "serve" => cmd_serve(&opts),
         "cluster" => cmd_cluster(&opts),
         "node" => cluster::node_main(),
         "help" | "--help" | "-h" => {
@@ -92,6 +97,10 @@ USAGE:
   ftcolor analyze    [--alg NAME|all] [--sizes LIST] [--rules CODES] [--format text|json]
   ftcolor netsim     [--alg NAME|all] [--n N] [--seed K] [--faults JSON] [--max-time T]
                      [--format text|json] [--emit-trace]
+  ftcolor serve      [--alg A] [--n N] [--instances I] [--rate R] [--seed K]
+                     [--sched sync|random] [--p P] [--crash-prob P] [--crash-horizon T]
+                     [--universe U] [--fuel F] [--quantum Q] [--jobs J]
+                     [--format text|json]
   ftcolor cluster    [--alg NAME|all] [--n N] [--seed K] [--faults JSON] [--rto-ms MS]
                      [--pace-ms MS] [--tick-ms MS] [--max-wall-ms MS] [--format text|json]
                      [--emit-trace] [--record FILE] [--replay FILE]
@@ -132,6 +141,15 @@ FLAGS:
                  '{\"drop\":0.1,\"crashes\":[{\"node\":2,\"at\":5}]}'
                  (default: the clean plan — no faults)
   --max-time     netsim: logical-time budget            (default 100000)
+  --instances    serve: total instances to admit        (default 1000;
+                 1 = a single materialized ring, the n=10M regime)
+  --rate         serve: arrivals per sweep round        (default 64)
+  --p            serve: random-subset inclusion prob     (default 0.5)
+  --crash-prob   serve: per-instance crash-noise prob    (default 0)
+  --crash-horizon serve: latest noise crash time         (default 8)
+  --universe     serve: identifier universe size         (default 64)
+  --fuel         serve: per-instance step budget         (default 100000)
+  --quantum      serve: schedule steps per sweep visit   (default 8)
   --emit-trace   netsim/cluster: include the full trace in the output
   --rto-ms       cluster: node retransmit timeout in ms  (default 25)
   --pace-ms      cluster: node pause per round in ms     (default 15;
@@ -913,6 +931,169 @@ fn cmd_cluster(opts: &HashMap<String, String>) -> Result<(), String> {
         summaries.push(outcome.summary);
     }
     cluster_verdict(&summaries)
+}
+
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    fn num<T: std::str::FromStr>(
+        opts: &HashMap<String, String>,
+        key: &str,
+        default: &str,
+    ) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        get(opts, key, default)
+            .parse()
+            .map_err(|e| format!("bad --{key}: {e}"))
+    }
+    let cfg = ftcolor::batch::ServiceConfig {
+        n: num(opts, "n", "5")?,
+        instances: num(opts, "instances", "1000")?,
+        rate: num(opts, "rate", "64")?,
+        seed: num(opts, "seed", "0")?,
+        sync: match get(opts, "sched", "random") {
+            "sync" => true,
+            "random" => false,
+            other => return Err(format!("serve supports --sched sync|random, got `{other}`")),
+        },
+        p: num(opts, "p", "0.5")?,
+        crash_prob: num(opts, "crash-prob", "0")?,
+        crash_horizon: num(opts, "crash-horizon", "8")?,
+        universe: num(opts, "universe", "64")?,
+        fuel: num(opts, "fuel", "100000")?,
+        quantum: num(opts, "quantum", "8")?,
+        jobs: parse_jobs(opts)?,
+    };
+    if cfg.n < 3 {
+        return Err("serve needs --n >= 3 (no smaller cycle exists)".into());
+    }
+    if cfg.instances == 0 {
+        return Err("serve needs --instances >= 1".into());
+    }
+    if cfg.instances > 1 && cfg.universe < cfg.n as u64 {
+        return Err(format!(
+            "--universe {} cannot hold {} distinct identifiers",
+            cfg.universe, cfg.n
+        ));
+    }
+    if cfg.rate.is_nan() || cfg.rate <= 0.0 {
+        return Err("serve needs --rate > 0".into());
+    }
+    if cfg.quantum == 0 {
+        return Err("serve needs --quantum >= 1".into());
+    }
+    let format = get(opts, "format", "text").to_string();
+    match get(opts, "alg", "alg2p") {
+        "alg1" => serve_with(
+            &SixColoring,
+            "alg1",
+            6,
+            |c: &PairColor| usize::try_from(c.flat_index()).expect("flat index fits usize"),
+            &cfg,
+            &format,
+        ),
+        "alg2" => serve_with(&FiveColoring, "alg2", 5, flat_u64, &cfg, &format),
+        "alg2p" => serve_with(&FiveColoringPatched, "alg2p", 5, flat_u64, &cfg, &format),
+        "alg3" => serve_with(&FastFiveColoring, "alg3", 5, flat_u64, &cfg, &format),
+        "alg3p" => serve_with(
+            &FastFiveColoringPatched,
+            "alg3p",
+            5,
+            flat_u64,
+            &cfg,
+            &format,
+        ),
+        other => Err(format!("unknown --alg `{other}`")),
+    }
+}
+
+/// Color projection for the algorithms whose output already is the color.
+fn flat_u64(c: &u64) -> usize {
+    usize::try_from(*c).expect("color fits usize")
+}
+
+fn serve_with<A>(
+    alg: &A,
+    label: &str,
+    palette: usize,
+    color_of: impl Fn(&A::Output) -> usize + Sync,
+    cfg: &ftcolor::batch::ServiceConfig,
+    format: &str,
+) -> Result<(), String>
+where
+    A: Algorithm<Input = u64> + Sync,
+    A::State: Eq + std::hash::Hash + Clone + Send + Sync,
+    A::Reg: Eq + std::hash::Hash + Clone + Send + Sync,
+    A::Output: Eq + std::hash::Hash + Clone + Send + Sync,
+{
+    let (summary, timings) = ftcolor::batch::run_service(alg, label, palette, color_of, cfg);
+    // Wall-clock facts go to stderr only: stdout is deterministic and
+    // byte-identical at every --jobs value (the golden test pins this).
+    eprintln!(
+        "serve: {} instances in {} ms ({} colorings/s, {} jobs, peak RSS {} KiB)",
+        summary.completed,
+        timings.elapsed_ms,
+        timings.colorings_per_sec,
+        timings.jobs,
+        timings.peak_rss_kib
+    );
+    match format {
+        "json" => println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+        ),
+        _ => {
+            println!(
+                "{}: n={} instances={} rate={} seed={} sched={} valid={}",
+                summary.algorithm,
+                summary.n,
+                summary.instances,
+                summary.rate,
+                summary.seed,
+                summary.sched,
+                summary.valid
+            );
+            println!(
+                "  completed={} returned={} crashed={} stalled={} proper={} palette={}",
+                summary.completed,
+                summary.returned,
+                summary.crashed,
+                summary.stalled,
+                summary.proper_ok,
+                summary.palette_ok
+            );
+            println!(
+                "  rounds={} latency p50/p99/max = {}/{}/{} sweeps  colors={:?}",
+                summary.rounds,
+                summary.latency_p50,
+                summary.latency_p99,
+                summary.latency_max,
+                summary.color_histogram
+            );
+            println!(
+                "  steps={} activations={} (max {})  interned s/r/o = {}/{}/{}  digest={}",
+                summary.total_steps,
+                summary.total_activations,
+                summary.max_activations,
+                summary.interned_states,
+                summary.interned_regs,
+                summary.interned_outputs,
+                summary.outputs_digest
+            );
+        }
+    }
+    if summary.valid {
+        Ok(())
+    } else {
+        Err(format!(
+            "service verdict invalid: completed={}/{} stalled={} proper={} palette={}",
+            summary.completed,
+            summary.instances,
+            summary.stalled,
+            summary.proper_ok,
+            summary.palette_ok
+        ))
+    }
 }
 
 fn print_cluster_summary(

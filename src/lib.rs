@@ -10,6 +10,11 @@
 //!   and the baselines (synchronous 3-coloring, shared-memory renaming),
 //! * [`checker`] — invariant checking, chain analysis, exhaustive model
 //!   checking, and statistics,
+//! * [`batch`] — the struct-of-arrays batch executor: millions of
+//!   concurrent ring instances as packed interned slab rows, swept by
+//!   work-stealing workers with outcomes bit-identical to the
+//!   sequential executor, plus the seeded open-loop service front end
+//!   behind `ftcolor serve`,
 //! * [`runtime`] — an OS-thread execution substrate with crash and jitter
 //!   injection,
 //! * [`net`] — a discrete-event message-passing substrate with seeded
@@ -27,6 +32,7 @@
 #![forbid(unsafe_code)]
 
 pub use ftcolor_analyze as analyze;
+pub use ftcolor_batch as batch;
 pub use ftcolor_checker as checker;
 pub use ftcolor_cluster as cluster;
 pub use ftcolor_core as core;

@@ -1,0 +1,179 @@
+//! Differential suite: the batch engine vs the sequential executor.
+//!
+//! The batch engine's contract is *bit-identity*: an instance run
+//! through packed slab rows, quantum-sliced visits, and work-stealing
+//! sweeps must finish with exactly the outputs, activation counts,
+//! step count, crash set, and termination kind that the same
+//! [`InstanceSpec`] produces on a plain `Execution::run` — at every
+//! thread count. This file pins that over
+//!
+//! * algorithms 1, 2′, 3′ (the wait-free ones — the unpatched 2/3 have
+//!   a documented crash livelock and no business in a service fleet),
+//! * rings `C3..=C8`,
+//! * clean and crashy schedules (synchronous and seeded random
+//!   subsets, one victim crashed at a small time),
+//! * four seeds each,
+//! * `--jobs ∈ {1, 2, 8}` — and the three jobs values must agree with
+//!   each other *outcome-for-outcome*, not just with the oracle,
+//! * quanta `{1, 3, 8}` — slicing the visit loop differently may move
+//!   completion rounds but must not change any execution fact.
+
+use ftcolor::batch::{BatchConfig, BatchEngine, BatchOutcome, InstanceSpec, Termination};
+use ftcolor::model::inputs;
+use ftcolor::prelude::*;
+use std::hash::Hash;
+use std::sync::Mutex;
+
+const FUEL: u64 = 10_000;
+const SEEDS: [u64; 4] = [1, 7, 23, 101];
+
+/// The full spec matrix for one ring size: {sync, random} × {clean,
+/// one-victim crash} × seeds.
+fn specs_for(n: usize) -> Vec<InstanceSpec> {
+    let mut specs = Vec::new();
+    for &seed in &SEEDS {
+        let ids = inputs::random_unique(n, (n as u64).pow(3).max(64), seed);
+        let crash_victim = ProcessId(seed as usize % n);
+        let crash_at = 1 + seed % 4;
+        specs.push(InstanceSpec::synchronous(ids.clone(), FUEL));
+        specs.push(InstanceSpec::synchronous(ids.clone(), FUEL).with_crash(crash_victim, crash_at));
+        specs.push(InstanceSpec::random(
+            ids.clone(),
+            seed.wrapping_mul(77),
+            0.5,
+            FUEL,
+        ));
+        specs.push(
+            InstanceSpec::random(ids, seed.wrapping_mul(77), 0.5, FUEL)
+                .with_crash(crash_victim, crash_at),
+        );
+    }
+    specs
+}
+
+/// Runs every spec through one engine and returns outcomes in
+/// admission order.
+fn run_batch<A>(
+    alg: &A,
+    n: usize,
+    specs: &[InstanceSpec],
+    jobs: usize,
+    quantum: u32,
+) -> Vec<BatchOutcome<A::Output>>
+where
+    A: Algorithm<Input = u64> + Sync,
+    A::State: Eq + Hash + Clone + Send + Sync,
+    A::Reg: Eq + Hash + Clone + Send + Sync,
+    A::Output: Eq + Hash + Clone + Send + Sync,
+{
+    let mut engine = BatchEngine::new(
+        alg,
+        n,
+        BatchConfig {
+            jobs,
+            quantum,
+            record_traces: false,
+        },
+    );
+    for spec in specs {
+        engine.admit(spec);
+    }
+    let collected: Mutex<Vec<BatchOutcome<A::Output>>> = Mutex::new(Vec::new());
+    let drained = engine.run_to_completion(FUEL + 16, &|outcome| {
+        collected.lock().expect("sink lock").push(outcome);
+    });
+    assert!(drained, "fleet failed to drain (engine bug)");
+    let mut outcomes = collected.into_inner().expect("sink lock");
+    outcomes.sort_by_key(|o| o.index);
+    assert_eq!(outcomes.len(), specs.len(), "one outcome per instance");
+    outcomes
+}
+
+/// The core differential check for one algorithm.
+fn check_algorithm<A>(alg: &A, label: &str)
+where
+    A: Algorithm<Input = u64> + Sync,
+    A::State: Eq + Hash + Clone + Send + Sync,
+    A::Reg: Eq + Hash + Clone + Send + Sync,
+    A::Output: Eq + Hash + Clone + Send + Sync + std::fmt::Debug,
+{
+    for n in 3..=8 {
+        let specs = specs_for(n);
+        let baseline = run_batch(alg, n, &specs, 1, 8);
+
+        // Oracle: every outcome must be bit-identical to a plain
+        // sequential run of the same spec.
+        for (spec, outcome) in specs.iter().zip(&baseline) {
+            let ctx = format!("{label} C{n} spec#{}", outcome.index);
+            match spec.run_sequential(alg) {
+                Ok(report) => {
+                    assert_eq!(outcome.report(), report, "{ctx}: report mismatch");
+                    let expect = if report.crashed.is_empty() {
+                        Termination::Returned
+                    } else {
+                        Termination::Crashed
+                    };
+                    assert_eq!(outcome.termination, expect, "{ctx}: termination kind");
+                }
+                Err(_) => {
+                    assert_eq!(
+                        outcome.termination,
+                        Termination::Stalled,
+                        "{ctx}: oracle stalled, batch did not"
+                    );
+                }
+            }
+        }
+
+        // Thread counts must agree outcome-for-outcome (not merely
+        // both-with-oracle: this also pins rounds/latency fields).
+        for jobs in [2, 8] {
+            let other = run_batch(alg, n, &specs, jobs, 8);
+            assert_eq!(baseline, other, "{label} C{n}: jobs=1 vs jobs={jobs}");
+        }
+
+        // Quantum slicing may shift completion rounds, never facts.
+        for quantum in [1, 3] {
+            let sliced = run_batch(alg, n, &specs, 2, quantum);
+            for (a, b) in baseline.iter().zip(&sliced) {
+                assert_eq!(a.report(), b.report(), "{label} C{n}: quantum {quantum}");
+                assert_eq!(
+                    a.termination, b.termination,
+                    "{label} C{n}: quantum {quantum}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn alg1_batch_matches_sequential() {
+    check_algorithm(&SixColoring, "alg1");
+}
+
+#[test]
+fn alg2p_batch_matches_sequential() {
+    check_algorithm(&FiveColoringPatched, "alg2p");
+}
+
+#[test]
+fn alg3p_batch_matches_sequential() {
+    check_algorithm(&FastFiveColoringPatched, "alg3p");
+}
+
+/// A fuel so small that instances stall mid-run: the batch engine must
+/// classify them exactly like the oracle's `NonTermination` error, and
+/// the partial outputs/activations must still match the executor state.
+#[test]
+fn stalled_instances_match_the_oracle() {
+    let alg = &FiveColoringPatched;
+    for n in [3usize, 5, 7] {
+        let ids = inputs::random_unique(n, 64, 5);
+        // Fuel 2: nobody can have returned yet under p=0.5.
+        let spec = InstanceSpec::random(ids, 99, 0.5, 2);
+        let outcomes = run_batch(alg, n, std::slice::from_ref(&spec), 1, 8);
+        assert_eq!(outcomes[0].termination, Termination::Stalled, "C{n}");
+        assert!(spec.run_sequential(alg).is_err(), "C{n}: oracle must stall");
+        assert_eq!(outcomes[0].time_steps, 2, "C{n}: stalls at the fuel bound");
+    }
+}

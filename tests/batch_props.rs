@@ -1,0 +1,163 @@
+//! Property suite for the batch substrate, pinning the three facts the
+//! service stack leans on:
+//!
+//! 1. **Slab round-trip identity** — `encode_slice`/`restore_slice`
+//!    (the caller-owned-row entry points the engine parks instances
+//!    through) reproduce the full semantic execution state at any
+//!    reachable configuration, not just at initial ones.
+//! 2. **Admission determinism** — the open-loop [`ArrivalPlan`] is a
+//!    pure function of `(seed, rate, total)`: regenerating yields the
+//!    identical round-by-round schedule, conserving the total, with
+//!    every round's count within the rate's floor/ceil envelope.
+//! 3. **Crash-plan composition** — an instance's crash overlay means
+//!    what it says inside the engine: a crashed process is *never*
+//!    activated at or after its crash time, under any jobs/quantum
+//!    slicing, and the reported crash set matches the overlay's
+//!    still-working victims.
+
+use ftcolor::batch::{ArrivalPlan, BatchConfig, BatchEngine, BatchOutcome, InstanceSpec};
+use ftcolor::model::inputs;
+use ftcolor::model::schedule::ActivationSet;
+use ftcolor::prelude::*;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+use ftcolor::model::encode::{ConfigCodec, SLOTS_PER_PROC};
+
+/// The heap-tuple view of an execution's configuration — ground truth
+/// for the packed row.
+type OldKey<A> = (
+    Vec<<A as Algorithm>::State>,
+    Vec<Option<<A as Algorithm>::Reg>>,
+    Vec<Option<<A as Algorithm>::Output>>,
+);
+
+fn old_key<A: Algorithm>(exec: &Execution<'_, A>) -> OldKey<A> {
+    let n = exec.topology().len();
+    (
+        (0..n).map(|i| exec.state(ProcessId(i)).clone()).collect(),
+        (0..n)
+            .map(|i| exec.register(ProcessId(i)).cloned())
+            .collect(),
+        exec.outputs().to_vec(),
+    )
+}
+
+fn instance() -> impl Strategy<Value = (usize, u64, u64)> {
+    (3usize..8, 0u64..u64::MAX / 2, 0u64..10_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Walk an execution through random steps; after every step, park
+    /// it through `encode_slice` and restore into a fresh scratch —
+    /// the scratch must carry the identical semantic configuration.
+    #[test]
+    fn packed_rows_round_trip_at_every_reachable_config(
+        (n, idseed, stepseed) in instance()
+    ) {
+        let ids = inputs::random_unique(n, (n as u64).pow(3).max(16), idseed);
+        let topo = Topology::cycle(n).unwrap();
+        let codec: ConfigCodec<FiveColoringPatched> = ConfigCodec::new(n);
+        let mut exec = Execution::new(&FiveColoringPatched, &topo, ids.clone());
+        let mut row = vec![0u32; n * SLOTS_PER_PROC];
+        let mut s = stepseed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        for _ in 0..40 {
+            codec.encode_slice(&exec, &mut row);
+            let mut scratch = Execution::new(&FiveColoringPatched, &topo, ids.clone());
+            codec.restore_slice(&mut scratch, &row);
+            prop_assert_eq!(old_key(&scratch), old_key(&exec));
+            prop_assert_eq!(scratch.working(), exec.working());
+            if exec.all_returned() {
+                break;
+            }
+            let k = 1 + next() as usize % n;
+            let set = ActivationSet::of((0..k).map(|_| ProcessId(next() as usize % n)));
+            exec.step_with(&set);
+        }
+    }
+
+    /// Same `(seed, rate, total)` ⇒ the identical admission schedule,
+    /// conserving the total, each round within the floor/ceil envelope.
+    #[test]
+    fn arrival_plans_are_pure_functions_of_their_seed(
+        seed in 0u64..u64::MAX / 2,
+        rate_tenths in 1u64..200,
+        total in 1u64..5_000,
+    ) {
+        let rate = rate_tenths as f64 / 10.0;
+        let a = ArrivalPlan::generate(seed, rate, total);
+        let b = ArrivalPlan::generate(seed, rate, total);
+        prop_assert_eq!(&a, &b, "same inputs must give the same plan");
+        prop_assert_eq!(a.total(), total, "every instance is admitted exactly once");
+        let lo = rate_tenths / 10;
+        let hi = lo + u64::from(rate_tenths % 10 != 0);
+        for (round, &k) in a.counts().iter().enumerate() {
+            // The final round is truncated to the remaining total.
+            let is_last = round + 1 == a.rounds();
+            prop_assert!(
+                (lo..=hi).contains(&k) || (is_last && k <= hi),
+                "round {round}: {k} arrivals outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    /// Crash overlays compose with any schedule: inside the batch
+    /// engine, a victim is never activated at or after its crash time,
+    /// at any jobs/quantum slicing, and the reported crash set is
+    /// exactly the overlay's victims that had not already returned.
+    #[test]
+    fn crashed_processes_never_step_after_their_crash_time(
+        (n, idseed, schedseed) in instance(),
+        victim in 0usize..8,
+        crash_at in 1u64..6,
+        jobs in 1usize..3,
+        quantum in 1u32..9,
+    ) {
+        let victim = ProcessId(victim % n);
+        let ids = inputs::random_unique(n, (n as u64).pow(3).max(16), idseed);
+        let spec = InstanceSpec::random(ids, schedseed, 0.5, 10_000)
+            .with_crash(victim, crash_at);
+        let mut engine = BatchEngine::new(
+            &FiveColoringPatched,
+            n,
+            BatchConfig { jobs, quantum, record_traces: true },
+        );
+        engine.admit(&spec);
+        let collected: Mutex<Vec<BatchOutcome<u64>>> = Mutex::new(Vec::new());
+        let drained = engine.run_to_completion(20_000, &|o| {
+            collected.lock().expect("sink lock").push(o);
+        });
+        prop_assert!(drained);
+        let outcome = collected.into_inner().expect("sink lock").remove(0);
+        let trace = outcome.trace.as_ref().expect("record_traces was on");
+        // Trace entry i is the resolved activation set of step time i+1.
+        for (i, set) in trace.iter().enumerate() {
+            let t = i as u64 + 1;
+            if t >= crash_at {
+                let ActivationSet::Only(active) = set else {
+                    panic!("engine traces record resolved (explicit) sets");
+                };
+                prop_assert!(
+                    !active.contains(&victim),
+                    "victim {victim} (crash at {crash_at}) activated at time {t}"
+                );
+            }
+        }
+        // The victim either returned before its crash time or shows up
+        // with no output; it must never carry activations from beyond
+        // the crash boundary.
+        prop_assert!(
+            outcome.activations[victim.index()] < crash_at,
+            "victim performed {} activations with crash at {crash_at}",
+            outcome.activations[victim.index()]
+        );
+    }
+}
