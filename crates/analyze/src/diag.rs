@@ -23,6 +23,13 @@ pub enum RuleId {
     Det,
     /// `FTC-WF-006` — a solo execution exceeded the declared round bound.
     Wf,
+    /// `FTC-TERM-007` — a solo run from a statically reachable state
+    /// lassoes (or exhausts fuel) without deciding.
+    Term,
+    /// `FTC-DOM-008` — a reachable state escapes the certified abstract
+    /// domain (widening breach, state-cap overflow, or an algorithm with
+    /// no certifiable domain at all).
+    Dom,
     /// `FTC-RT-101` — register locks acquired out of global index order.
     RtLockOrder,
     /// `FTC-RT-102` — a round's snapshot interval was not atomic.
@@ -35,13 +42,15 @@ pub enum RuleId {
 
 impl RuleId {
     /// Every rule, linter rules first.
-    pub const ALL: [RuleId; 10] = [
+    pub const ALL: [RuleId; 12] = [
         RuleId::Swmr,
         RuleId::Snap,
         RuleId::Stab,
         RuleId::Pal,
         RuleId::Det,
         RuleId::Wf,
+        RuleId::Term,
+        RuleId::Dom,
         RuleId::RtLockOrder,
         RuleId::RtAtomicity,
         RuleId::RtLinearization,
@@ -57,6 +66,8 @@ impl RuleId {
             RuleId::Pal => "FTC-PAL-004",
             RuleId::Det => "FTC-DET-005",
             RuleId::Wf => "FTC-WF-006",
+            RuleId::Term => "FTC-TERM-007",
+            RuleId::Dom => "FTC-DOM-008",
             RuleId::RtLockOrder => "FTC-RT-101",
             RuleId::RtAtomicity => "FTC-RT-102",
             RuleId::RtLinearization => "FTC-RT-103",
@@ -73,6 +84,8 @@ impl RuleId {
             RuleId::Pal => "emitted colors stay within the algorithm's declared palette",
             RuleId::Det => "identical state and view must produce identical steps",
             RuleId::Wf => "solo executions terminate within the declared round bound",
+            RuleId::Term => "every solo run from every reachable state reaches a decision",
+            RuleId::Dom => "every reachable state stays inside the certified abstract domain",
             RuleId::RtLockOrder => "register locks are acquired in global index order",
             RuleId::RtAtomicity => "a round's write + neighbor reads form one atomic interval",
             RuleId::RtLinearization => {
@@ -185,7 +198,7 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -14,6 +14,13 @@
 //!    snapshot — locks in global index order, contiguous write+read
 //!    windows, an acyclic per-register round order, and vector-clock
 //!    happens-before coverage of all cross-process accesses.
+//! 3. **Static certifier** ([`certify`]): drives each algorithm's real
+//!    `step` over an exhaustively enumerated abstract view domain
+//!    (`ftcolor_model::domain::ViewDomain`) and proves the per-step
+//!    contracts — plus solo termination from *every* reachable state
+//!    (`FTC-TERM-007`) and domain containment (`FTC-DOM-008`) — over
+//!    the complete local transition system, with no schedule sampling
+//!    gap.
 //!
 //! The [`registry`] wires every shipped algorithm to its declared
 //! [`contract`], so the `ftcolor analyze` CLI, `tests/analyze.rs`, and
@@ -24,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod certify;
 pub mod contract;
 pub mod diag;
 pub mod linter;
@@ -31,6 +39,8 @@ pub mod netmat;
 pub mod race;
 pub mod registry;
 
+pub use certify::registry::{certify_alg, certify_all, render_cert_json, CertReport};
+pub use certify::{certify_algorithm, CertStats, Certification, CertifyConfig};
 pub use contract::{ContractSpec, Waiver};
 pub use diag::{render_json, Diagnostic, RuleId};
 pub use linter::{lint_algorithm, LintConfig};

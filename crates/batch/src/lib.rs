@@ -40,7 +40,7 @@
 //!   snapshots only).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod arrival;
 pub mod engine;

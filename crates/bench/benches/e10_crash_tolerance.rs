@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
     }
 
     g.bench_function("sim_sweep_n32", |b| {
-        b.iter(|| e10_crash_tolerance::run(32, 1))
+        b.iter(|| e10_crash_tolerance::run(32, 1));
     });
 
     for n in [8usize, 16] {
@@ -31,7 +31,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let opts = RunOptions::new().with_seed(7).crash(1, 0).cap(50_000);
                 run_threaded(&SixColoring, &topo, ids.clone(), &opts)
-            })
+            });
         });
     }
     g.finish();

@@ -25,11 +25,11 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut exec = DecoupledExecution::new(&alg, &topo, ids.clone());
                 exec.run(Synchronous::new(), 10_000).unwrap()
-            })
+            });
         });
     }
     g.bench_function("separation_sweep", |b| {
-        b.iter(|| e11_decoupled::run(&[12, 40], 1))
+        b.iter(|| e11_decoupled::run(&[12, 40], 1));
     });
     g.finish();
 }

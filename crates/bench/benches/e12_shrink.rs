@@ -35,7 +35,7 @@ fn bench(c: &mut Criterion) {
             Shrinker::new(&EagerMis, &topo4, ids4.clone())
                 .shrink_safety(&violation.schedule, &mis_violation)
                 .unwrap()
-        })
+        });
     });
 
     // Alg2 C3 livelock witness.
@@ -51,7 +51,7 @@ fn bench(c: &mut Criterion) {
             Shrinker::new(&FiveColoring, &topo3, ids3.clone())
                 .shrink_livelock(&livelock)
                 .unwrap()
-        })
+        });
     });
     g.finish();
 }
@@ -89,7 +89,7 @@ fn bench_scaling(c: &mut Criterion) {
                     .with_jobs(jobs)
                     .shrink_safety(&noisy, &mis_violation)
                     .unwrap()
-            })
+            });
         });
     }
     g.finish();

@@ -30,7 +30,7 @@ fn bench(c: &mut Criterion) {
                     &clean,
                     &NetConfig::new(7),
                 )
-            })
+            });
         });
         g.bench_with_input(BenchmarkId::new("lossy_10pct", n), &n, |b, _| {
             b.iter(|| {
@@ -41,7 +41,7 @@ fn bench(c: &mut Criterion) {
                     &lossy,
                     &NetConfig::new(7),
                 )
-            })
+            });
         });
     }
     g.finish();

@@ -63,14 +63,14 @@ fn bench(c: &mut Criterion) {
 
     for n in [10usize, 100, 1_000] {
         g.bench_with_input(BenchmarkId::new("core_ring_codec", n), &n, |b, &n| {
-            b.iter(|| ring_to_completion(n, 7))
+            b.iter(|| ring_to_completion(n, 7));
         });
     }
 
     if let Some(trace) = golden_trace() {
         replay_trace(&FiveColoringPatched, &trace).expect("golden trace replays");
         g.bench_function("replay_golden_c5_crash", |b| {
-            b.iter(|| replay_trace(&FiveColoringPatched, &trace).expect("replays"))
+            b.iter(|| replay_trace(&FiveColoringPatched, &trace).expect("replays"));
         });
     }
     g.finish();

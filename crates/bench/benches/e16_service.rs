@@ -29,7 +29,7 @@ fn bench(c: &mut Criterion) {
 
     for n in [10_000usize, 100_000] {
         g.bench_with_input(BenchmarkId::new("ring_logstar_sync", n), &n, |b, &n| {
-            b.iter(|| ring_row(n))
+            b.iter(|| ring_row(n));
         });
     }
     g.finish();

@@ -20,12 +20,12 @@ fn bench(c: &mut Criterion) {
         assert!(report.max_activations() <= theorem_3_1_bound(n));
 
         g.bench_with_input(BenchmarkId::new("staircase_sync", n), &n, |b, _| {
-            b.iter(|| run_cycle(&SixColoring, &ids, SchedKind::Sync, 0, 400 * n as u64).unwrap())
+            b.iter(|| run_cycle(&SixColoring, &ids, SchedKind::Sync, 0, 400 * n as u64).unwrap());
         });
         g.bench_with_input(BenchmarkId::new("staircase_roundrobin", n), &n, |b, _| {
             b.iter(|| {
                 run_cycle(&SixColoring, &ids, SchedKind::RoundRobin, 0, 400 * n as u64).unwrap()
-            })
+            });
         });
     }
     g.finish();

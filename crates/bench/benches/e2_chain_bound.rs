@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
     for n in [64usize, 1024, 16384] {
         let ids = inputs::random_permutation(n, 2);
         g.bench_with_input(BenchmarkId::new("chain_analysis", n), &n, |b, _| {
-            b.iter(|| ChainAnalysis::for_cycle(&ids))
+            b.iter(|| ChainAnalysis::for_cycle(&ids));
         });
     }
     // Executed bound check at a fixed size.
@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
         assert!(report.activations[p] <= analysis.lemma_3_9_bound(p));
     }
     g.bench_function("bounded_execution_128", |b| {
-        b.iter(|| run_cycle(&SixColoring, &ids, SchedKind::Sync, 0, 100_000).unwrap())
+        b.iter(|| run_cycle(&SixColoring, &ids, SchedKind::Sync, 0, 100_000).unwrap());
     });
     g.finish();
 }

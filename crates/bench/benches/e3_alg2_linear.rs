@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
         assert!(report.max_activations() <= theorem_3_11_bound(n));
 
         g.bench_with_input(BenchmarkId::new("staircase_sync", n), &n, |b, _| {
-            b.iter(|| run_cycle(&FiveColoring, &ids, SchedKind::Sync, 0, 600 * n as u64).unwrap())
+            b.iter(|| run_cycle(&FiveColoring, &ids, SchedKind::Sync, 0, 600 * n as u64).unwrap());
         });
         let rand_ids = inputs::random_permutation(n, 3);
         g.bench_with_input(BenchmarkId::new("random_random", n), &n, |b, _| {
@@ -32,7 +32,7 @@ fn bench(c: &mut Criterion) {
                     600 * n as u64,
                 )
                 .unwrap()
-            })
+            });
         });
     }
     g.finish();

@@ -10,18 +10,18 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e4_cole_vishkin");
     g.bench_function("reduce_single", |b| {
-        b.iter(|| reduce(black_box(0xDEAD_BEEF_CAFE), black_box(0x1234_5678)))
+        b.iter(|| reduce(black_box(0xDEAD_BEEF_CAFE), black_box(0x1234_5678)));
     });
     g.bench_function("reduce_chain_1k", |b| {
         let chain: Vec<u64> = (0..1000u64).map(|i| 10_000_000 - i * 997).collect();
-        b.iter(|| reduce_chain(black_box(&chain)))
+        b.iter(|| reduce_chain(black_box(&chain)));
     });
     g.bench_function("contraction_iterations_u64max", |b| {
-        b.iter(|| cv_iterations_below_10(black_box(u64::MAX)))
+        b.iter(|| cv_iterations_below_10(black_box(u64::MAX)));
     });
     g.sample_size(10);
     g.bench_function("lemma_sweep_small", |b| {
-        b.iter(|| e4_cole_vishkin::run_exhaustive(256, 64, 64))
+        b.iter(|| e4_cole_vishkin::run_exhaustive(256, 64, 64));
     });
     // Claim check: zero violations in a moderately large sweep.
     for row in e4_cole_vishkin::run_exhaustive(1024, 128, 128) {

@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
         assert!(report.max_activations() <= theorem_4_4_bound(n));
 
         g.bench_with_input(BenchmarkId::new("alg3_staircase", n), &n, |b, _| {
-            b.iter(|| run_cycle(&FastFiveColoring, &ids, SchedKind::Sync, 0, 100_000).unwrap())
+            b.iter(|| run_cycle(&FastFiveColoring, &ids, SchedKind::Sync, 0, 100_000).unwrap());
         });
         if n <= 1024 {
             g.bench_with_input(BenchmarkId::new("alg2_staircase", n), &n, |b, _| {
@@ -31,7 +31,7 @@ fn bench(c: &mut Criterion) {
                         40 * n as u64 + 1000,
                     )
                     .unwrap()
-                })
+                });
             });
         }
     }

@@ -26,14 +26,14 @@ fn bench(c: &mut Criterion) {
             ModelChecker::new(&SixColoring, &topo, vec![0, 1, 2])
                 .explore(|t, outs| t.first_conflict(outs).map(|(a, b)| format!("{a}-{b}")))
                 .unwrap()
-        })
+        });
     });
     g.bench_function("alg2_c3_exhaustive", |b| {
         b.iter(|| {
             ModelChecker::new(&FiveColoring, &topo, vec![0, 1, 2])
                 .explore(|t, outs| t.first_conflict(outs).map(|(a, b)| format!("{a}-{b}")))
                 .unwrap()
-        })
+        });
     });
     g.finish();
 }
@@ -75,7 +75,7 @@ fn bench_scaling(c: &mut Criterion) {
                         .with_jobs(jobs)
                         .explore(safety)
                         .unwrap()
-                })
+                });
             },
         );
     }

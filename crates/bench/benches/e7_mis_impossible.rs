@@ -22,14 +22,14 @@ fn bench(c: &mut Criterion) {
             ModelChecker::new(&LocalMaxMis, &topo, vec![1, 2, 3])
                 .explore(mis_violation)
                 .unwrap()
-        })
+        });
     });
     g.bench_function("eager_c3_exhaustive", |b| {
         b.iter(|| {
             ModelChecker::new(&EagerMis, &topo, vec![1, 2, 3])
                 .explore(mis_violation)
                 .unwrap()
-        })
+        });
     });
     g.finish();
 }

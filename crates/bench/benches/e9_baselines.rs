@@ -36,10 +36,10 @@ fn bench(c: &mut Criterion) {
         assert!(rep.max_activations() <= 12 * cv_rounds);
 
         g.bench_with_input(BenchmarkId::new("cole_vishkin_sync", n), &n, |b, _| {
-            b.iter(|| run_cv(n, &ids))
+            b.iter(|| run_cv(n, &ids));
         });
         g.bench_with_input(BenchmarkId::new("alg3_sync", n), &n, |b, _| {
-            b.iter(|| run_cycle(&FastFiveColoring, &ids, SchedKind::Sync, 0, 100_000).unwrap())
+            b.iter(|| run_cycle(&FastFiveColoring, &ids, SchedKind::Sync, 0, 100_000).unwrap());
         });
     }
     for n in [4usize, 8] {
@@ -49,7 +49,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut exec = Execution::new(&RankRenaming, &topo, ids.clone());
                 exec.run(RandomSubset::new(3, 0.5), 1_000_000).unwrap()
-            })
+            });
         });
     }
     g.finish();

@@ -46,8 +46,7 @@ fn main() {
     let quick = std::env::args().any(|a| a == "quick");
     let jobs: usize = std::env::args()
         .find_map(|a| a.strip_prefix("jobs=").map(str::to_string))
-        .map(|v| v.parse().expect("jobs=N needs a number"))
-        .unwrap_or(1);
+        .map_or(1, |v| v.parse().expect("jobs=N needs a number"));
     let t0 = Instant::now();
     let section = |name: &str| println!("\n===== {name} ({:.1?} elapsed) =====", t0.elapsed());
 

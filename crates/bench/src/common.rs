@@ -91,7 +91,10 @@ pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> Strin
     };
     let mut out = String::new();
     out.push_str(&format!("## {title}\n"));
-    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    let head: Vec<String> = header
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     out.push_str(&fmt_row(&head));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));

@@ -55,7 +55,7 @@ pub fn run(sizes: &[usize], seeds: u64) -> Vec<Row> {
                         run_cycle(&SixColoring, &ids, kind, seed, fuel).expect("wait-free");
                     worst = worst.max(report.max_activations());
                     ok &= report.all_returned()
-                        && coloring_ok(&topo, &report, |c| c.flat_index(), 6)
+                        && coloring_ok(&topo, &report, ftcolor_core::PairColor::flat_index, 6)
                         && report.max_activations() <= theorem_3_1_bound(n);
                 }
                 rows.push(Row {

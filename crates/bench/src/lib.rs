@@ -16,7 +16,7 @@
 //! mapping).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod common;
 pub mod e10_crash_tolerance;

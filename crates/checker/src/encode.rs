@@ -7,22 +7,56 @@
 //! packed representation as its *execution* hot path — millions of
 //! parked instances as flat `3n`-word rows — so the codec moved down
 //! into `ftcolor-model`, next to the `Execution::restore_slot` hook it
-//! was always paired with. This module keeps the checker's historical
-//! import paths (`ftcolor_checker::encode::…`, `ftcolor_checker::{CfgKey,
-//! ConfigCodec}`) working, and pins the re-export with the original
-//! registry-algorithm tests.
+//! was always paired with. This module is now a **deprecated shim**: the
+//! checker's own explorers import `ftcolor_model::encode` directly, the
+//! historical paths (`ftcolor_checker::encode::…`,
+//! `ftcolor_checker::{CfgKey, ConfigCodec}`) keep compiling through the
+//! aliases below, and the workspace denies `deprecated` so no internal
+//! caller can quietly regress to them. The original registry-algorithm
+//! tests stay here, pinning the canonical module.
 
-pub use ftcolor_model::encode::{
-    CfgKey, ConfigCodec, PassthroughBuild, PassthroughHasher, ValueInterner, SLOTS_PER_PROC,
-};
+/// Deprecated alias for [`ftcolor_model::encode::CfgKey`].
+#[deprecated(note = "import ftcolor_model::encode::CfgKey instead")]
+pub type CfgKey = ftcolor_model::encode::CfgKey;
+
+/// Deprecated alias for [`ftcolor_model::encode::ConfigCodec`].
+#[deprecated(note = "import ftcolor_model::encode::ConfigCodec instead")]
+pub type ConfigCodec<A> = ftcolor_model::encode::ConfigCodec<A>;
+
+/// Deprecated alias for [`ftcolor_model::encode::PassthroughBuild`].
+#[deprecated(note = "import ftcolor_model::encode::PassthroughBuild instead")]
+pub type PassthroughBuild = ftcolor_model::encode::PassthroughBuild;
+
+/// Deprecated alias for [`ftcolor_model::encode::PassthroughHasher`].
+#[deprecated(note = "import ftcolor_model::encode::PassthroughHasher instead")]
+pub type PassthroughHasher = ftcolor_model::encode::PassthroughHasher;
+
+/// Deprecated alias for [`ftcolor_model::encode::ValueInterner`].
+#[deprecated(note = "import ftcolor_model::encode::ValueInterner instead")]
+pub type ValueInterner<T> = ftcolor_model::encode::ValueInterner<T>;
+
+/// Deprecated alias for [`ftcolor_model::encode::SLOTS_PER_PROC`].
+#[deprecated(note = "import ftcolor_model::encode::SLOTS_PER_PROC instead")]
+pub const SLOTS_PER_PROC: usize = ftcolor_model::encode::SLOTS_PER_PROC;
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use ftcolor_core::SixColoring;
+    use ftcolor_model::encode::{ConfigCodec, PassthroughHasher};
     use ftcolor_model::schedule::ActivationSet;
     use ftcolor_model::{Execution, ProcessId, Topology};
     use std::hash::Hasher;
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_paths_still_resolve() {
+        // The historical import paths must keep compiling (and naming the
+        // same items) until the next breaking release.
+        let _: super::CfgKey;
+        let codec: super::ConfigCodec<SixColoring> = ConfigCodec::new(3);
+        let _ = &codec;
+        assert_eq!(super::SLOTS_PER_PROC, ftcolor_model::encode::SLOTS_PER_PROC);
+    }
 
     #[test]
     fn encode_is_stable_and_delta_matches_full() {

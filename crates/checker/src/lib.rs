@@ -15,9 +15,11 @@
 //!   is just "no further activations"), checks a safety predicate at
 //!   every configuration, and detects livelocks as cycles in the
 //!   configuration graph;
-//! * [`encode`] — the compact configuration codec backing the explorers:
-//!   packed interned buffers, incremental per-slot hashing, and
-//!   clone-free step/undo successor generation;
+//! * [`encode`] — a deprecated shim over
+//!   [`ftcolor_model::encode`], the compact configuration codec backing
+//!   the explorers (packed interned buffers, incremental per-slot
+//!   hashing, clone-free step/undo successor generation), which now
+//!   lives in `ftcolor-model` next to the executor hooks it drives;
 //! * [`symmetry`] — opt-in orbit canonicalization under the cycle's
 //!   automorphism group (rotations + reflections), with the soundness
 //!   guard and the witness de-canonicalization algebra;
@@ -35,7 +37,7 @@
 //!   used to exhibit why MIS is not wait-free solvable.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod adversary;
 pub mod chains;
@@ -50,6 +52,9 @@ pub mod symmetry;
 
 pub use adversary::{FuzzConfig, FuzzReport, Objective, ScheduleFuzzer};
 pub use chains::ChainAnalysis;
+// Historical crate-root paths; the aliases themselves are deprecated,
+// so external callers get the migration note while these keep compiling.
+#[allow(deprecated)]
 pub use encode::{CfgKey, ConfigCodec};
 pub use invariants::{check_coloring_report, ColoringCheck};
 pub use modelcheck::{

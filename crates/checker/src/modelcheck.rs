@@ -25,7 +25,7 @@
 //! # Compact exploration core
 //!
 //! Configurations are stored as packed interned buffers
-//! ([`crate::encode::CfgKey`]): the visited-set, the BFS queue, and the
+//! ([`ftcolor_model::encode::CfgKey`]): the visited-set, the BFS queue, and the
 //! parent links never hold an [`Execution`] or a heap tuple. Successors
 //! are generated **clone-free** by step/undo on a single scratch
 //! execution — step with a subset, re-encode only the touched slots
@@ -45,9 +45,9 @@
 //! crash-livelock of Algorithms 2/3 automatically, and verifying
 //! Algorithm 1 clean); E7 runs it on the MIS candidates.
 
-use crate::encode::{CfgKey, ConfigCodec, PassthroughBuild};
 use crate::stats::ExploreStats;
 use crate::symmetry::{CycleSymmetry, SIGMA_ID};
+use ftcolor_model::encode::{CfgKey, ConfigCodec, PassthroughBuild};
 use ftcolor_model::schedule::ActivationSet;
 use ftcolor_model::{Algorithm, Execution, ProcessId, Topology};
 use serde::{Deserialize, Serialize};

@@ -22,7 +22,7 @@
 //!    their own range and *steal* from the back of the largest remaining
 //!    range when they run dry. Each worker decodes frontier nodes into
 //!    its own scratch [`Execution`] (clone-free step/undo — see
-//!    [`crate::encode`]) and computes the expensive part: the safety
+//!    [`ftcolor_model::encode`]) and computes the expensive part: the safety
 //!    predicate, the terminal check, and one packed successor key per
 //!    activation subset, consulting the sharded visited-set
 //!    (partitioned by the keys' precomputed `u64` hashes, one
@@ -47,7 +47,6 @@
 //! elected by run-independent value hashes, not intern-index assignment
 //! order), so parallel symmetry-reduced runs match sequential ones too.
 
-use crate::encode::{CfgKey, ConfigCodec, PassthroughBuild};
 use crate::modelcheck::{
     all_nonempty_subsets, concrete_livelock_witness, concrete_safety_witness, find_cycle,
     interned_total, visited_bytes, worst_case_from_graph, Edge, ModelCheckError, ModelCheckOutcome,
@@ -55,6 +54,7 @@ use crate::modelcheck::{
 };
 use crate::stats::ExploreStats;
 use crate::symmetry::{CycleSymmetry, SIGMA_ID};
+use ftcolor_model::encode::{CfgKey, ConfigCodec, PassthroughBuild};
 use ftcolor_model::schedule::ActivationSet;
 use ftcolor_model::sweep::RangeQueue;
 use ftcolor_model::{Algorithm, Execution, ProcessId, Topology};

@@ -37,8 +37,8 @@
 //! * [`Shrinker::shrink_overrun`] — some process performs strictly more
 //!   activations than a claimed bound.
 
-use crate::encode::ConfigCodec;
 use crate::modelcheck::{LivelockWitness, SafetyViolation};
+use ftcolor_model::encode::ConfigCodec;
 use ftcolor_model::schedule::ActivationSet;
 use ftcolor_model::{Algorithm, Execution, ProcessId, Topology, Trace};
 use serde::{Deserialize, Serialize};

@@ -47,7 +47,7 @@
 //! [`Algorithm`]: ftcolor_model::Algorithm
 //! [`Topology::is_cycle`]: ftcolor_model::Topology::is_cycle
 
-use crate::encode::{CfgKey, ConfigCodec, SLOTS_PER_PROC};
+use ftcolor_model::encode::{CfgKey, ConfigCodec, SLOTS_PER_PROC};
 use ftcolor_model::schedule::ActivationSet;
 use ftcolor_model::{Algorithm, ProcessId, Topology};
 use std::hash::Hash;

@@ -28,10 +28,12 @@
 //! * [`decoupled_ring`] — wait-free 3-coloring in the DECOUPLED model of
 //!   the closest related work, for the E11 model-separation experiment;
 //! * [`mutants`] — intentionally-buggy algorithms (one per §2 contract)
-//!   used as negative fixtures by the `ftcolor-analyze` contract linter.
+//!   used as negative fixtures by the `ftcolor-analyze` contract linter;
+//! * [`domains`] — certified abstract view domains over which the static
+//!   certifier (`ftcolor certify`) proves the contracts exhaustively.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod alg1;
 pub mod alg2;
@@ -42,6 +44,7 @@ pub mod alg4;
 pub mod cole_vishkin;
 pub mod color;
 pub mod decoupled_ring;
+pub mod domains;
 pub mod mis;
 pub mod mutants;
 pub mod renaming;

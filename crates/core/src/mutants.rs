@@ -13,6 +13,13 @@
 //! | [`OutOfPalette`] | declared palette bound | `FTC-PAL-004` |
 //! | [`NondetStepper`] | step determinism | `FTC-DET-005` |
 //! | [`SoloDiverger`] | solo wait-freedom | `FTC-WF-006` |
+//! | [`SoloLoiterer`] | solo termination from reachable states | `FTC-TERM-007` |
+//! | [`UnboundedCounter`] | bounded-state discipline | `FTC-DOM-008` |
+//!
+//! The last two target the *static* certifier specifically: both are
+//! invisible to the dynamic linter (solo runs from initial states
+//! terminate immediately, and no dynamic rule watches state growth), so
+//! they gate exactly the coverage `ftcolor certify` adds.
 //!
 //! The illegal channels are built from [`Cell`]/[`RefCell`] interior
 //! mutability *inside the algorithm object* — exactly the smuggling the
@@ -47,7 +54,7 @@ impl NeighborWriter {
 }
 
 /// State of [`NeighborWriter`]: own index, input, and a round counter.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct NwState {
     /// Own process index (used to pick the victim register).
     pub id: usize,
@@ -110,7 +117,7 @@ impl StateSmuggler {
 }
 
 /// State of [`StateSmuggler`]: input and a round counter.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SmState {
     /// The input identifier.
     pub x: u64,
@@ -155,7 +162,7 @@ impl Algorithm for StateSmuggler {
 pub struct UnstableDecider;
 
 /// State of [`UnstableDecider`]: input and an activation counter.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct UdState {
     /// The input identifier.
     pub x: u64,
@@ -193,7 +200,7 @@ impl Algorithm for UnstableDecider {
 pub struct OutOfPalette;
 
 /// State of [`OutOfPalette`]: just the input.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct OpState {
     /// The input identifier.
     pub x: u64,
@@ -236,7 +243,7 @@ impl NondetStepper {
 }
 
 /// State of [`NondetStepper`]: input and a round counter.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct NdState {
     /// The input identifier.
     pub x: u64,
@@ -281,7 +288,7 @@ impl Algorithm for NondetStepper {
 pub struct SoloDiverger;
 
 /// State of [`SoloDiverger`]: just the input.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SdState {
     /// The input identifier.
     pub x: u64,
@@ -306,6 +313,90 @@ impl Algorithm for SoloDiverger {
             Step::Return(s.x % 5)
         } else {
             Step::Continue // waiting on ⊥ neighbors: not wait-free
+        }
+    }
+}
+
+/// Violates **solo termination from reachable states** (`FTC-TERM-007`)
+/// while staying invisible to every *dynamic* rule: it returns
+/// immediately when no neighbor is awake — so the linter's solo runs
+/// from initial states (`FTC-WF-006`) always decide in one step — but
+/// from any state it *waits for awake neighbors to disappear*, which
+/// under a frozen view (the crash scenario) never happens. Only the
+/// static termination pass, which runs solo from every *reachable*
+/// state, sees the lasso.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoloLoiterer;
+
+/// State of [`SoloLoiterer`]: just the input.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SlState {
+    /// The input identifier.
+    pub x: u64,
+}
+
+impl Algorithm for SoloLoiterer {
+    type Input = u64;
+    type State = SlState;
+    type Reg = u64;
+    type Output = u64;
+
+    fn init(&self, _id: ProcessId, x: u64) -> SlState {
+        SlState { x }
+    }
+
+    fn publish(&self, s: &SlState) -> u64 {
+        s.x
+    }
+
+    fn step(&self, s: &mut SlState, view: &Neighborhood<'_, u64>) -> Step<u64> {
+        if view.awake().next().is_none() {
+            Step::Return(s.x % 5) // cold solo start: instant decision
+        } else {
+            Step::Continue // loiters while anyone's register is awake
+        }
+    }
+}
+
+/// Violates the **bounded-state discipline** (`FTC-DOM-008`): it bumps
+/// an unbounded counter every round spent blocked on a color-conflicting
+/// neighbor, and the counter leaks into the output — so no sound
+/// saturation exists and any declared domain bound is breached. The
+/// dynamic linter never sees it: with conflict-free identifiers the
+/// counter stays at zero, solo runs return in one step, and no dynamic
+/// rule watches state growth.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnboundedCounter;
+
+/// State of [`UnboundedCounter`]: input plus the leaking counter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct UcState {
+    /// The input identifier.
+    pub x: u64,
+    /// Rounds spent blocked — unbounded, and it leaks into the output.
+    pub c: u64,
+}
+
+impl Algorithm for UnboundedCounter {
+    type Input = u64;
+    type State = UcState;
+    type Reg = u64;
+    type Output = u64;
+
+    fn init(&self, _id: ProcessId, x: u64) -> UcState {
+        UcState { x, c: 0 }
+    }
+
+    fn publish(&self, s: &UcState) -> u64 {
+        s.x % 5
+    }
+
+    fn step(&self, s: &mut UcState, view: &Neighborhood<'_, u64>) -> Step<u64> {
+        if view.awake().all(|&r| r != s.x % 5) {
+            Step::Return(s.x % 5 + s.c / 1_000_000)
+        } else {
+            s.c += 1; // blocked on a conflict: count (without bound)
+            Step::Continue
         }
     }
 }

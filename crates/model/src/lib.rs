@@ -29,6 +29,8 @@
 //! * [`executor::Execution`] — the engine that runs an algorithm on a
 //!   topology under a schedule and reports outputs and round complexity,
 //! * [`trace::Trace`] — recorded, replayable, serializable executions,
+//! * [`domain::ViewDomain`] — finite abstract view domains for the
+//!   static per-process certifier (`ftcolor certify`),
 //! * [`encode::ConfigCodec`] — the compact interned per-slot
 //!   configuration encoding shared by the model checker's visited sets
 //!   and the batch executor's instance slabs,
@@ -75,10 +77,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod algorithm;
 pub mod decoupled;
+pub mod domain;
 pub mod encode;
 pub mod error;
 pub mod executor;
@@ -93,6 +96,7 @@ pub mod sweep;
 pub mod trace;
 
 pub use algorithm::{Algorithm, Neighborhood, Step};
+pub use domain::{Projection, ViewDomain};
 pub use encode::{CfgKey, ConfigCodec};
 pub use error::{GraphError, ModelError};
 pub use executor::{ExecObserver, Execution, ExecutionReport, ProcessStatus};

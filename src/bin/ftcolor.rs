@@ -66,6 +66,7 @@ fn main() -> ExitCode {
         "fuzz" => cmd_fuzz(&opts),
         "shrink" => cmd_shrink(&opts),
         "analyze" => cmd_analyze(&opts),
+        "certify" => cmd_certify(&opts),
         "netsim" => cmd_netsim(&opts),
         "serve" => cmd_serve(&opts),
         "cluster" => cmd_cluster(&opts),
@@ -95,6 +96,8 @@ USAGE:
   ftcolor fuzz       [--alg A] [--n N | --ids LIST] [--generations G] [--seed K] [--jobs J]
   ftcolor shrink     --in FILE [--out FILE] [--alg A] [--ids LIST] [--bound B] [--jobs J]
   ftcolor analyze    [--alg NAME|all] [--sizes LIST] [--rules CODES] [--format text|json]
+  ftcolor certify    [--alg NAME|all] [--domain-colors C] [--rules CODES]
+                     [--format text|json]
   ftcolor netsim     [--alg NAME|all] [--n N] [--seed K] [--faults JSON] [--max-time T]
                      [--format text|json] [--emit-trace]
   ftcolor serve      [--alg A] [--n N] [--instances I] [--rate R] [--seed K]
@@ -134,8 +137,11 @@ FLAGS:
   --out          write the shrunk result as a witness fixture JSON
   --bound        shrink a trace as an activation-bound overrun (> B)
   --sizes        analyze: cycle sizes to lint on, e.g. 5,8 (default 5,8)
-  --rules        analyze: keep only these rule codes, e.g.
+  --rules        analyze/certify: keep only these rule codes, e.g.
                  FTC-SWMR-001,FTC-RT-104 (default: all rules)
+  --domain-colors certify: candidate-color lattice bound for the
+                 abstract view domains (default 5, the paper's palette;
+                 values below an algorithm's claim breach the domain)
   --format       analyze/netsim/modelcheck: text | json (default text)
   --faults       netsim: inline fault-plan JSON, e.g.
                  '{\"drop\":0.1,\"crashes\":[{\"node\":2,\"at\":5}]}'
@@ -762,6 +768,76 @@ fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {
     }
     if unwaived > 0 {
         return Err(format!("{unwaived} unwaived diagnostic(s)"));
+    }
+    Ok(())
+}
+
+/// `ftcolor certify`: statically certify registry algorithms by
+/// abstract interpretation over their certified view domains, and exit
+/// nonzero on any unwaived finding — the same gate CI enforces.
+fn cmd_certify(opts: &HashMap<String, String>) -> Result<(), String> {
+    let colors: u64 = get(opts, "domain-colors", "5")
+        .parse()
+        .map_err(|e| format!("bad --domain-colors: {e}"))?;
+    let rules: Option<Vec<RuleId>> = match opts.get("rules") {
+        Some(list) => Some(
+            list.split(',')
+                .map(|c| {
+                    RuleId::from_code(c.trim())
+                        .ok_or_else(|| format!("unknown rule code `{}`", c.trim()))
+                })
+                .collect::<Result<_, _>>()?,
+        ),
+        None => None,
+    };
+    let alg = get(opts, "alg", "all");
+    let cfg = analyze::CertifyConfig::default();
+
+    let mut reports = if alg == "all" {
+        analyze::certify_all(colors, &cfg)
+    } else {
+        vec![analyze::certify_alg(alg, colors, &cfg).ok_or_else(|| {
+            format!(
+                "unknown --alg `{alg}` (expected one of {}, or `all`)",
+                analyze::SHIPPED.join(", ")
+            )
+        })?]
+    };
+    if let Some(rules) = &rules {
+        for r in &mut reports {
+            r.diagnostics.retain(|d| rules.contains(&d.rule));
+        }
+    }
+
+    let unwaived: usize = reports.iter().map(|r| r.unwaived().count()).sum();
+    match get(opts, "format", "text") {
+        "json" => println!("{}", analyze::render_cert_json(&reports)),
+        "text" => {
+            for r in &reports {
+                for d in &r.diagnostics {
+                    println!("{}", d.render());
+                }
+                let s = &r.stats;
+                let verdict = if s.reachable_states == 0 {
+                    "not certifiable (see waived finding)".to_string()
+                } else {
+                    let solo = match s.solo_bound {
+                        Some(b) => format!("solo bound {b}"),
+                        None => "no solo bound".to_string(),
+                    };
+                    format!(
+                        "{} states ({} decided), {} transitions, {} view regs, {solo}",
+                        s.reachable_states, s.decided_states, s.transitions, s.view_regs
+                    )
+                };
+                println!("certify {}: {verdict}", r.name);
+            }
+            println!("certify: {unwaived} unwaived finding(s)");
+        }
+        other => return Err(format!("unknown --format `{other}`")),
+    }
+    if unwaived > 0 {
+        return Err(format!("{unwaived} unwaived finding(s)"));
     }
     Ok(())
 }

@@ -1,5 +1,5 @@
 //! Property-based equivalence of the compact configuration encoding
-//! ([`ftcolor::checker::ConfigCodec`]) with the semantic configuration
+//! ([`ftcolor::model::encode::ConfigCodec`]) with the semantic configuration
 //! it replaces: two executions encode to equal [`CfgKey`]s **iff** their
 //! (states, registers, outputs) tuples — the old checker's `ConfigKey` —
 //! are equal. This is the exact-dedup soundness argument of the
@@ -7,7 +7,7 @@
 //! sizes, random identifiers, random schedule prefixes, two algorithms
 //! with different state shapes.
 
-use ftcolor::checker::{CfgKey, ConfigCodec};
+use ftcolor::model::encode::{CfgKey, ConfigCodec};
 use ftcolor::model::inputs;
 use ftcolor::prelude::*;
 use proptest::prelude::*;
