@@ -44,8 +44,14 @@ fn load(path: &str) -> Result<Vec<BenchRow>, String> {
     serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
 }
 
-fn key(r: &BenchRow) -> (String, String, bool, usize) {
-    (r.algorithm.clone(), r.instance.clone(), r.symmetry, r.bound)
+fn key(r: &BenchRow) -> (String, String, bool, bool, usize) {
+    (
+        r.algorithm.clone(),
+        r.instance.clone(),
+        r.symmetry,
+        r.por,
+        r.bound,
+    )
 }
 
 fn main() {
@@ -88,16 +94,16 @@ fn main() {
     for b in &baseline {
         let Some(c) = current.iter().find(|c| key(c) == key(b)) else {
             println!(
-                "skip (no current row): {} / {} sym={} bound={}",
-                b.algorithm, b.instance, b.symmetry, b.bound
+                "skip (no current row): {} / {} sym={} por={} bound={}",
+                b.algorithm, b.instance, b.symmetry, b.por, b.bound
             );
             continue;
         };
         compared += 1;
         if c.configs != b.configs {
             failures.push(format!(
-                "{} / {} sym={}: configs {} -> {} (determinism break!)",
-                b.algorithm, b.instance, b.symmetry, b.configs, c.configs
+                "{} / {} sym={} por={}: configs {} -> {} (determinism break!)",
+                b.algorithm, b.instance, b.symmetry, b.por, b.configs, c.configs
             ));
         }
         // configs/sec may only drop by max_drop percent. Tiny instances
@@ -105,15 +111,22 @@ fn main() {
         // timer noise — only multi-second rows are gated.
         if b.configs >= 100_000 && c.configs_per_sec * 100 < b.configs_per_sec * (100 - max_drop) {
             failures.push(format!(
-                "{} / {} sym={}: throughput {} -> {} cfg/s (>{}% drop)",
-                b.algorithm, b.instance, b.symmetry, b.configs_per_sec, c.configs_per_sec, max_drop
+                "{} / {} sym={} por={}: throughput {} -> {} cfg/s (>{}% drop)",
+                b.algorithm,
+                b.instance,
+                b.symmetry,
+                b.por,
+                b.configs_per_sec,
+                c.configs_per_sec,
+                max_drop
             ));
         }
         println!(
-            "ok: {} / {} sym={}: {} configs, {} -> {} cfg/s, peak {} -> {} KiB",
+            "ok: {} / {} sym={} por={}: {} configs, {} -> {} cfg/s, peak {} -> {} KiB",
             b.algorithm,
             b.instance,
             b.symmetry,
+            b.por,
             c.configs,
             b.configs_per_sec,
             c.configs_per_sec,
@@ -124,8 +137,8 @@ fn main() {
     for c in &current {
         if !baseline.iter().any(|b| key(b) == key(c)) {
             println!(
-                "new row (no baseline): {} / {} sym={} bound={}",
-                c.algorithm, c.instance, c.symmetry, c.bound
+                "new row (no baseline): {} / {} sym={} por={} bound={}",
+                c.algorithm, c.instance, c.symmetry, c.por, c.bound
             );
         }
     }

@@ -20,6 +20,14 @@
 //! for asymmetric identifier assignments, how little) the quotient
 //! collapses. The rotation-invariant instances (`C4 ids=[0,1,0,1]`,
 //! `C6 ids=[0,1,2,0,1,2]`) are the ones where orbits genuinely merge.
+//!
+//! The largest committed instance (`C5`) additionally gets `--por`
+//! twins: the same exploration under the ample-set partial-order
+//! reduction, with and without `--symmetry`. `run` asserts in-line that
+//! every reduced row reproduces its unreduced twin's verdicts (the
+//! differential suite in `tests/por_soundness.rs` pins the stronger
+//! bit-identity property); the `configs` column shows what the
+//! canonical-component staircase saves.
 
 use ftcolor_checker::modelcheck::ModelCheckOutcome;
 use ftcolor_checker::ParallelModelChecker;
@@ -40,6 +48,9 @@ pub struct Row {
     pub bound: usize,
     /// Whether the exploration ran in the orbit quotient (`--symmetry`).
     pub symmetry: bool,
+    /// Whether the exploration ran under partial-order reduction
+    /// (`--por`).
+    pub por: bool,
     /// Reachable configurations (orbit representatives when `symmetry`).
     pub configs: usize,
     /// Transitions explored.
@@ -79,6 +90,7 @@ fn row_from<O: std::fmt::Debug>(
     n: usize,
     bound: usize,
     symmetry: bool,
+    por: bool,
     o: &ModelCheckOutcome<O>,
 ) -> Row {
     Row {
@@ -87,6 +99,7 @@ fn row_from<O: std::fmt::Debug>(
         n,
         bound,
         symmetry,
+        por,
         configs: o.configs,
         edges: o.edges,
         safety_ok: o.safety_violation.is_none(),
@@ -139,6 +152,7 @@ pub fn run(max_configs: usize, jobs: usize) -> Vec<Row> {
                 n,
                 max_configs,
                 symmetry,
+                false,
                 &o,
             );
             // Algorithm 1's configuration graph is acyclic: compute the
@@ -165,6 +179,7 @@ pub fn run(max_configs: usize, jobs: usize) -> Vec<Row> {
                 n,
                 max_configs,
                 symmetry,
+                false,
                 &o,
             ));
 
@@ -179,6 +194,7 @@ pub fn run(max_configs: usize, jobs: usize) -> Vec<Row> {
                 n,
                 max_configs,
                 symmetry,
+                false,
                 &o,
             ));
 
@@ -199,6 +215,7 @@ pub fn run(max_configs: usize, jobs: usize) -> Vec<Row> {
                 n,
                 patched_cap,
                 symmetry,
+                false,
                 &o,
             ));
         }
@@ -229,9 +246,94 @@ pub fn run(max_configs: usize, jobs: usize) -> Vec<Row> {
                 n,
                 cap,
                 symmetry,
+                false,
                 &o,
             ));
         }
+    }
+
+    // Partial-order-reduction twins on the largest committed instance:
+    // C5 × {Alg1, Alg2, Alg2-patched} × {plain, --symmetry}, explored
+    // under the ample-set staircase. Each reduced row must reproduce
+    // its unreduced twin's verdicts — asserted here so the experiments
+    // binary itself is a soundness check, not just a stopwatch.
+    let por_label = "C5 ids=[0,1,2,3,4]".to_string();
+    let por_ids: Vec<u64> = vec![0, 1, 2, 3, 4];
+    let por_topo = Topology::cycle(5).unwrap();
+    macro_rules! por_twin {
+        ($alg:expr, $name:expr, $safety:expr, $cap:expr, $symmetry:expr) => {{
+            let o = ParallelModelChecker::new($alg, &por_topo, por_ids.clone())
+                .with_max_configs($cap)
+                .with_jobs(jobs)
+                .with_symmetry($symmetry)
+                .with_por(true)
+                .explore($safety)
+                .unwrap();
+            let row = row_from($name, por_label.clone(), 5, $cap, $symmetry, true, &o);
+            let twin = rows
+                .iter()
+                .find(|r| {
+                    !r.por
+                        && r.algorithm == $name
+                        && r.instance == por_label
+                        && r.symmetry == $symmetry
+                        && r.bound == $cap
+                })
+                .expect("every POR row has an unreduced twin");
+            assert_eq!(
+                twin.safety_ok, row.safety_ok,
+                "{}: safety verdict must survive the reduction",
+                $name
+            );
+            assert_eq!(
+                twin.complete, row.complete,
+                "{}: truncation must agree with the unreduced twin",
+                $name
+            );
+            if twin.complete {
+                assert_eq!(twin.livelock, row.livelock, "{}: livelock verdict", $name);
+                assert!(
+                    row.configs <= twin.configs,
+                    "{}: the reduction may never be larger ({} vs {})",
+                    $name,
+                    row.configs,
+                    twin.configs
+                );
+            }
+            rows.push(row);
+        }};
+    }
+    for symmetry in [false, true] {
+        por_twin!(
+            &SixColoring,
+            "Alg1 (6-coloring)",
+            |topo: &Topology, outputs: &[Option<_>]| {
+                if let Some((a, b)) = topo.first_conflict(outputs) {
+                    return Some(format!("conflict on edge {a}-{b}"));
+                }
+                outputs
+                    .iter()
+                    .flatten()
+                    .find(|c| c.weight() > 2)
+                    .map(|c| format!("color {c} outside palette"))
+            },
+            max_configs,
+            symmetry
+        );
+        por_twin!(
+            &FiveColoring,
+            "Alg2 (5-coloring)",
+            coloring_safety_u64,
+            max_configs,
+            symmetry
+        );
+        por_twin!(
+            &FiveColoringPatched,
+            "Alg2-patched",
+            coloring_safety_u64,
+            max_configs.min(400_000),
+            symmetry
+        );
     }
     rows
 }
@@ -254,6 +356,8 @@ pub struct BenchRow {
     pub bound: usize,
     /// Whether the exploration ran in the orbit quotient.
     pub symmetry: bool,
+    /// Whether the exploration ran under partial-order reduction.
+    pub por: bool,
     /// Reachable configurations (deterministic for a given bound).
     pub configs: usize,
     /// Exploration throughput in configurations per second.
@@ -271,6 +375,7 @@ pub fn snapshot(rows: &[Row]) -> Vec<BenchRow> {
             n: r.n,
             bound: r.bound,
             symmetry: r.symmetry,
+            por: r.por,
             configs: r.configs,
             configs_per_sec: r.configs_per_sec,
             peak_visited_bytes: r.peak_visited_bytes,
@@ -286,6 +391,7 @@ pub fn table(rows: &[Row]) -> String {
             "algorithm",
             "instance",
             "sym",
+            "por",
             "configs",
             "edges",
             "safety",
@@ -303,6 +409,7 @@ pub fn table(rows: &[Row]) -> String {
                     r.algorithm.to_string(),
                     r.instance.clone(),
                     if r.symmetry { "yes" } else { "-" }.into(),
+                    if r.por { "yes" } else { "-" }.into(),
                     r.configs.to_string(),
                     r.edges.to_string(),
                     if r.safety_ok {
@@ -359,14 +466,25 @@ mod tests {
             let twin = rows
                 .iter()
                 .find(|r| {
-                    r.symmetry && r.algorithm == full.algorithm && r.instance == full.instance
+                    r.symmetry
+                        && r.por == full.por
+                        && r.algorithm == full.algorithm
+                        && r.instance == full.instance
                 })
                 .expect("every row has a symmetry twin");
             assert_eq!(full.safety_ok, twin.safety_ok, "{full:?}");
             if full.complete {
                 assert!(twin.complete, "quotient of a complete space: {twin:?}");
                 assert_eq!(full.livelock, twin.livelock, "{full:?}");
-                assert!(twin.configs <= full.configs, "{full:?} vs {twin:?}");
+                // Under POR the quotient is not necessarily smaller:
+                // the staircase picks subsets relative to each
+                // representative's working ids, so quotient-of-reduced
+                // and reduced-of-quotient reach slightly different
+                // representative sets (verdicts still agree). The
+                // monotonicity claim holds for the unreduced rows.
+                if !full.por {
+                    assert!(twin.configs <= full.configs, "{full:?} vs {twin:?}");
+                }
                 assert_eq!(full.exact_worst, twin.exact_worst, "{full:?}");
             }
         }
@@ -377,7 +495,7 @@ mod tests {
         {
             let twin = rows
                 .iter()
-                .find(|r| r.symmetry && r.instance == full.instance)
+                .find(|r| r.symmetry && !r.por && r.instance == full.instance)
                 .unwrap();
             assert!(
                 twin.configs * 2 <= full.configs,

@@ -15,11 +15,15 @@
 //!   is just "no further activations"), checks a safety predicate at
 //!   every configuration, and detects livelocks as cycles in the
 //!   configuration graph;
-//! * [`encode`] — a deprecated shim over
-//!   [`ftcolor_model::encode`], the compact configuration codec backing
-//!   the explorers (packed interned buffers, incremental per-slot
-//!   hashing, clone-free step/undo successor generation), which now
-//!   lives in `ftcolor-model` next to the executor hooks it drives;
+//! * [`por`] — certified partial-order reduction for the explorers:
+//!   connected-activation-set decomposition (exact) plus the
+//!   canonical-component staircase (verdict-preserving under a solo-
+//!   termination certificate), gated by a per-algorithm certificate that
+//!   is cross-examined dynamically before any reduced run;
+//! * [`extmem`] — external-memory visited sets for explorations past
+//!   RAM: sorted on-disk runs with delayed duplicate detection
+//!   (bit-identical outcomes), and an opt-in lossy Bloom-filter sweep
+//!   for falsification-only runs;
 //! * [`symmetry`] — opt-in orbit canonicalization under the cycle's
 //!   automorphism group (rotations + reflections), with the soundness
 //!   guard and the witness de-canonicalization algebra;
@@ -41,10 +45,13 @@
 
 pub mod adversary;
 pub mod chains;
-pub mod encode;
+#[cfg(test)]
+mod codec_pin;
+pub mod extmem;
 pub mod invariants;
 pub mod modelcheck;
 pub mod parallel;
+pub mod por;
 pub mod shrink;
 pub mod ssb;
 pub mod stats;
@@ -52,10 +59,7 @@ pub mod symmetry;
 
 pub use adversary::{FuzzConfig, FuzzReport, Objective, ScheduleFuzzer};
 pub use chains::ChainAnalysis;
-// Historical crate-root paths; the aliases themselves are deprecated,
-// so external callers get the migration note while these keep compiling.
-#[allow(deprecated)]
-pub use encode::{CfgKey, ConfigCodec};
+pub use extmem::ExtmemConfig;
 pub use invariants::{check_coloring_report, ColoringCheck};
 pub use modelcheck::{
     LivelockWitness, ModelCheckError, ModelCheckOutcome, ModelChecker, SafetyViolation,

@@ -41,10 +41,27 @@
 //! de-canonicalization that keeps every surfaced schedule concretely
 //! replayable on the original instance.
 //!
+//! With [`ModelChecker::with_por`] the checker applies certified
+//! **partial-order reduction** (see [`crate::por`]): activation subsets
+//! that merely interleave commuting, non-adjacent activations are
+//! skipped, guarded — like symmetry — by a per-algorithm certificate
+//! ([`ftcolor_model::Algorithm::por_certificate`]) that is additionally
+//! cross-examined by a dynamic commutation probe before exploration
+//! starts. POR composes with symmetry: reduction happens on the
+//! canonical representative's working set, and since every reduced edge
+//! is a real edge, witness de-canonicalization is unchanged.
+//!
+//! Transitions are stored **packed** — `(target, subset bitmask, frame
+//! automorphism)` in 12 bytes — and decoded against the source node's
+//! working set only when a witness needs materializing; at millions of
+//! configurations this keeps the edge arena an order of magnitude
+//! smaller than heap-allocated activation sets would be.
+//!
 //! Experiment E6 runs this on `C3`/`C4` for Algorithms 1–3 (finding the
 //! crash-livelock of Algorithms 2/3 automatically, and verifying
 //! Algorithm 1 clean); E7 runs it on the MIS candidates.
 
+use crate::por::{self, PorContext};
 use crate::stats::ExploreStats;
 use crate::symmetry::{CycleSymmetry, SIGMA_ID};
 use ftcolor_model::encode::{CfgKey, ConfigCodec, PassthroughBuild};
@@ -104,6 +121,12 @@ pub struct ModelCheckOutcome<O> {
     /// Whether exploration was truncated by the configuration cap (all
     /// reported facts still hold for the explored subgraph).
     pub truncated: bool,
+    /// Whether the exploration was **lossy** (Bloom-filter visited set):
+    /// false positives may have silently pruned unexplored states, so a
+    /// clean lossy run proves nothing — only found violations (which are
+    /// exact, replayable witnesses) count. Always `false` for the sound
+    /// exploration modes.
+    pub lossy: bool,
     /// Performance counters for this exploration (configs/sec, memory,
     /// dedup hit-rate). Not part of equality: wall-clock varies.
     pub stats: ExploreStats,
@@ -118,14 +141,16 @@ impl<O: PartialEq> PartialEq for ModelCheckOutcome<O> {
             && self.livelock == other.livelock
             && self.outputs_seen == other.outputs_seen
             && self.truncated == other.truncated
+            && self.lossy == other.lossy
     }
 }
 
 impl<O> ModelCheckOutcome<O> {
     /// `true` when no safety violation and no livelock were found and
-    /// exploration was complete.
+    /// exploration was complete **and sound** (a lossy Bloom run never
+    /// counts as clean, no matter what it saw).
     pub fn clean(&self) -> bool {
-        self.safety_violation.is_none() && self.livelock.is_none() && !self.truncated
+        self.safety_violation.is_none() && self.livelock.is_none() && !self.truncated && !self.lossy
     }
 }
 
@@ -140,7 +165,11 @@ impl<O: fmt::Debug> fmt::Display for ModelCheckOutcome<O> {
             self.safety_violation.as_ref().map_or("ok", |_| "VIOLATED"),
             self.livelock.as_ref().map_or("none", |_| "FOUND"),
             self.truncated
-        )
+        )?;
+        if self.lossy {
+            write!(f, " lossy=true")?;
+        }
+        Ok(())
     }
 }
 
@@ -168,6 +197,7 @@ pub struct ModelChecker<'a, A: Algorithm> {
     inputs: Vec<A::Input>,
     max_configs: usize,
     symmetry: bool,
+    por: bool,
 }
 
 /// Exploration failed structurally (e.g. the instance is too large).
@@ -184,6 +214,25 @@ pub enum ModelCheckError {
     ///
     /// [`Algorithm::relabel_view`]: ftcolor_model::Algorithm::relabel_view
     SymmetryUncertifiedAlgorithm,
+    /// Partial-order reduction was requested for an algorithm whose
+    /// [`Algorithm::por_certificate`] returns
+    /// [`ftcolor_model::PorCert::Uncertified`] — the checker refuses to
+    /// skip interleavings without an independence promise to verify.
+    ///
+    /// [`Algorithm::por_certificate`]: ftcolor_model::Algorithm::por_certificate
+    PorUncertifiedAlgorithm,
+    /// The algorithm *claims* a POR certificate, but the dynamic
+    /// commutation/termination probe refuted it on this instance; the
+    /// payload describes the first observed contradiction. No reduced
+    /// exploration is attempted.
+    PorCertificateViolation(String),
+    /// Both the external-memory and the Bloom visited-set modes were
+    /// requested; they are mutually exclusive.
+    VisitedModeConflict,
+    /// The external-memory visited set hit an I/O error (payload is the
+    /// formatted [`std::io::Error`]; kept as a string so the error type
+    /// stays `Eq`/comparable in differential tests).
+    ExtmemIo(String),
 }
 
 impl fmt::Display for ModelCheckError {
@@ -199,6 +248,24 @@ impl fmt::Display for ModelCheckError {
                     "symmetry reduction requires the algorithm to certify relabel_view"
                 )
             }
+            ModelCheckError::PorUncertifiedAlgorithm => {
+                write!(
+                    f,
+                    "partial-order reduction requires the algorithm to certify por_certificate"
+                )
+            }
+            ModelCheckError::PorCertificateViolation(why) => {
+                write!(f, "POR certificate refuted by the dynamic probe: {why}")
+            }
+            ModelCheckError::VisitedModeConflict => {
+                write!(
+                    f,
+                    "the external-memory and Bloom visited-set modes are mutually exclusive"
+                )
+            }
+            ModelCheckError::ExtmemIo(e) => {
+                write!(f, "external-memory visited set I/O failed: {e}")
+            }
         }
     }
 }
@@ -213,37 +280,72 @@ impl std::error::Error for ModelCheckError {}
 /// Panics if `working` has 24 or more entries (the instance is far too
 /// large for exhaustive exploration anyway).
 pub fn all_nonempty_subsets(working: &[ftcolor_model::ProcessId]) -> Vec<ActivationSet> {
-    let k = working.len();
-    assert!(k < 24, "subset enumeration needs a small instance");
-    (1..(1usize << k))
-        .map(|mask| ActivationSet::of((0..k).filter(|i| mask & (1 << i) != 0).map(|i| working[i])))
+    subsets_with_masks(working)
+        .into_iter()
+        .map(|(_, set)| set)
         .collect()
 }
 
-/// One transition of the configuration graph: target node, the
-/// activation set taken (in the source node's frame), and the
+/// [`all_nonempty_subsets`] paired with each subset's bitmask over
+/// `working` (bit `i` activates `working[i]`) — the packed form the
+/// explorers store in [`Edge`]s. Masks enumerate ascending, so every
+/// exploration mode branches in the same deterministic order.
+///
+/// # Panics
+///
+/// Panics if `working` has 24 or more entries.
+pub(crate) fn subsets_with_masks(working: &[ProcessId]) -> Vec<(u32, ActivationSet)> {
+    let k = working.len();
+    assert!(k < 24, "subset enumeration needs a small instance");
+    (1..(1u32 << k))
+        .map(|mask| (mask, decode_mask(mask, working)))
+        .collect()
+}
+
+/// Expands a packed subset bitmask back into an activation set against
+/// the source configuration's (ascending) working list.
+pub(crate) fn decode_mask(mask: u32, working: &[ProcessId]) -> ActivationSet {
+    ActivationSet::of(
+        (0..working.len())
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| working[i]),
+    )
+}
+
+/// One transition of the configuration graph, packed: target node, the
+/// bitmask of the activation subset taken (over the **source** node's
+/// ascending working list — decode with [`decode_mask`]), and the
 /// automorphism that canonicalized the raw successor (`SIGMA_ID`
-/// outside symmetry mode).
-#[derive(Debug, Clone)]
+/// outside symmetry mode). 12 bytes, `Copy`: at millions of
+/// configurations the edge arena stays RAM-resident where heap
+/// activation sets would not.
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct Edge {
-    pub to: usize,
-    pub set: ActivationSet,
+    pub to: u32,
+    pub mask: u32,
     pub sig: u16,
 }
 
-/// BFS parent link: parent id, activation set, canonicalizing
-/// automorphism of the edge.
-pub(crate) type ParentLink = Option<(usize, ActivationSet, u16)>;
+/// BFS parent link: parent id, activation-subset bitmask (in the
+/// parent's frame), canonicalizing automorphism of the edge.
+pub(crate) type ParentLink = Option<(u32, u32, u16)>;
 
 /// Walks the BFS parent chain from node `id` back to the root, returning
 /// the activation-set schedule that reaches `id` from the initial
-/// configuration. Only valid outside symmetry mode (automorphism frames
-/// are ignored); symmetry-mode callers use [`frame_schedule`].
-pub(crate) fn schedule_to(parents: &[ParentLink], mut id: usize) -> Vec<ActivationSet> {
+/// configuration; `working_of` resolves a node id to its configuration's
+/// working list (restoring the packed node) so each stored mask can be
+/// decoded in its parent's frame. Only valid outside symmetry mode
+/// (automorphism frames are ignored); symmetry-mode callers use
+/// [`frame_schedule`].
+pub(crate) fn schedule_to(
+    parents: &[ParentLink],
+    mut id: usize,
+    working_of: &mut impl FnMut(usize) -> Vec<ProcessId>,
+) -> Vec<ActivationSet> {
     let mut sched = Vec::new();
-    while let Some((p, set, _)) = &parents[id] {
-        sched.push(set.clone());
-        id = *p;
+    while let Some((p, mask, _)) = &parents[id] {
+        id = *p as usize;
+        sched.push(decode_mask(*mask, &working_of(id)));
     }
     sched.reverse();
     sched
@@ -259,11 +361,12 @@ pub(crate) fn frame_schedule(
     mut id: usize,
     sym: &CycleSymmetry,
     root_sig: u16,
+    working_of: &mut impl FnMut(usize) -> Vec<ProcessId>,
 ) -> (Vec<ActivationSet>, u16) {
     let mut chain: Vec<(ActivationSet, u16)> = Vec::new();
-    while let Some((p, set, sig)) = &parents[id] {
-        chain.push((set.clone(), *sig));
-        id = *p;
+    while let Some((p, mask, sig)) = &parents[id] {
+        id = *p as usize;
+        chain.push((decode_mask(*mask, &working_of(id)), *sig));
     }
     chain.reverse();
 
@@ -295,6 +398,7 @@ pub(crate) fn concrete_safety_witness<A: Algorithm>(
     sym: Option<&CycleSymmetry>,
     root_sig: u16,
     safety: &impl Fn(&Topology, &[Option<A::Output>]) -> Option<String>,
+    working_of: &mut impl FnMut(usize) -> Vec<ProcessId>,
 ) -> SafetyViolation
 where
     A::Input: Clone,
@@ -302,10 +406,10 @@ where
     match sym {
         None => SafetyViolation {
             description: canonical_desc,
-            schedule: schedule_to(parents, id),
+            schedule: schedule_to(parents, id, working_of),
         },
         Some(s) => {
-            let (schedule, _) = frame_schedule(parents, id, s, root_sig);
+            let (schedule, _) = frame_schedule(parents, id, s, root_sig, working_of);
             let mut exec = Execution::new(alg, topo, inputs.to_vec());
             for set in &schedule {
                 exec.step_with(set);
@@ -330,14 +434,15 @@ pub(crate) fn concrete_livelock_witness(
     cycle: &[(ActivationSet, u16)],
     sym: Option<&CycleSymmetry>,
     root_sig: u16,
+    working_of: &mut impl FnMut(usize) -> Vec<ProcessId>,
 ) -> LivelockWitness {
     match sym {
         None => LivelockWitness {
-            prefix: schedule_to(parents, entry),
+            prefix: schedule_to(parents, entry, working_of),
             cycle: cycle.iter().map(|(set, _)| set.clone()).collect(),
         },
         Some(s) => {
-            let (prefix, mut tau) = frame_schedule(parents, entry, s, root_sig);
+            let (prefix, mut tau) = frame_schedule(parents, entry, s, root_sig, working_of);
             let rho = cycle
                 .iter()
                 .fold(SIGMA_ID, |acc, (_, sig)| s.compose(acc, s.invert(*sig)));
@@ -357,15 +462,21 @@ pub(crate) fn concrete_livelock_witness(
     }
 }
 
+/// A livelock lasso: the cycle's entry node plus, per edge around the
+/// loop, the `(source node, subset bitmask, edge automorphism)` triple.
+pub(crate) type Lasso = (usize, Vec<(usize, u32, u16)>);
+
 /// Finds a cycle in the configuration graph via iterative DFS with
-/// tri-color marking; returns the cycle entry node and the
-/// (activation set, edge automorphism) pairs around the cycle.
+/// tri-color marking; returns the cycle entry node and, per edge around
+/// the cycle, the `(source node, subset bitmask, edge automorphism)`
+/// triple — decode each mask against its source node's working list
+/// ([`decode_mask`]) to materialize the activation sets.
 ///
 /// Invariant used for witness extraction: after taking edge index `ei`
 /// out of node `u`, the stack entry stores `ei + 1`, so the edge from
 /// `stack[w]` toward `stack[w+1]` (or the closing back edge, for the top
 /// entry) is always `edges[node][stored_ei − 1]`.
-pub(crate) fn find_cycle(edges: &[Vec<Edge>]) -> Option<(usize, Vec<(ActivationSet, u16)>)> {
+pub(crate) fn find_cycle(edges: &[Vec<Edge>]) -> Option<Lasso> {
     #[derive(Clone, Copy, PartialEq)]
     enum Color {
         White,
@@ -387,7 +498,7 @@ pub(crate) fn find_cycle(edges: &[Vec<Edge>]) -> Option<(usize, Vec<(ActivationS
                 continue;
             }
             stack.last_mut().expect("nonempty").1 = ei + 1;
-            let v = edges[u][ei].to;
+            let v = edges[u][ei].to as usize;
             match color[v] {
                 Color::White => {
                     color[v] = Color::Gray;
@@ -403,7 +514,7 @@ pub(crate) fn find_cycle(edges: &[Vec<Edge>]) -> Option<(usize, Vec<(ActivationS
                         .iter()
                         .map(|&(node, next_ei)| {
                             let e = &edges[node][next_ei - 1];
-                            (e.set.clone(), e.sig)
+                            (node, e.mask, e.sig)
                         })
                         .collect();
                     return Some((v, cycle));
@@ -413,6 +524,18 @@ pub(crate) fn find_cycle(edges: &[Vec<Edge>]) -> Option<(usize, Vec<(ActivationS
         }
     }
     None
+}
+
+/// Decodes a raw [`find_cycle`] result into `(activation set, edge
+/// automorphism)` pairs via each edge's source node.
+pub(crate) fn decode_cycle(
+    cycle: &[(usize, u32, u16)],
+    working_of: &mut impl FnMut(usize) -> Vec<ProcessId>,
+) -> Vec<(ActivationSet, u16)> {
+    cycle
+        .iter()
+        .map(|&(src, mask, sig)| (decode_mask(mask, &working_of(src)), sig))
+        .collect()
 }
 
 /// Exact worst-case per-process activation count over all paths of an
@@ -428,12 +551,13 @@ pub(crate) fn worst_case_from_graph(
     edges: &[Vec<Edge>],
     n: usize,
     sym: Option<&CycleSymmetry>,
+    working_of: &mut impl FnMut(usize) -> Vec<ProcessId>,
 ) -> Option<u64> {
     let m = edges.len();
     let mut indeg = vec![0usize; m];
     for outs in edges {
         for e in outs {
-            indeg[e.to] += 1;
+            indeg[e.to as usize] += 1;
         }
     }
     let mut order = Vec::with_capacity(m);
@@ -441,9 +565,9 @@ pub(crate) fn worst_case_from_graph(
     while let Some(u) = q.pop_front() {
         order.push(u);
         for e in &edges[u] {
-            indeg[e.to] -= 1;
-            if indeg[e.to] == 0 {
-                q.push_back(e.to);
+            indeg[e.to as usize] -= 1;
+            if indeg[e.to as usize] == 0 {
+                q.push_back(e.to as usize);
             }
         }
     }
@@ -456,15 +580,23 @@ pub(crate) fn worst_case_from_graph(
     for &u in &order {
         answer = answer.max(best[u].iter().copied().max().unwrap_or(0));
         let from = best[u].clone();
+        let working = working_of(u);
         for e in edges[u].clone() {
             for (i, &acts) in from.iter().enumerate() {
-                let inc = u64::from(e.set.activates(ftcolor_model::ProcessId(i)));
+                // Mask bit j activates working[j]; process i is activated
+                // iff it sits at such a position in the working list.
+                let inc = u64::from(
+                    working
+                        .iter()
+                        .position(|p| p.index() == i)
+                        .is_some_and(|j| e.mask & (1 << j) != 0),
+                );
                 // Successor-frame index of source-frame process i.
                 let j = match sym {
                     Some(s) => s.perm(e.sig)[i] as usize,
                     None => i,
                 };
-                best[e.to][j] = best[e.to][j].max(acts + inc);
+                best[e.to as usize][j] = best[e.to as usize][j].max(acts + inc);
             }
         }
     }
@@ -472,10 +604,14 @@ pub(crate) fn worst_case_from_graph(
 }
 
 /// Everything `explore`/`exact_worst_case` share: the quotiented (or
-/// plain) configuration graph plus bookkeeping.
+/// plain) configuration graph plus bookkeeping. `nodes` keeps every
+/// packed configuration (cheap: the buffers are `Arc`-shared with the
+/// visited set) so packed edge masks can be decoded lazily when a
+/// witness is materialized.
 struct SeqGraph<O> {
     edges: Vec<Vec<Edge>>,
     parents: Vec<ParentLink>,
+    nodes: Vec<CfgKey>,
     configs: usize,
     edge_count: usize,
     fully_terminated: usize,
@@ -502,6 +638,7 @@ where
             inputs,
             max_configs: 2_000_000,
             symmetry: false,
+            por: false,
         }
     }
 
@@ -527,6 +664,39 @@ where
     pub fn with_symmetry(mut self, on: bool) -> Self {
         self.symmetry = on;
         self
+    }
+
+    /// Enables certified **partial-order reduction** (see [`crate::por`]
+    /// for the construction and soundness proofs): only connected
+    /// activation subsets are branched on — and, for algorithms
+    /// certifying solo termination, only subsets of the canonical
+    /// working component. Safety, livelock, and truncation verdicts are
+    /// preserved, every witness remains a concretely replayable
+    /// schedule, and the reduction composes with
+    /// [`Self::with_symmetry`].
+    ///
+    /// Two guards apply before any reduced exploration: the algorithm
+    /// must certify [`ftcolor_model::Algorithm::por_certificate`]
+    /// (otherwise [`ModelCheckError::PorUncertifiedAlgorithm`]) and the
+    /// certificate must survive a dynamic commutation/termination probe
+    /// on the actual instance (otherwise
+    /// [`ModelCheckError::PorCertificateViolation`]).
+    ///
+    /// [`Self::exact_worst_case`] deliberately ignores this flag: the
+    /// staircase defers activations in ways that preserve verdicts but
+    /// not the per-path activation-count maximum.
+    pub fn with_por(mut self, on: bool) -> Self {
+        self.por = on;
+        self
+    }
+
+    /// Resolves and dynamically cross-examines the POR certificate,
+    /// returning the reduction context (or `None` when POR is off).
+    fn por_context(&self) -> Result<Option<PorContext>, ModelCheckError> {
+        if !self.por {
+            return Ok(None);
+        }
+        por_gate(self.alg, self.topo, &self.inputs).map(Some)
     }
 
     fn symmetry_group(
@@ -555,11 +725,13 @@ where
         &self,
         safety: &impl Fn(&Topology, &[Option<A::Output>]) -> Option<String>,
         track_outputs: bool,
-    ) -> Result<SeqGraph<A::Output>, ModelCheckError> {
+        use_por: bool,
+    ) -> Result<(SeqGraph<A::Output>, ConfigCodec<A>), ModelCheckError> {
         let t0 = Instant::now();
         let mut scratch = Execution::try_new(self.alg, self.topo, self.inputs.clone())
             .map_err(|_| ModelCheckError::InputLengthMismatch)?;
         let sym = self.symmetry_group(&scratch)?;
+        let por = if use_por { self.por_context()? } else { None };
         let codec: ConfigCodec<A> = ConfigCodec::new(self.topo.len());
 
         let root = codec.encode(&scratch);
@@ -573,11 +745,11 @@ where
 
         let mut visited: HashMap<CfgKey, usize, PassthroughBuild> =
             HashMap::with_hasher(PassthroughBuild::default());
-        let mut nodes: Vec<CfgKey> = Vec::new();
         let mut queue: VecDeque<usize> = VecDeque::new();
         let mut g = SeqGraph {
             edges: vec![Vec::new()],
             parents: vec![None],
+            nodes: Vec::new(),
             configs: 1,
             edge_count: 0,
             fully_terminated: 0,
@@ -590,13 +762,14 @@ where
         };
         let mut seen_set: HashSet<A::Output> = HashSet::new();
         let (mut dedup_hits, mut dedup_lookups) = (0u64, 0u64);
+        let mut por_pruned = 0u64;
 
         visited.insert(root.clone(), 0);
-        nodes.push(root);
+        g.nodes.push(root);
         queue.push_back(0);
 
         while let Some(id) = queue.pop_front() {
-            codec.restore(&mut scratch, &nodes[id]);
+            codec.restore(&mut scratch, &g.nodes[id]);
             // Safety at this configuration (covers the crash-everything-
             // here execution).
             if track_outputs {
@@ -619,8 +792,16 @@ where
                 g.truncated = true;
                 continue;
             }
-            let parent = nodes[id].clone();
-            for set in all_nonempty_subsets(scratch.working()) {
+            let parent = g.nodes[id].clone();
+            let subsets = match &por {
+                Some(p) => {
+                    let reduced = p.reduced_subsets(scratch.working());
+                    por_pruned += ((1u64 << scratch.working().len()) - 1) - reduced.len() as u64;
+                    reduced
+                }
+                None => subsets_with_masks(scratch.working()),
+            };
+            for (mask, set) in subsets {
                 let touched = scratch.step_with(&set);
                 let key = codec.encode_delta(&parent, &scratch, &touched);
                 let (key, sig) = match &g.sym {
@@ -636,17 +817,17 @@ where
                     None => {
                         let nid = g.edges.len();
                         visited.insert(key.clone(), nid);
-                        nodes.push(key);
+                        g.nodes.push(key);
                         g.edges.push(Vec::new());
-                        g.parents.push(Some((id, set.clone(), sig)));
+                        g.parents.push(Some((node_id32(id), mask, sig)));
                         queue.push_back(nid);
                         g.configs += 1;
                         nid
                     }
                 };
                 g.edges[id].push(Edge {
-                    to: next_id,
-                    set,
+                    to: node_id32(next_id),
+                    mask,
                     sig,
                 });
                 g.edge_count += 1;
@@ -662,7 +843,8 @@ where
             dedup_lookups,
             interned_total(&codec),
         );
-        Ok(g)
+        g.stats.por_pruned_sets = por_pruned;
+        Ok((g, codec))
     }
 
     /// Explores the reachable configuration graph, checking `safety` at
@@ -678,7 +860,13 @@ where
         &self,
         safety: impl Fn(&Topology, &[Option<A::Output>]) -> Option<String>,
     ) -> Result<ModelCheckOutcome<A::Output>, ModelCheckError> {
-        let g = self.build_graph(&safety, true)?;
+        let (g, codec) = self.build_graph(&safety, true, self.por)?;
+        let mut decode_scratch = Execution::try_new(self.alg, self.topo, self.inputs.clone())
+            .map_err(|_| ModelCheckError::InputLengthMismatch)?;
+        let mut working_of = |id: usize| -> Vec<ProcessId> {
+            codec.restore(&mut decode_scratch, &g.nodes[id]);
+            decode_scratch.working().to_vec()
+        };
         let safety_violation = g.first_violation.as_ref().map(|(id, desc)| {
             concrete_safety_witness(
                 self.alg,
@@ -690,10 +878,19 @@ where
                 g.sym.as_ref(),
                 g.root_sig,
                 &safety,
+                &mut working_of,
             )
         });
-        let livelock = find_cycle(&g.edges).map(|(entry, cycle)| {
-            concrete_livelock_witness(&g.parents, entry, &cycle, g.sym.as_ref(), g.root_sig)
+        let livelock = find_cycle(&g.edges).map(|(entry, raw)| {
+            let cycle = decode_cycle(&raw, &mut working_of);
+            concrete_livelock_witness(
+                &g.parents,
+                entry,
+                &cycle,
+                g.sym.as_ref(),
+                g.root_sig,
+                &mut working_of,
+            )
         });
         Ok(ModelCheckOutcome {
             configs: g.configs,
@@ -703,6 +900,7 @@ where
             livelock,
             outputs_seen: g.outputs_seen,
             truncated: g.truncated,
+            lossy: false,
             stats: g.stats,
         })
     }
@@ -741,13 +939,51 @@ where
     pub fn exact_worst_case_with_stats(
         &self,
     ) -> Result<(Option<u64>, ExploreStats), ModelCheckError> {
-        let g = self.build_graph(&|_, _| None, false)?;
+        // POR is deliberately not applied here (see `with_por`): the DP
+        // needs every path's activation counts, which the staircase does
+        // not preserve.
+        let (g, codec) = self.build_graph(&|_, _| None, false, false)?;
         if g.truncated {
             return Ok((None, g.stats)); // truncated: cannot certify
         }
-        let w = worst_case_from_graph(&g.edges, self.topo.len(), g.sym.as_ref());
+        let mut decode_scratch = Execution::try_new(self.alg, self.topo, self.inputs.clone())
+            .map_err(|_| ModelCheckError::InputLengthMismatch)?;
+        let mut working_of = |id: usize| -> Vec<ProcessId> {
+            codec.restore(&mut decode_scratch, &g.nodes[id]);
+            decode_scratch.working().to_vec()
+        };
+        let w = worst_case_from_graph(&g.edges, self.topo.len(), g.sym.as_ref(), &mut working_of);
         Ok((w, g.stats))
     }
+}
+
+/// Narrows a node id for packed [`Edge`]/[`ParentLink`] storage. Caps
+/// keep explorations far below `2^32` nodes; a hypothetical overflow
+/// panics rather than corrupting the graph.
+pub(crate) fn node_id32(id: usize) -> u32 {
+    u32::try_from(id).expect("node ids fit in u32")
+}
+
+/// Resolves an algorithm's POR certificate and cross-examines it
+/// dynamically, returning a ready reduction context. Shared by the
+/// sequential and parallel engines so both apply the exact same gate
+/// (refusal errors included) before any reduced exploration.
+pub(crate) fn por_gate<A: Algorithm>(
+    alg: &A,
+    topo: &Topology,
+    inputs: &[A::Input],
+) -> Result<PorContext, ModelCheckError>
+where
+    A::State: Eq + Hash,
+    A::Reg: Eq + Hash,
+    A::Output: Eq + Hash,
+    A::Input: Clone,
+{
+    let staircase = por::staircase_for(alg.por_certificate())
+        .ok_or(ModelCheckError::PorUncertifiedAlgorithm)?;
+    por::certify_dynamic(alg, topo, inputs, staircase)
+        .map_err(ModelCheckError::PorCertificateViolation)?;
+    Ok(PorContext::new(topo, staircase))
 }
 
 /// Rough visited-set footprint: per-config packed buffer + map entry +

@@ -46,16 +46,47 @@
 //! canonicalize successors the same way (orbit representatives are
 //! elected by run-independent value hashes, not intern-index assignment
 //! order), so parallel symmetry-reduced runs match sequential ones too.
+//!
+//! # Reduced and external-memory modes
+//!
+//! [`ParallelModelChecker::with_por`] enumerates the certified reduced
+//! activation-subset family (see [`crate::por`]) instead of all
+//! `2^|working| − 1` subsets; because the reduced family is a pure
+//! function of the source configuration — enumerated in the same
+//! ascending-mask order as the full family — the level-synchronized
+//! merge replays the sequential reduced exploration verbatim, and
+//! `--por` outcomes stay bit-identical at every thread count.
+//!
+//! [`ParallelModelChecker::with_extmem`] swaps the sharded in-RAM
+//! visited-set for the disk-backed [`ExtVisited`] store. The expand
+//! phase then classifies *every* successor as fresh (no concurrent disk
+//! probing); the merge phase first resolves the level's fresh keys in
+//! one batched streaming pass over the sorted runs (delayed duplicate
+//! detection), then falls back to a level-local exact map — the same
+//! two-tier lookup the RAM path performs, so every counter and id
+//! assignment is bit-identical to the in-RAM run. Only the key→id map
+//! is budgeted: the node arena and edge lists stay RAM-resident.
+//!
+//! [`ParallelModelChecker::with_bloom`] replaces the visited-set with a
+//! lossy Bloom filter for falsification-only sweeps: duplicate
+//! suppression keeps no node ids, so suppressed edges are dropped from
+//! the graph and cycle detection is impossible — outcomes carry
+//! `lossy = true`, report `livelock: None` categorically, and never
+//! compare equal to sound runs. Safety violations found this way are
+//! still real (their parent chains are intact and replayable); a clean
+//! Bloom run certifies nothing, and the honest false-positive budget is
+//! reported in [`ExploreStats::bloom_fp_per_million`].
 
+use crate::extmem::{BloomVisited, ExtVisited, ExtmemConfig, BLOOM_HASHES};
 use crate::modelcheck::{
-    all_nonempty_subsets, concrete_livelock_witness, concrete_safety_witness, find_cycle,
-    interned_total, visited_bytes, worst_case_from_graph, Edge, ModelCheckError, ModelCheckOutcome,
-    ParentLink,
+    concrete_livelock_witness, concrete_safety_witness, decode_cycle, find_cycle, interned_total,
+    node_id32, por_gate, subsets_with_masks, visited_bytes, worst_case_from_graph, Edge,
+    ModelCheckError, ModelCheckOutcome, ParentLink,
 };
+use crate::por::PorContext;
 use crate::stats::ExploreStats;
 use crate::symmetry::{CycleSymmetry, SIGMA_ID};
 use ftcolor_model::encode::{CfgKey, ConfigCodec, PassthroughBuild};
-use ftcolor_model::schedule::ActivationSet;
 use ftcolor_model::sweep::RangeQueue;
 use ftcolor_model::{Algorithm, Execution, ProcessId, Topology};
 use parking_lot::Mutex;
@@ -100,15 +131,26 @@ impl ShardedMap {
     }
 }
 
+/// The visited-set backing an exploration: exact in-RAM (default),
+/// exact external-memory, or lossy Bloom.
+enum Backend {
+    Ram(ShardedMap),
+    Ext(ExtVisited),
+    Bloom(BloomVisited),
+}
+
 /// One successor computed during the parallel expand phase: the
-/// activation set taken, the canonicalizing automorphism, and either the
-/// already-known target id or the packed key for merge-phase resolution.
+/// activation-subset bitmask taken (over the source configuration's
+/// ascending working list), the canonicalizing automorphism, and either
+/// the already-known target id or the packed key for merge-phase
+/// resolution. In the external-memory and Bloom modes every child is
+/// `Fresh` — the store is consulted only during the merge.
 enum Child {
     /// The configuration was already visited in an earlier level.
-    Known(usize, ActivationSet, u16),
+    Known(usize, u32, u16),
     /// Not yet in the visited-set at expand time; the merge phase
     /// resolves same-level duplicates and assigns the canonical id.
-    Fresh(CfgKey, ActivationSet, u16),
+    Fresh(CfgKey, u32, u16),
 }
 
 /// Everything the merge phase needs about one expanded frontier node.
@@ -122,6 +164,10 @@ struct Expansion<O> {
     /// Successors in activation-subset (mask) order; empty when terminal
     /// or when expansion is globally disabled (cap already reached).
     children: Vec<Child>,
+    /// Activation subsets POR pruned at this node (`0` outside `--por`).
+    /// Credited by the merge phase only when the node actually expands,
+    /// so capped nodes don't count — exactly the sequential bookkeeping.
+    pruned: u64,
 }
 
 /// Fully merged exploration result; shared by `explore` and
@@ -129,6 +175,10 @@ struct Expansion<O> {
 struct GraphResult<O> {
     edges: Vec<Vec<Edge>>,
     parents: Vec<ParentLink>,
+    /// Packed key of every node, indexed by id — the decode arena for
+    /// witness reconstruction (edges store subset bitmasks, which only
+    /// mean something against the source node's working list).
+    nodes: Vec<CfgKey>,
     configs: usize,
     edge_count: usize,
     fully_terminated: usize,
@@ -136,6 +186,9 @@ struct GraphResult<O> {
     /// Lowest-id violating configuration and its description.
     first_violation: Option<(usize, String)>,
     outputs_seen: Vec<O>,
+    /// Bloom mode: duplicate suppression lost edges, so the graph is a
+    /// subgraph of the real one and cycle detection is off the table.
+    lossy: bool,
     stats: ExploreStats,
     sym: Option<CycleSymmetry>,
     root_sig: u16,
@@ -168,6 +221,9 @@ pub struct ParallelModelChecker<'a, A: Algorithm> {
     max_configs: usize,
     jobs: usize,
     symmetry: bool,
+    por: bool,
+    extmem: Option<ExtmemConfig>,
+    bloom: Option<u64>,
 }
 
 impl<'a, A: Algorithm + Sync> ParallelModelChecker<'a, A>
@@ -187,6 +243,9 @@ where
             max_configs: 2_000_000,
             jobs: default_jobs(),
             symmetry: false,
+            por: false,
+            extmem: None,
+            bloom: None,
         }
     }
 
@@ -214,6 +273,43 @@ where
         self
     }
 
+    /// Enables certified partial-order reduction — see
+    /// [`crate::ModelChecker::with_por`] for the certificate gate and
+    /// the soundness story. Sequential and parallel `--por` runs are
+    /// bit-identical to each other at every thread count, and
+    /// [`Self::exact_worst_case`] ignores the flag for the same reason
+    /// the sequential checker does.
+    pub fn with_por(mut self, on: bool) -> Self {
+        self.por = on;
+        self
+    }
+
+    /// Backs the visited-set with the external-memory store of
+    /// [`crate::extmem`]: the key→id map spills to sorted on-disk runs
+    /// past `config.ram_budget_bytes` and duplicates are detected in
+    /// batched streaming passes. Outcomes (dedup statistics included)
+    /// are bit-identical to in-RAM runs; only the node arena and edge
+    /// lists remain RAM-resident. Mutually exclusive with
+    /// [`Self::with_bloom`].
+    pub fn with_extmem(mut self, config: ExtmemConfig) -> Self {
+        self.extmem = Some(config);
+        self
+    }
+
+    /// Replaces the visited-set with a lossy Bloom filter of `bits`
+    /// bits (rounded up; minimum 1024) for falsification-only sweeps.
+    /// [`Self::explore`] outcomes then carry `lossy = true`: safety
+    /// violations are still sound and replayable, but livelock
+    /// detection is disabled and a clean run certifies nothing (a false
+    /// positive may have pruned real states — the estimated budget is
+    /// reported in [`ExploreStats::bloom_fp_per_million`]).
+    /// [`Self::exact_worst_case`] ignores this mode and always uses a
+    /// sound visited-set. Mutually exclusive with [`Self::with_extmem`].
+    pub fn with_bloom(mut self, bits: u64) -> Self {
+        self.bloom = Some(bits);
+        self
+    }
+
     /// The worker count this checker will use.
     pub fn jobs(&self) -> usize {
         self.jobs
@@ -227,14 +323,26 @@ where
     /// # Errors
     ///
     /// Returns [`ModelCheckError::InputLengthMismatch`] when inputs
-    /// don't match the topology, and
+    /// don't match the topology,
     /// [`ModelCheckError::SymmetryUnsupported`] when symmetry reduction
-    /// is enabled on a non-cycle topology.
+    /// is enabled on a non-cycle topology,
+    /// [`ModelCheckError::PorUncertifiedAlgorithm`] /
+    /// [`ModelCheckError::PorCertificateViolation`] when POR is enabled
+    /// without a (dynamically validated) certificate,
+    /// [`ModelCheckError::VisitedModeConflict`] when both external-
+    /// memory and Bloom modes are requested, and
+    /// [`ModelCheckError::ExtmemIo`] on run-file I/O failures.
     pub fn explore(
         &self,
         safety: impl Fn(&Topology, &[Option<A::Output>]) -> Option<String> + Sync,
     ) -> Result<ModelCheckOutcome<A::Output>, ModelCheckError> {
-        let g = self.explore_graph(&safety, true)?;
+        let (g, codec) = self.explore_graph(&safety, true, self.por, true)?;
+        let mut decode_scratch = Execution::try_new(self.alg, self.topo, self.inputs.clone())
+            .map_err(|_| ModelCheckError::InputLengthMismatch)?;
+        let mut working_of = |id: usize| -> Vec<ProcessId> {
+            codec.restore(&mut decode_scratch, &g.nodes[id]);
+            decode_scratch.working().to_vec()
+        };
         let safety_violation = g.first_violation.as_ref().map(|(id, desc)| {
             concrete_safety_witness(
                 self.alg,
@@ -246,11 +354,27 @@ where
                 g.sym.as_ref(),
                 g.root_sig,
                 &safety,
+                &mut working_of,
             )
         });
-        let livelock = find_cycle(&g.edges).map(|(entry, cycle)| {
-            concrete_livelock_witness(&g.parents, entry, &cycle, g.sym.as_ref(), g.root_sig)
-        });
+        // A lossy (Bloom) graph is missing every suppressed edge, so any
+        // cycle verdict on it would be noise — livelock detection is
+        // categorically off.
+        let livelock = if g.lossy {
+            None
+        } else {
+            find_cycle(&g.edges).map(|(entry, raw)| {
+                let cycle = decode_cycle(&raw, &mut working_of);
+                concrete_livelock_witness(
+                    &g.parents,
+                    entry,
+                    &cycle,
+                    g.sym.as_ref(),
+                    g.root_sig,
+                    &mut working_of,
+                )
+            })
+        };
         Ok(ModelCheckOutcome {
             configs: g.configs,
             edges: g.edge_count,
@@ -259,6 +383,7 @@ where
             livelock,
             outputs_seen: g.outputs_seen,
             truncated: g.truncated,
+            lossy: g.lossy,
             stats: g.stats,
         })
     }
@@ -266,7 +391,9 @@ where
     /// Exact worst-case round complexity over all schedules, computed on
     /// the parallel-explored graph. Identical to
     /// [`crate::ModelChecker::exact_worst_case`]: `None` when the graph
-    /// is cyclic or exploration was truncated.
+    /// is cyclic or exploration was truncated. POR and Bloom modes are
+    /// deliberately not applied here (the DP needs every path and every
+    /// edge); the external-memory mode is, since it is exact.
     ///
     /// # Errors
     ///
@@ -287,11 +414,22 @@ where
     pub fn exact_worst_case_with_stats(
         &self,
     ) -> Result<(Option<u64>, ExploreStats), ModelCheckError> {
-        let g = self.explore_graph(&|_: &Topology, _: &[Option<A::Output>]| None, false)?;
+        let (g, codec) = self.explore_graph(
+            &|_: &Topology, _: &[Option<A::Output>]| None,
+            false,
+            false,
+            false,
+        )?;
         if g.truncated {
             return Ok((None, g.stats)); // truncated: cannot certify
         }
-        let w = worst_case_from_graph(&g.edges, self.topo.len(), g.sym.as_ref());
+        let mut decode_scratch = Execution::try_new(self.alg, self.topo, self.inputs.clone())
+            .map_err(|_| ModelCheckError::InputLengthMismatch)?;
+        let mut working_of = |id: usize| -> Vec<ProcessId> {
+            codec.restore(&mut decode_scratch, &g.nodes[id]);
+            decode_scratch.working().to_vec()
+        };
+        let w = worst_case_from_graph(&g.edges, self.topo.len(), g.sym.as_ref(), &mut working_of);
         Ok((w, g.stats))
     }
 
@@ -302,7 +440,12 @@ where
         &self,
         safety: &(impl Fn(&Topology, &[Option<A::Output>]) -> Option<String> + Sync),
         track_outputs: bool,
-    ) -> Result<GraphResult<A::Output>, ModelCheckError> {
+        use_por: bool,
+        allow_lossy: bool,
+    ) -> Result<(GraphResult<A::Output>, ConfigCodec<A>), ModelCheckError> {
+        if self.extmem.is_some() && self.bloom.is_some() {
+            return Err(ModelCheckError::VisitedModeConflict);
+        }
         let t0 = Instant::now();
         let template = Execution::try_new(self.alg, self.topo, self.inputs.clone())
             .map_err(|_| ModelCheckError::InputLengthMismatch)?;
@@ -320,6 +463,13 @@ where
         } else {
             None
         };
+        // Same POR gate as the sequential checker: certificate resolved,
+        // then cross-examined dynamically before any reduced run.
+        let por = if use_por && self.por {
+            Some(por_gate(self.alg, self.topo, &self.inputs)?)
+        } else {
+            None
+        };
         let codec: ConfigCodec<A> = ConfigCodec::new(self.topo.len());
         let root = codec.encode(&template);
         let (root, root_sig) = match &sym {
@@ -327,24 +477,45 @@ where
             None => (root, SIGMA_ID),
         };
 
-        let visited = ShardedMap::new();
-        visited.insert(root.clone(), 0);
+        let io_err = |e: std::io::Error| ModelCheckError::ExtmemIo(e.to_string());
+        let mut backend = match (&self.extmem, self.bloom) {
+            (Some(cfg), _) => {
+                let mut store = ExtVisited::new(cfg, 3 * self.topo.len()).map_err(io_err)?;
+                store
+                    .insert_batch([(root.clone(), node_id32(0))])
+                    .map_err(io_err)?;
+                Backend::Ext(store)
+            }
+            (None, Some(bits)) if allow_lossy => {
+                let mut filter = BloomVisited::new(bits);
+                filter.insert(&root);
+                Backend::Bloom(filter)
+            }
+            _ => {
+                let map = ShardedMap::new();
+                map.insert(root.clone(), 0);
+                Backend::Ram(map)
+            }
+        };
 
         let mut g = GraphResult {
             edges: vec![Vec::new()],
             parents: vec![None],
+            nodes: vec![root.clone()],
             configs: 1,
             edge_count: 0,
             fully_terminated: 0,
             truncated: false,
             first_violation: None,
             outputs_seen: Vec::new(),
+            lossy: matches!(backend, Backend::Bloom(_)),
             stats: ExploreStats::default(),
             sym,
             root_sig,
         };
         let mut seen_set: HashSet<A::Output> = HashSet::new();
         let (mut dedup_hits, mut dedup_lookups) = (0u64, 0u64);
+        let (mut por_pruned, mut bloom_suppressed) = (0u64, 0u64);
 
         let mut frontier: Vec<(usize, CfgKey)> = vec![(0, root)];
         while !frontier.is_empty() {
@@ -352,16 +523,52 @@ where
             // level may expand (the sequential checker would flag each as
             // truncated) — skip the successor work entirely.
             let expand = g.configs < self.max_configs;
+            let shared = match &backend {
+                Backend::Ram(m) => Some(m),
+                Backend::Ext(_) | Backend::Bloom(_) => None,
+            };
             let results = self.expand_level(
                 &template,
                 &codec,
                 g.sym.as_ref(),
+                por.as_ref(),
                 &frontier,
                 safety,
-                &visited,
+                shared,
                 expand,
                 track_outputs,
             );
+
+            // External-memory mode: one batched streaming pass over the
+            // sorted runs resolves every key this level produced against
+            // all earlier levels (delayed duplicate detection). Looking
+            // up keys whose parent node the merge will later skip (cap)
+            // is harmless — lookups don't mutate bookkeeping.
+            let resolved: HashMap<CfgKey, usize, PassthroughBuild> =
+                if let Backend::Ext(store) = &mut backend {
+                    let queries: Vec<CfgKey> = results
+                        .iter()
+                        .flat_map(|r| {
+                            r.children.iter().filter_map(|c| match c {
+                                Child::Fresh(key, _, _) => Some(key.clone()),
+                                Child::Known(..) => None,
+                            })
+                        })
+                        .collect();
+                    store
+                        .batch_lookup(&queries)
+                        .map_err(io_err)?
+                        .into_iter()
+                        .map(|(k, id)| (k, id as usize))
+                        .collect()
+                } else {
+                    HashMap::default()
+                };
+            // Exact ids assigned to keys first seen in *this* level
+            // (external-memory and Bloom modes); the RAM path keeps them
+            // in the sharded map directly.
+            let mut level_new: HashMap<CfgKey, usize, PassthroughBuild> = HashMap::default();
+            let mut new_records: Vec<(CfgKey, u32)> = Vec::new();
 
             // ---- merge, in ascending node-id order ----
             let mut next_frontier: Vec<(usize, CfgKey)> = Vec::new();
@@ -387,37 +594,78 @@ where
                     g.truncated = true;
                     continue;
                 }
+                por_pruned += result.pruned;
                 for child in result.children {
                     dedup_lookups += 1;
-                    let (next_id, set, sig) = match child {
-                        Child::Known(nid, set, sig) => {
-                            dedup_hits += 1;
-                            (nid, set, sig)
+                    let (fresh, mask, sig, known) = match child {
+                        Child::Known(nid, mask, sig) => (None, mask, sig, Some(nid)),
+                        Child::Fresh(key, mask, sig) => (Some(key), mask, sig, None),
+                    };
+                    let next_id = if let Some(nid) = known {
+                        dedup_hits += 1;
+                        nid
+                    } else {
+                        let key = fresh.expect("fresh child carries its key");
+                        match &mut backend {
+                            Backend::Ram(map) => match map.get(&key) {
+                                // Discovered by an earlier node of this level.
+                                Some(nid) => {
+                                    dedup_hits += 1;
+                                    nid
+                                }
+                                None => {
+                                    let nid = g.edges.len();
+                                    map.insert(key.clone(), nid);
+                                    admit_node(&mut g, id, key, mask, sig, &mut next_frontier)
+                                }
+                            },
+                            Backend::Ext(_) => {
+                                match resolved.get(&key).or_else(|| level_new.get(&key)).copied() {
+                                    Some(nid) => {
+                                        dedup_hits += 1;
+                                        nid
+                                    }
+                                    None => {
+                                        let nid = g.edges.len();
+                                        level_new.insert(key.clone(), nid);
+                                        new_records.push((key.clone(), node_id32(nid)));
+                                        admit_node(&mut g, id, key, mask, sig, &mut next_frontier)
+                                    }
+                                }
+                            }
+                            Backend::Bloom(filter) => {
+                                if let Some(&nid) = level_new.get(&key) {
+                                    dedup_hits += 1;
+                                    nid
+                                } else if filter.contains(&key) {
+                                    // Claimed visited, but no id survives
+                                    // — the edge cannot be recorded. This
+                                    // is the lossiness: real duplicates
+                                    // lose their back-edges (no cycle
+                                    // detection) and false positives
+                                    // prune reachable states.
+                                    dedup_hits += 1;
+                                    bloom_suppressed += 1;
+                                    continue;
+                                } else {
+                                    filter.insert(&key);
+                                    let nid = g.edges.len();
+                                    level_new.insert(key.clone(), nid);
+                                    admit_node(&mut g, id, key, mask, sig, &mut next_frontier)
+                                }
+                            }
                         }
-                        Child::Fresh(key, set, sig) => match visited.get(&key) {
-                            // Discovered by an earlier node of this level.
-                            Some(nid) => {
-                                dedup_hits += 1;
-                                (nid, set, sig)
-                            }
-                            None => {
-                                let nid = g.edges.len();
-                                visited.insert(key.clone(), nid);
-                                g.edges.push(Vec::new());
-                                g.parents.push(Some((id, set.clone(), sig)));
-                                next_frontier.push((nid, key));
-                                g.configs += 1;
-                                (nid, set, sig)
-                            }
-                        },
                     };
                     g.edges[id].push(Edge {
-                        to: next_id,
-                        set,
+                        to: node_id32(next_id),
+                        mask,
                         sig,
                     });
                     g.edge_count += 1;
                 }
+            }
+            if let Backend::Ext(store) = &mut backend {
+                store.insert_batch(new_records.drain(..)).map_err(io_err)?;
             }
             frontier = next_frontier;
         }
@@ -430,22 +678,42 @@ where
             dedup_lookups,
             interned_total(&codec),
         );
-        Ok(g)
+        g.stats.por_pruned_sets = por_pruned;
+        match &backend {
+            Backend::Ram(_) => {}
+            Backend::Ext(store) => {
+                let s = store.stats();
+                g.stats.extmem_spills = s.spills;
+                g.stats.extmem_disk_bytes = s.disk_bytes;
+                g.stats.extmem_merge_passes = s.merge_passes;
+            }
+            Backend::Bloom(filter) => {
+                g.stats.bloom_bits = filter.nbits();
+                g.stats.bloom_hashes = u64::from(BLOOM_HASHES);
+                g.stats.bloom_insertions = filter.insertions();
+                g.stats.bloom_suppressed_edges = bloom_suppressed;
+                g.stats.bloom_fp_per_million = filter.est_fp_per_million();
+            }
+        }
+        Ok((g, codec))
     }
 
     /// The parallel phase: expands every frontier node, returning one
     /// [`Expansion`] per node *in frontier order*. Each worker owns a
     /// scratch execution and generates successors clone-free by
-    /// step/undo. The visited-set is only read here, never written.
+    /// step/undo. The visited-set (when present — the external-memory
+    /// and Bloom modes defer all classification to the merge) is only
+    /// read here, never written.
     #[allow(clippy::too_many_arguments)]
     fn expand_level(
         &self,
         template: &Execution<'a, A>,
         codec: &ConfigCodec<A>,
         sym: Option<&CycleSymmetry>,
+        por: Option<&PorContext>,
         frontier: &[(usize, CfgKey)],
         safety: &(impl Fn(&Topology, &[Option<A::Output>]) -> Option<String> + Sync),
-        visited: &ShardedMap,
+        visited: Option<&ShardedMap>,
         expand: bool,
         track_outputs: bool,
     ) -> Vec<Expansion<A::Output>> {
@@ -462,17 +730,26 @@ where
             let violation = safety(self.topo, scratch.outputs());
             let terminal = scratch.all_returned();
             let mut children = Vec::new();
+            let mut pruned = 0u64;
             if !terminal && expand {
-                for set in all_nonempty_subsets(scratch.working()) {
+                let subsets = match por {
+                    Some(p) => {
+                        let reduced = p.reduced_subsets(scratch.working());
+                        pruned = ((1u64 << scratch.working().len()) - 1) - reduced.len() as u64;
+                        reduced
+                    }
+                    None => subsets_with_masks(scratch.working()),
+                };
+                for (mask, set) in subsets {
                     let touched = scratch.step_with(&set);
                     let succ = codec.encode_delta(key, scratch, &touched);
                     let (succ, sig) = match sym {
                         Some(s) => s.canonicalize(codec, self.alg, true, &succ),
                         None => (succ, SIGMA_ID),
                     };
-                    children.push(match visited.get(&succ) {
-                        Some(nid) => Child::Known(nid, set, sig),
-                        None => Child::Fresh(succ, set, sig),
+                    children.push(match visited.and_then(|v| v.get(&succ)) {
+                        Some(nid) => Child::Known(nid, mask, sig),
+                        None => Child::Fresh(succ, mask, sig),
                     });
                     codec.restore_procs(scratch, &key.packed, &touched);
                 }
@@ -482,6 +759,7 @@ where
                 violation,
                 terminal,
                 children,
+                pruned,
             }
         };
 
@@ -559,6 +837,26 @@ where
     }
 }
 
+/// Appends a freshly discovered node to the graph arenas and the next
+/// frontier, returning its id. Shared by every visited-set backend so
+/// the (parent, subset)-order id assignment is written once.
+fn admit_node<O>(
+    g: &mut GraphResult<O>,
+    parent: usize,
+    key: CfgKey,
+    mask: u32,
+    sig: u16,
+    next_frontier: &mut Vec<(usize, CfgKey)>,
+) -> usize {
+    let nid = g.edges.len();
+    g.edges.push(Vec::new());
+    g.parents.push(Some((node_id32(parent), mask, sig)));
+    g.nodes.push(key.clone());
+    next_frontier.push((nid, key));
+    g.configs += 1;
+    nid
+}
+
 // The per-worker claim/steal queues and the CPU-count default moved to
 // `ftcolor_model::sweep` so the batch executor can sweep with the same
 // scaffolding; re-exported for the checker-internal call sites.
@@ -599,6 +897,12 @@ mod tests {
                 .find(|c| c.weight() > max_weight)
                 .map(|c| format!("color {c} outside palette"))
         }
+    }
+
+    /// A unique scratch directory under the system tempdir; removed by
+    /// the caller.
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ftcolor-par-{tag}-{}", std::process::id()))
     }
 
     #[test]
@@ -688,6 +992,98 @@ mod tests {
                 .unwrap();
             assert_eq!(seq, par, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn por_matches_sequential_por_at_every_thread_count() {
+        let topo = Topology::cycle(4).unwrap();
+        let seq = ModelChecker::new(&SixColoring, &topo, vec![0, 1, 2, 3])
+            .with_por(true)
+            .explore(pair_safety(2))
+            .unwrap();
+        for jobs in [1, 2, 8] {
+            let par = ParallelModelChecker::new(&SixColoring, &topo, vec![0, 1, 2, 3])
+                .with_por(true)
+                .with_jobs(jobs)
+                .explore(pair_safety(2))
+                .unwrap();
+            assert_eq!(seq, par, "jobs={jobs}");
+            assert_eq!(seq.stats.por_pruned_sets, par.stats.por_pruned_sets);
+            assert_eq!(seq.stats.dedup_lookups, par.stats.dedup_lookups);
+        }
+        assert!(seq.stats.por_pruned_sets > 0);
+    }
+
+    #[test]
+    fn por_refuses_uncertified_algorithms() {
+        let topo = Topology::cycle(3).unwrap();
+        let err = ParallelModelChecker::new(&EagerMis, &topo, vec![5, 9, 2])
+            .with_por(true)
+            .explore(mis_violation)
+            .unwrap_err();
+        assert_eq!(err, ModelCheckError::PorUncertifiedAlgorithm);
+    }
+
+    #[test]
+    fn extmem_is_bit_identical_to_ram_even_when_spilling() {
+        let topo = Topology::cycle(4).unwrap();
+        let ram = ParallelModelChecker::new(&FiveColoring, &topo, vec![0, 1, 2, 3])
+            .with_jobs(4)
+            .explore(coloring_safety(5))
+            .unwrap();
+        let dir = scratch_dir("extmem");
+        // A zero budget forces a spill after every level — the worst
+        // case for delayed duplicate detection.
+        let ext = ParallelModelChecker::new(&FiveColoring, &topo, vec![0, 1, 2, 3])
+            .with_jobs(4)
+            .with_extmem(ExtmemConfig {
+                dir: dir.clone(),
+                ram_budget_bytes: 0,
+            })
+            .explore(coloring_safety(5))
+            .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(ram, ext);
+        assert_eq!(ram.stats.dedup_hits, ext.stats.dedup_hits);
+        assert_eq!(ram.stats.dedup_lookups, ext.stats.dedup_lookups);
+        assert!(ext.stats.extmem_spills > 0);
+        assert!(ext.stats.extmem_disk_bytes > 0);
+    }
+
+    #[test]
+    fn bloom_is_lossy_but_violations_stay_sound() {
+        let topo = Topology::cycle(4).unwrap();
+        let exact = ParallelModelChecker::new(&EagerMis, &topo, vec![5, 9, 2, 1])
+            .explore(mis_violation)
+            .unwrap();
+        // Generously sized filter: no false positives expected, so the
+        // first (lowest-id) violation matches the exact run's.
+        let lossy = ParallelModelChecker::new(&EagerMis, &topo, vec![5, 9, 2, 1])
+            .with_bloom(1 << 20)
+            .explore(mis_violation)
+            .unwrap();
+        assert!(lossy.lossy);
+        assert!(lossy.livelock.is_none());
+        assert!(!lossy.clean());
+        assert_eq!(exact.safety_violation, lossy.safety_violation);
+        assert!(lossy.stats.bloom_insertions > 0);
+        assert_ne!(exact, lossy); // lossy runs never compare equal
+    }
+
+    #[test]
+    fn extmem_and_bloom_together_are_refused() {
+        let topo = Topology::cycle(3).unwrap();
+        let dir = scratch_dir("conflict");
+        let err = ParallelModelChecker::new(&SixColoring, &topo, vec![0, 1, 2])
+            .with_extmem(ExtmemConfig {
+                dir: dir.clone(),
+                ram_budget_bytes: 1 << 20,
+            })
+            .with_bloom(1 << 16)
+            .explore(pair_safety(2))
+            .unwrap_err();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(err, ModelCheckError::VisitedModeConflict);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! `min{3ℓ, 3ℓ′, ℓ+ℓ′} + 4` bound (Lemma 3.9).
 
 use crate::color::{mex, PairColor};
-use ftcolor_model::{Algorithm, Neighborhood, ProcessId, Step};
+use ftcolor_model::{Algorithm, Neighborhood, PorCert, ProcessId, Step};
 use serde::{Deserialize, Serialize};
 
 /// The register contents of Algorithm 1: the (static) identifier and the
@@ -97,6 +97,13 @@ impl Algorithm for SixColoring {
     // holds no view-position-indexed data, so view reindexing is a no-op.
     fn relabel_view(&self, _state: &mut State1, _perm: &[usize]) -> bool {
         true
+    }
+
+    // A pure rule (no interior mutability) whose solo termination from
+    // every reachable state is proven by the static certifier
+    // (`FTC-TERM-007`), so both POR layers are sound.
+    fn por_certificate(&self) -> PorCert {
+        PorCert::CommutingTerminating
     }
 }
 

@@ -51,7 +51,7 @@
 //! findings".
 
 use crate::color::mex;
-use ftcolor_model::{Algorithm, Neighborhood, ProcessId, Step};
+use ftcolor_model::{Algorithm, Neighborhood, PorCert, ProcessId, Step};
 use serde::{Deserialize, Serialize};
 
 /// Register contents of Algorithm 2: identifier plus both candidates.
@@ -149,6 +149,13 @@ impl Algorithm for FiveColoring {
     // holds no view-position-indexed data, so view reindexing is a no-op.
     fn relabel_view(&self, _state: &mut State2, _perm: &[usize]) -> bool {
         true
+    }
+
+    // A pure rule (no interior mutability) whose solo termination from
+    // every reachable state is proven by the static certifier
+    // (`FTC-TERM-007`), so both POR layers are sound.
+    fn por_certificate(&self) -> PorCert {
+        PorCert::CommutingTerminating
     }
 }
 

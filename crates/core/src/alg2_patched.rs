@@ -71,7 +71,7 @@
 //! as here) or the full chain-potential argument the paper intended.
 
 use crate::color::mex;
-use ftcolor_model::{Algorithm, Neighborhood, ProcessId, Step};
+use ftcolor_model::{Algorithm, Neighborhood, PorCert, ProcessId, Step};
 use serde::{Deserialize, Serialize};
 
 /// Register contents of the patched algorithm: Algorithm 2's triple plus
@@ -205,6 +205,14 @@ impl Algorithm for FiveColoringPatched {
             }
         }
         true
+    }
+
+    // A pure rule (no interior mutability; `last_view` lives in the
+    // per-process state, not the algorithm object) whose solo
+    // termination from every reachable state is proven by the static
+    // certifier (`FTC-TERM-007`), so both POR layers are sound.
+    fn por_certificate(&self) -> PorCert {
+        PorCert::CommutingTerminating
     }
 }
 

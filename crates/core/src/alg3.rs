@@ -46,7 +46,7 @@
 use crate::alg2::color_step;
 use crate::cole_vishkin::reduce;
 use crate::color::mex;
-use ftcolor_model::{Algorithm, Neighborhood, ProcessId, Step};
+use ftcolor_model::{Algorithm, Neighborhood, PorCert, ProcessId, Step};
 use serde::{Deserialize, Serialize};
 
 /// The green-light counter `r_p ∈ N ∪ {∞}`.
@@ -217,6 +217,13 @@ impl Algorithm for FastFiveColoring {
     // no view-position-indexed data, so relabeling is a no-op.
     fn relabel_view(&self, _state: &mut State3, _perm: &[usize]) -> bool {
         true
+    }
+
+    // A pure rule (no interior mutability) whose solo termination from
+    // every reachable state is proven by the static certifier
+    // (`FTC-TERM-007`), so both POR layers are sound.
+    fn por_certificate(&self) -> PorCert {
+        PorCert::CommutingTerminating
     }
 }
 

@@ -22,7 +22,7 @@
 use crate::alg3::Rank;
 use crate::cole_vishkin::reduce;
 use crate::color::mex;
-use ftcolor_model::{Algorithm, Neighborhood, ProcessId, Step};
+use ftcolor_model::{Algorithm, Neighborhood, PorCert, ProcessId, Step};
 use serde::{Deserialize, Serialize};
 
 /// Register contents: Algorithm 3's fields plus the update counter.
@@ -183,6 +183,14 @@ impl Algorithm for FastFiveColoringPatched {
             }
         }
         true
+    }
+
+    // A pure rule (no interior mutability; `last_view` lives in the
+    // per-process state, not the algorithm object) whose solo
+    // termination from every reachable state is proven by the static
+    // certifier (`FTC-TERM-007`), so both POR layers are sound.
+    fn por_certificate(&self) -> PorCert {
+        PorCert::CommutingTerminating
     }
 }
 

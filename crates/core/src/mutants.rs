@@ -16,7 +16,12 @@
 //! | [`SoloLoiterer`] | solo termination from reachable states | `FTC-TERM-007` |
 //! | [`UnboundedCounter`] | bounded-state discipline | `FTC-DOM-008` |
 //!
-//! The last two target the *static* certifier specifically: both are
+//! [`PorLiar`] is a ninth fixture of a different kind: it breaks no §2
+//! contract a linter rule watches, but *lies about its POR independence
+//! certificate* — the model checker's dynamic commutation probe must
+//! refuse it before any reduced exploration starts.
+//!
+//! The last two table rows target the *static* certifier specifically: both are
 //! invisible to the dynamic linter (solo runs from initial states
 //! terminate immediately, and no dynamic rule watches state growth), so
 //! they gate exactly the coverage `ftcolor certify` adds.
@@ -29,8 +34,9 @@
 //! they are **not** exported from the crate prelude and must never be
 //! used outside analyzer tests.
 
-use ftcolor_model::{Algorithm, Neighborhood, ProcessId, Step};
+use ftcolor_model::{Algorithm, Neighborhood, PorCert, ProcessId, Step};
 use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Violates **SWMR**: every step writes into *another process's*
 /// register through a shared shadow register file.
@@ -375,6 +381,85 @@ pub struct UcState {
     pub x: u64,
     /// Rounds spent blocked — unbounded, and it leaks into the output.
     pub c: u64,
+}
+
+/// Lies to the **POR certification gate**: claims
+/// [`PorCert::CommutingTerminating`] while smuggling a shared step
+/// clock through the algorithm object, so activations of distinct
+/// processes do *not* commute — each step folds the global clock value
+/// it observed into the state, making outcomes depend on the order in
+/// which the adversary interleaves steps across the whole instance
+/// (adjacent or not).
+///
+/// Unlike the linter fixtures above, this mutant targets the model
+/// checker's *dynamic POR probe* (`--por` refuses the algorithm with a
+/// certificate-violation error before exploring anything), mirroring
+/// the `relabel_view` certification story. It uses an [`AtomicU64`]
+/// rather than a [`Cell`] because the probe also runs inside the
+/// parallel checker, which requires `Sync`. It solo-terminates (two
+/// rounds) so only the commutation half of the probe can catch it.
+#[derive(Debug, Default)]
+pub struct PorLiar {
+    clock: AtomicU64,
+}
+
+impl PorLiar {
+    /// A fresh liar with its clock at zero.
+    pub fn new() -> Self {
+        PorLiar::default()
+    }
+}
+
+/// State of [`PorLiar`]: input, smuggled clock residue, round counter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlState {
+    /// The input identifier.
+    pub x: u64,
+    /// Accumulated global-clock observations — the illegal coupling.
+    pub stamp: u64,
+    /// Rounds performed.
+    pub rounds: u64,
+}
+
+impl Algorithm for PorLiar {
+    type Input = u64;
+    type State = PlState;
+    type Reg = u64;
+    type Output = u64;
+
+    fn init(&self, _id: ProcessId, x: u64) -> PlState {
+        PlState {
+            x,
+            stamp: 0,
+            rounds: 0,
+        }
+    }
+
+    fn publish(&self, s: &PlState) -> u64 {
+        s.x
+    }
+
+    fn step(&self, s: &mut PlState, _view: &Neighborhood<'_, u64>) -> Step<u64> {
+        // The smuggled channel: every step anywhere advances the shared
+        // clock, and the observed value leaks into this process's state.
+        let t = self.clock.fetch_add(1, Ordering::SeqCst);
+        s.stamp = s.stamp.wrapping_add(t);
+        s.rounds += 1;
+        if s.rounds >= 2 {
+            Step::Return((s.x + s.stamp) % 5)
+        } else {
+            Step::Continue
+        }
+    }
+
+    fn relabel_view(&self, _state: &mut PlState, _perm: &[usize]) -> bool {
+        true
+    }
+
+    // The lie the probe must catch.
+    fn por_certificate(&self) -> PorCert {
+        PorCert::CommutingTerminating
+    }
 }
 
 impl Algorithm for UnboundedCounter {

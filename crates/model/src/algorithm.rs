@@ -16,6 +16,36 @@
 
 use crate::ids::ProcessId;
 
+/// How strongly an algorithm certifies the independence assumptions of
+/// partial-order reduction (see [`Algorithm::por_certificate`]).
+///
+/// The checker's POR mode relies on activations of **non-adjacent**
+/// processes commuting: a process's transition reads only its own state
+/// and its neighbors' registers, and writes only its own state, register,
+/// and output. Any `Algorithm` that is a *pure rule* (no interior
+/// mutability smuggling shared data through `&self`) has this property
+/// structurally; the certificate is the algorithm author's promise that
+/// no such smuggling exists, and the checker additionally probes it
+/// dynamically before trusting it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PorCert {
+    /// Not certified (the conservative default): the checker refuses
+    /// `--por` for this algorithm.
+    Uncertified,
+    /// Non-adjacent activations commute. Enables the exact
+    /// connected-activation-set reduction (reachable configurations are
+    /// preserved exactly; only redundant interleaving edges are cut).
+    Commuting,
+    /// [`PorCert::Commuting`], **plus** every working process terminates
+    /// when run solo from any reachable configuration (the static
+    /// certifier's `FTC-TERM-007` property). Additionally enables the
+    /// canonical-component staircase, which defers activations of
+    /// working components other than the one holding the smallest
+    /// working id — cutting cross-component interleavings of the state
+    /// space itself, not just redundant edges.
+    CommutingTerminating,
+}
+
 /// The outcome of one activation of a process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Step<O> {
@@ -155,6 +185,26 @@ pub trait Algorithm {
     /// rather than risk unsound orbit collapsing.
     fn relabel_view(&self, _state: &mut Self::State, _perm: &[usize]) -> bool {
         false
+    }
+
+    /// Declares how strongly this algorithm certifies the independence
+    /// assumptions of partial-order reduction — see [`PorCert`].
+    ///
+    /// Contract: the return value must depend only on the algorithm, not
+    /// on any state. [`PorCert::Commuting`] promises that `step` is a
+    /// pure function of `(state, view)` — in particular that the
+    /// algorithm object holds no interior-mutable channel through which
+    /// activations of non-adjacent processes could influence each other.
+    /// [`PorCert::CommutingTerminating`] additionally promises solo
+    /// termination from every reachable configuration. The checker
+    /// cross-examines both claims with a dynamic probe (commutation of
+    /// non-adjacent pairs in both orders, bounded solo runs) and refuses
+    /// exploration on any mismatch, mirroring the `relabel_view`
+    /// certification gate. The default conservatively returns
+    /// [`PorCert::Uncertified`], which makes the checker refuse `--por`
+    /// for this algorithm rather than risk an unsound reduction.
+    fn por_certificate(&self) -> PorCert {
+        PorCert::Uncertified
     }
 }
 

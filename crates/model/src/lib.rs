@@ -95,7 +95,7 @@ pub mod substrate;
 pub mod sweep;
 pub mod trace;
 
-pub use algorithm::{Algorithm, Neighborhood, Step};
+pub use algorithm::{Algorithm, Neighborhood, PorCert, Step};
 pub use domain::{Projection, ViewDomain};
 pub use encode::{CfgKey, ConfigCodec};
 pub use error::{GraphError, ModelError};
@@ -108,7 +108,7 @@ pub use trace::Trace;
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
-    pub use crate::algorithm::{Algorithm, Neighborhood, Step};
+    pub use crate::algorithm::{Algorithm, Neighborhood, PorCert, Step};
     pub use crate::error::{GraphError, ModelError};
     pub use crate::executor::{ExecObserver, Execution, ExecutionReport, ProcessStatus};
     pub use crate::graph::Topology;

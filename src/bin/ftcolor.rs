@@ -35,7 +35,7 @@
 use ftcolor::analyze::{self, render_json, Diagnostic, RuleId};
 use ftcolor::checker::shrink::WITNESS_SCHEMA;
 use ftcolor::checker::{
-    ExploreStats, FuzzConfig, LivelockWitness, ParallelModelChecker, SafetyViolation,
+    ExploreStats, ExtmemConfig, FuzzConfig, LivelockWitness, ParallelModelChecker, SafetyViolation,
     ScheduleFuzzer, Shrinker, Witness, WitnessFixture,
 };
 use ftcolor::cluster::{self, ClusterOptions, ClusterTrace};
@@ -92,6 +92,7 @@ ftcolor — wait-free coloring of the asynchronous cycle (PODC 2022 reproduction
 USAGE:
   ftcolor color      [--alg A] [--n N | --ids LIST] [--input KIND] [--sched S] [--seed K] [--timeline]
   ftcolor modelcheck [--alg A] [--ids LIST] [--max-configs M] [--jobs J] [--symmetry]
+                     [--por] [--extmem DIR [--extmem-budget BYTES] | --bloom BITS]
                      [--format text|json]
   ftcolor fuzz       [--alg A] [--n N | --ids LIST] [--generations G] [--seed K] [--jobs J]
   ftcolor shrink     --in FILE [--out FILE] [--alg A] [--ids LIST] [--bound B] [--jobs J]
@@ -127,6 +128,25 @@ FLAGS:
                  cycle's rotations/reflections (sound only on cycle
                  topologies — guarded; witnesses are de-canonicalized,
                  verdicts provably match full exploration)
+  --por          modelcheck: certified partial-order reduction —
+                 enumerate only connected activation subsets (plus the
+                 canonical-component staircase for solo-terminating
+                 algorithms). Refused unless the algorithm ships a POR
+                 certificate that survives a dynamic commutation probe;
+                 verdicts provably match full exploration. Composes
+                 with --symmetry
+  --extmem       modelcheck: spill the visited-set key→id map to sorted
+                 run files under DIR (delayed duplicate detection);
+                 outcomes stay bit-identical to in-RAM runs. The node
+                 arena and edge lists remain in RAM
+  --extmem-budget  RAM budget in bytes for the --extmem insertion
+                 buffer before each spill                (default 268435456)
+  --bloom        modelcheck: replace the visited-set with a BITS-bit
+                 Bloom filter. LOSSY falsification sweep: reported
+                 safety violations are sound and replayable, but
+                 livelock detection is off and a clean run certifies
+                 nothing (output carries lossy=true and the estimated
+                 false-positive budget)
   --generations  fuzzer generations                    (default 150)
   --jobs         worker threads; 0 = all CPUs           (default 1)
                  results are identical for every value
@@ -182,7 +202,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(key) = a.strip_prefix("--") else {
             return Err(format!("expected a --flag, got `{a}`"));
         };
-        let value = if matches!(key, "timeline" | "emit-trace" | "symmetry") {
+        let value = if matches!(key, "timeline" | "emit-trace" | "symmetry" | "por") {
             "true".to_string()
         } else {
             it.next()
@@ -323,6 +343,8 @@ struct ModelcheckJson {
     alg: String,
     ids: Vec<u64>,
     symmetry: bool,
+    por: bool,
+    lossy: bool,
     jobs: usize,
     verdict: VerdictJson,
     safety_description: Option<String>,
@@ -334,14 +356,32 @@ struct ModelcheckJson {
 
 fn cmd_modelcheck(opts: &HashMap<String, String>) -> Result<(), String> {
     let ids = parse_ids(opts)?;
-    if ids.len() > 5 {
-        return Err("modelcheck needs a small instance (≤ 5 processes)".into());
+    if ids.len() > 7 {
+        return Err("modelcheck needs a small instance (≤ 7 processes)".into());
     }
     let cap: usize = get(opts, "max-configs", "2000000")
         .parse()
         .map_err(|e| format!("bad --max-configs: {e}"))?;
     let jobs = parse_jobs(opts)?;
     let symmetry = opts.contains_key("symmetry");
+    let por = opts.contains_key("por");
+    let extmem = opts.get("extmem").map(|dir| -> Result<_, String> {
+        let ram_budget_bytes = get(opts, "extmem-budget", "268435456")
+            .parse()
+            .map_err(|e| format!("bad --extmem-budget: {e}"))?;
+        Ok(ExtmemConfig {
+            dir: dir.into(),
+            ram_budget_bytes,
+        })
+    });
+    let extmem = extmem.transpose()?;
+    let bloom: Option<u64> = opts
+        .get("bloom")
+        .map(|b| b.parse().map_err(|e| format!("bad --bloom: {e}")))
+        .transpose()?;
+    if extmem.is_some() && bloom.is_some() {
+        return Err("--extmem and --bloom are mutually exclusive".into());
+    }
     let format = get(opts, "format", "text");
     if !matches!(format, "text" | "json") {
         return Err(format!("unknown --format `{format}`"));
@@ -352,16 +392,25 @@ fn cmd_modelcheck(opts: &HashMap<String, String>) -> Result<(), String> {
     macro_rules! check {
         ($alg:expr, $safety:expr) => {{
             let safety = $safety;
-            let mc = ParallelModelChecker::new($alg, &topo, ids.clone())
+            let mut mc = ParallelModelChecker::new($alg, &topo, ids.clone())
                 .with_max_configs(cap)
                 .with_jobs(jobs)
-                .with_symmetry(symmetry);
+                .with_symmetry(symmetry)
+                .with_por(por);
+            if let Some(cfg) = extmem.clone() {
+                mc = mc.with_extmem(cfg);
+            }
+            if let Some(bits) = bloom {
+                mc = mc.with_bloom(bits);
+            }
             let o = mc.explore(&safety).map_err(|e| e.to_string())?;
             if format == "json" {
                 let j = ModelcheckJson {
                     alg: alg_name,
                     ids: ids.clone(),
                     symmetry,
+                    por,
+                    lossy: o.lossy,
                     jobs,
                     verdict: VerdictJson {
                         safety_violated: o.safety_violation.is_some(),

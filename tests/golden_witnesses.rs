@@ -251,6 +251,71 @@ fn eager_mis_c4_violation_fixture_is_stable_and_minimal() {
     assert_eq!(got, v.description);
 }
 
+#[test]
+fn alg2_c4_por_symmetry_livelock_fixture_is_stable_and_minimal() {
+    // The doubly-reduced exploration: certified partial-order reduction
+    // composed with orbit canonicalization. The witness it reports has
+    // been de-canonicalized (symmetry) and stitched through reduced
+    // edges (POR) — this fixture pins that whole composition: the raw
+    // witness must stay byte-stable, and both forms must replay on the
+    // raw, unreduced instance.
+    let topo = Topology::cycle(4).unwrap();
+    let ids = vec![0u64, 1, 2, 3];
+    let outcome = ModelChecker::new(&FiveColoring, &topo, ids.clone())
+        .with_por(true)
+        .with_symmetry(true)
+        .explore(coloring_safety)
+        .unwrap();
+    let found = outcome
+        .livelock
+        .expect("the C4 livelock must survive --por --symmetry");
+    let sh = Shrinker::new(&FiveColoring, &topo, ids.clone());
+    let shrunk = sh
+        .shrink_livelock(&found)
+        .expect("the de-canonicalized livelock reproduces");
+    let current = WitnessFixture {
+        schema: WITNESS_SCHEMA.to_string(),
+        alg: "alg2".to_string(),
+        ids: ids.clone(),
+        raw: Witness::Livelock(found.clone()),
+        shrunk: Witness::Livelock(shrunk.witness.clone()),
+    };
+    let gold: WitnessFixture = golden("alg2_c4_por_symmetry_livelock.json", &current);
+    assert_eq!(gold, current, "the por+symmetry livelock fixture changed");
+
+    assert!(sh.reproduces(&gold.raw, &coloring_safety));
+    assert!(sh.reproduces(&gold.shrunk, &coloring_safety));
+    assert_locally_minimal(&sh, &gold.shrunk, &coloring_safety);
+
+    // The raw (de-canonicalized, POR-composed) cycle genuinely loops the
+    // concrete execution.
+    let Witness::Livelock(lw) = &gold.raw else {
+        panic!("raw C4 witness must be a livelock")
+    };
+    let mut exec = Execution::new(&FiveColoring, &topo, ids);
+    for set in &lw.prefix {
+        exec.step_with(set);
+    }
+    assert!(!exec.all_returned());
+    let states_at_entry: Vec<String> = topo
+        .nodes()
+        .map(|p| format!("{:?}", exec.state(p)))
+        .collect();
+    for _ in 0..3 {
+        for set in &lw.cycle {
+            exec.step_with(set);
+        }
+        let states_now: Vec<String> = topo
+            .nodes()
+            .map(|p| format!("{:?}", exec.state(p)))
+            .collect();
+        assert_eq!(
+            states_at_entry, states_now,
+            "replaying the reduced-run cycle must return to its entry"
+        );
+    }
+}
+
 // --------------------------------------------------------------------
 // Network-fault witness (schema ftcolor-net-witness/2).
 // --------------------------------------------------------------------
