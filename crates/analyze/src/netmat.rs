@@ -72,6 +72,21 @@ pub struct NetSummary {
     /// event log (0 expected; empty log for `decoupled-ring`, which has
     /// no registers).
     pub race_diags: usize,
+    /// Wire codec the run used. The flat `wire_*` fields are the only
+    /// codec-variant part of the summary, so cross-codec diffs can
+    /// strip them with one `grep -v '"wire_'`.
+    pub wire_codec: String,
+    /// Frames serialized to bytes (0 in typed mode).
+    pub wire_frames_encoded: u64,
+    /// Frames parsed back from bytes (0 in typed mode).
+    pub wire_frames_decoded: u64,
+    /// Total bytes on the wire (typed mode charges the measured binary
+    /// frame sizes without serializing).
+    pub wire_bytes: u64,
+    /// Encode-buffer requests served from the pool free list.
+    pub wire_pool_hits: u64,
+    /// Encode-buffer requests that had to allocate.
+    pub wire_pool_misses: u64,
 }
 
 /// One network run: the summary plus the raw delivery trace (for
@@ -400,6 +415,12 @@ fn summarize<O>(
         trace_digest: format!("{:016x}", report.trace.digest()),
         trace_len: report.trace.len(),
         race_diags,
+        wire_codec: report.codec.name().to_string(),
+        wire_frames_encoded: report.wire.frames_encoded,
+        wire_frames_decoded: report.wire.frames_decoded,
+        wire_bytes: report.wire.bytes_on_wire,
+        wire_pool_hits: report.wire.pool_hits,
+        wire_pool_misses: report.wire.pool_misses,
     };
     NetRunOutcome {
         summary,

@@ -35,8 +35,21 @@
 //! never gated. The committed baseline carries the full-mode rows (1M
 //! fleet, 10M ring); CI regenerates quick mode only, so those show up
 //! one-sided and are skipped.
+//!
+//! With `--net`, the comparison runs over `BENCH_net.json` rows (see
+//! `e19_wire`). Netsim rows are fully deterministic, so their outcome
+//! fields (sent, delivered, events, rounds, trace digest, verdicts,
+//! wire bytes) must match exactly — on any machine — and events/sec is
+//! drop-gated on rows with at least 100k events. Cluster rows are real
+//! process rings whose frame counts race on OS scheduling; they are
+//! reported, never gated. On top of the baseline-vs-current diff, the
+//! guard re-checks the committed baseline's own E19 perf claims (see
+//! `net_claims`): CI regenerates only the quick rows, so the claims on
+//! the n = 10k rows stay pinned to the committed snapshot instead of
+//! being re-measured on shared runners.
 
 use ftcolor_bench::e16_service::ServiceBenchRow;
+use ftcolor_bench::e19_wire::NetBenchRow;
 use ftcolor_bench::e6_modelcheck::BenchRow;
 
 fn load(path: &str) -> Result<Vec<BenchRow>, String> {
@@ -57,6 +70,7 @@ fn key(r: &BenchRow) -> (String, String, bool, bool, usize) {
 fn main() {
     let mut max_drop: u64 = 30;
     let mut service = false;
+    let mut net = false;
     let mut paths: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -67,17 +81,26 @@ fn main() {
                 .expect("--max-drop needs a percentage");
         } else if a == "--service" {
             service = true;
+        } else if a == "--net" {
+            net = true;
         } else {
             paths.push(a);
         }
     }
     if paths.len() != 2 {
-        eprintln!("usage: bench_guard <baseline.json> <current.json> [--max-drop PCT] [--service]");
+        eprintln!(
+            "usage: bench_guard <baseline.json> <current.json> \
+             [--max-drop PCT] [--service | --net]"
+        );
         std::process::exit(2);
     }
     let max_drop = max_drop.min(100);
     if service {
         guard_service(&paths[0], &paths[1], max_drop);
+        return;
+    }
+    if net {
+        guard_net(&paths[0], &paths[1], max_drop);
         return;
     }
     let baseline = load(&paths[0]).unwrap_or_else(|e| {
@@ -257,6 +280,192 @@ fn guard_service(baseline_path: &str, current_path: &str, max_drop: u64) {
     }
     if failures.is_empty() {
         println!("bench_guard: {compared} service rows compared, no regression");
+    } else {
+        for f in &failures {
+            eprintln!("REGRESSION: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// The pre-wire-codec E14 throughput this PR improved on: the netsim
+/// n = 10k clean cell under the then-only JSON framing, measured on the
+/// canonical bench container immediately before the wire codec landed
+/// (median of 5 reps, 314,764 events in 1.340 s — see EXPERIMENTS.md
+/// §E19 for the measurement log). The committed baseline's binary row
+/// must beat 3× this figure; the snapshot and this constant were
+/// measured on the same host minutes apart, which is what makes the
+/// ratio meaningful. Regenerating `BENCH_net.json` on different
+/// hardware means re-measuring this constant there too.
+const PRE_WIRE_EVENTS_PER_SEC: u64 = 234_847;
+
+/// Codec-gap floor: at n = 10k the binary rows must keep at least this
+/// ratio over the JSON rows *within the same snapshot* (measured
+/// 2.3–2.7×; the floor trips only if the binary path genuinely rots).
+/// Same-file ratios cancel the host's speed, so this check is portable.
+const NET_CODEC_GAP_FLOOR_X10: u64 = 20;
+
+fn load_net(path: &str) -> Result<Vec<NetBenchRow>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn net_key(r: &NetBenchRow) -> (String, String, usize, String, String) {
+    (
+        r.workload.clone(),
+        r.alg.clone(),
+        r.n,
+        r.plan.clone(),
+        r.codec.clone(),
+    )
+}
+
+/// The committed snapshot's own E19 perf claims, re-checked on every
+/// guard run: the n = 10k binary rows must (a) beat 3× the pre-codec
+/// E14 throughput on the clean row and (b) keep the codec gap over
+/// their JSON twins. Returns failure strings.
+fn net_claims(baseline: &[NetBenchRow]) -> Vec<String> {
+    let mut failures = Vec::new();
+    let big: Vec<&NetBenchRow> = baseline
+        .iter()
+        .filter(|r| r.workload == "netsim" && r.n >= 10_000)
+        .collect();
+    if big.is_empty() {
+        failures.push("baseline has no netsim n >= 10k rows to pin the perf claim".into());
+        return failures;
+    }
+    for r in &big {
+        if r.codec != "binary" {
+            continue;
+        }
+        if r.plan == "clean" && r.events_per_sec < 3 * PRE_WIRE_EVENTS_PER_SEC {
+            failures.push(format!(
+                "perf claim broken: n={} {} binary {} events/s < 3x pre-codec {}",
+                r.n, r.plan, r.events_per_sec, PRE_WIRE_EVENTS_PER_SEC
+            ));
+        }
+        let Some(json) = big
+            .iter()
+            .find(|j| j.codec == "json" && j.n == r.n && j.plan == r.plan)
+        else {
+            failures.push(format!("n={} {}: binary row has no json twin", r.n, r.plan));
+            continue;
+        };
+        if r.events_per_sec * 10 < json.events_per_sec * NET_CODEC_GAP_FLOOR_X10 {
+            failures.push(format!(
+                "codec gap collapsed: n={} {} binary {} vs json {} events/s (< {}.{}x)",
+                r.n,
+                r.plan,
+                r.events_per_sec,
+                json.events_per_sec,
+                NET_CODEC_GAP_FLOOR_X10 / 10,
+                NET_CODEC_GAP_FLOOR_X10 % 10
+            ));
+        } else {
+            println!(
+                "claim ok: n={} {} binary/json = {:.2}x, binary/pre-codec = {:.2}x",
+                r.n,
+                r.plan,
+                r.events_per_sec as f64 / json.events_per_sec.max(1) as f64,
+                r.events_per_sec as f64 / PRE_WIRE_EVENTS_PER_SEC as f64
+            );
+        }
+    }
+    failures
+}
+
+/// The `--net` comparison over `BENCH_net.json` rows (see the module
+/// docs for the exact/gated split).
+fn guard_net(baseline_path: &str, current_path: &str, max_drop: u64) {
+    let baseline = load_net(baseline_path).unwrap_or_else(|e| {
+        eprintln!("bench_guard: {e}");
+        std::process::exit(2);
+    });
+    let current = load_net(current_path).unwrap_or_else(|e| {
+        eprintln!("bench_guard: {e}");
+        std::process::exit(2);
+    });
+    let mut compared = 0usize;
+    let mut failures = net_claims(&baseline);
+    for b in &baseline {
+        let Some(c) = current.iter().find(|c| net_key(c) == net_key(b)) else {
+            println!(
+                "skip (no current row): {} / {} n={} {} {}",
+                b.workload, b.alg, b.n, b.plan, b.codec
+            );
+            continue;
+        };
+        if b.workload != "netsim" {
+            // Cluster rows race on OS scheduling: report, never gate.
+            println!(
+                "cluster (reported only): {} n={} {}: {} -> {} frames, {} -> {} bytes",
+                b.alg, b.n, b.codec, b.sent, c.sent, b.wire_bytes, c.wire_bytes
+            );
+            continue;
+        }
+        compared += 1;
+        let exact: [(&str, String, String); 8] = [
+            ("sent", b.sent.to_string(), c.sent.to_string()),
+            (
+                "delivered",
+                b.delivered.to_string(),
+                c.delivered.to_string(),
+            ),
+            ("events", b.events.to_string(), c.events.to_string()),
+            (
+                "rounds_max",
+                b.rounds_max.to_string(),
+                c.rounds_max.to_string(),
+            ),
+            (
+                "trace_digest",
+                b.trace_digest.clone(),
+                c.trace_digest.clone(),
+            ),
+            ("proper", b.proper.to_string(), c.proper.to_string()),
+            ("returned", b.returned.to_string(), c.returned.to_string()),
+            (
+                "wire_bytes",
+                b.wire_bytes.to_string(),
+                c.wire_bytes.to_string(),
+            ),
+        ];
+        for (field, bv, cv) in &exact {
+            if bv != cv {
+                failures.push(format!(
+                    "netsim n={} {} {}: {field} {bv} -> {cv} (determinism break!)",
+                    b.n, b.plan, b.codec
+                ));
+            }
+        }
+        if b.events >= 100_000 && c.events_per_sec * 100 < b.events_per_sec * (100 - max_drop) {
+            failures.push(format!(
+                "netsim n={} {} {}: throughput {} -> {} events/s (>{}% drop)",
+                b.n, b.plan, b.codec, b.events_per_sec, c.events_per_sec, max_drop
+            ));
+        }
+        println!(
+            "ok: netsim n={} {} {}: {} events, {} -> {} events/s, {} wire bytes",
+            b.n, b.plan, b.codec, c.events, b.events_per_sec, c.events_per_sec, c.wire_bytes
+        );
+    }
+    for c in &current {
+        if !baseline.iter().any(|b| net_key(b) == net_key(c)) {
+            println!(
+                "new row (no baseline): {} / {} n={} {} {}",
+                c.workload, c.alg, c.n, c.plan, c.codec
+            );
+        }
+    }
+    if compared == 0 {
+        eprintln!(
+            "bench_guard: no comparable netsim rows — baseline and current were \
+             generated at different scales?"
+        );
+        std::process::exit(2);
+    }
+    if failures.is_empty() {
+        println!("bench_guard: {compared} net rows compared, no regression");
     } else {
         for f in &failures {
             eprintln!("REGRESSION: {f}");

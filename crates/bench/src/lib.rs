@@ -23,6 +23,7 @@ pub mod e10_crash_tolerance;
 pub mod e11_decoupled;
 pub mod e14_net;
 pub mod e16_service;
+pub mod e19_wire;
 pub mod e1_alg1_linear;
 pub mod e2_chain_bound;
 pub mod e3_alg2_linear;

@@ -18,7 +18,7 @@ use ftcolor_core::{
     SixColoring,
 };
 use ftcolor_model::{inputs, Algorithm, SubstrateReport};
-use ftcolor_net::FaultPlan;
+use ftcolor_net::{FaultPlan, WireStats};
 use serde::{Deserialize, Serialize};
 
 use crate::orchestrator::{run_cluster, ClusterOptions, ClusterStats};
@@ -70,6 +70,21 @@ pub struct ClusterSummary {
     pub wall_ms: u64,
     /// Router counters (zeroed for replays).
     pub stats: ClusterStats,
+    /// Pipe codec the run used (`"none"` for replays — a journal is
+    /// not a wire). Flat `wire_*` fields are the only codec-variant
+    /// part of the summary, so cross-codec diffs can strip them with
+    /// one `grep -v '"wire_'`.
+    pub wire_codec: String,
+    /// Frames the orchestrator encoded onto node stdin pipes.
+    pub wire_frames_encoded: u64,
+    /// Frames the orchestrator decoded off node stdout pipes.
+    pub wire_frames_decoded: u64,
+    /// Total bytes across the pipes, including stream framing.
+    pub wire_bytes: u64,
+    /// Encode-buffer requests served from the pool free list.
+    pub wire_pool_hits: u64,
+    /// Encode-buffer requests that had to allocate.
+    pub wire_pool_misses: u64,
     /// Number of journal entries.
     pub trace_len: usize,
     /// FNV-1a digest of the trace's canonical JSON (hex).
@@ -112,6 +127,8 @@ pub fn cluster_run(
                 report.timed_out,
                 report.wall_ms,
                 report.stats,
+                report.codec.name(),
+                report.wire,
                 &report.trace,
                 |c: &PairColor| c.flat_index(),
                 PairColor::palette_size(2),
@@ -148,6 +165,8 @@ pub fn cluster_replay(trace: &ClusterTrace) -> Result<ClusterSummary, String> {
                 false,
                 0,
                 ClusterStats::default(),
+                "none",
+                WireStats::default(),
                 trace,
                 |c: &PairColor| c.flat_index(),
                 PairColor::palette_size(2),
@@ -181,6 +200,8 @@ where
         report.timed_out,
         report.wall_ms,
         report.stats,
+        report.codec.name(),
+        report.wire,
         &report.trace,
         |&c| c,
         5,
@@ -205,6 +226,8 @@ where
         false,
         0,
         ClusterStats::default(),
+        "none",
+        WireStats::default(),
         trace,
         |&c| c,
         5,
@@ -226,6 +249,8 @@ fn summarize<O, R>(
     timed_out: bool,
     wall_ms: u64,
     stats: ClusterStats,
+    wire_codec: &str,
+    wire: WireStats,
     trace: &ClusterTrace,
     color: impl Fn(&O) -> u64,
     palette: u64,
@@ -266,6 +291,12 @@ where
         rounds_max,
         wall_ms,
         stats,
+        wire_codec: wire_codec.to_string(),
+        wire_frames_encoded: wire.frames_encoded,
+        wire_frames_decoded: wire.frames_decoded,
+        wire_bytes: wire.bytes_on_wire,
+        wire_pool_hits: wire.pool_hits,
+        wire_pool_misses: wire.pool_misses,
         trace_len: trace.len(),
         trace_digest: format!("{:016x}", trace.digest()),
     }

@@ -36,7 +36,11 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use ftcolor_model::{Algorithm, ProcessId, SubstrateReport};
-use ftcolor_net::{draw_fate, Body, Fate, FaultPlan, Frame, Init, SnapshotResp, ORCHESTRATOR};
+use ftcolor_net::wire;
+use ftcolor_net::{
+    draw_fate, Body, Codec, Fate, FaultPlan, Frame, Init, SnapshotResp, WirePool, WireStats,
+    ORCHESTRATOR,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize, Value};
@@ -66,6 +70,12 @@ pub struct ClusterOptions {
     /// Test hook: spawn this node but never send its `init`, wedging it
     /// silent forever — exercises the timeout/stall reporting path.
     pub withhold_init: Option<usize>,
+    /// Pipe encoding between orchestrator and nodes: line-delimited
+    /// JSON (default) or length-prefixed binary frames. The journal
+    /// stays JSON either way — traces must read naturally — and the
+    /// codec is forwarded to spawned nodes as `node --codec <name>`.
+    /// [`Codec::Typed`] is simulator-only and rejected here.
+    pub codec: Codec,
 }
 
 impl Default for ClusterOptions {
@@ -77,6 +87,7 @@ impl Default for ClusterOptions {
             max_wall_ms: 30_000,
             node_cmd: None,
             withhold_init: None,
+            codec: Codec::Json,
         }
     }
 }
@@ -114,6 +125,13 @@ impl ClusterOptions {
     #[must_use]
     pub fn withhold_init(mut self, node: usize) -> Self {
         self.withhold_init = Some(node);
+        self
+    }
+
+    /// Sets the pipe codec.
+    #[must_use]
+    pub fn codec(mut self, codec: Codec) -> Self {
+        self.codec = codec;
         self
     }
 }
@@ -165,6 +183,11 @@ pub struct ClusterReport<O> {
     pub trace: ClusterTrace,
     /// Router counters.
     pub stats: ClusterStats,
+    /// The pipe codec this run used.
+    pub codec: Codec,
+    /// Frame/byte/pool counters for the orchestrator's side of the
+    /// pipes (encodes to node stdin, decodes from node stdout).
+    pub wire: WireStats,
 }
 
 impl<O> SubstrateReport<O> for ClusterReport<O> {
@@ -269,6 +292,10 @@ where
     if n < 3 {
         return Err(format!("cluster: a cycle needs n >= 3 nodes, got {n}"));
     }
+    let codec = opts.codec;
+    if codec == Codec::Typed {
+        return Err("cluster: --codec typed is simulator-only (real pipes carry bytes)".into());
+    }
     let tick_ms = opts.tick_ms.max(1);
     let node_cmd = match &opts.node_cmd {
         Some(p) => p.clone(),
@@ -276,12 +303,19 @@ where
     };
 
     // Spawn all nodes first; guards reap everything on any exit path.
+    // Reader threads ship raw payload bytes (a stripped JSON line, or a
+    // length-prefix-stripped binary record); decoding stays on the
+    // router thread so `malformed` accounting is single-threaded.
     let mut children: Vec<ChildGuard> = Vec::with_capacity(n);
     let mut stdins = Vec::with_capacity(n);
-    let (tx, rx) = mpsc::channel::<(usize, String)>();
+    let (tx, rx) = mpsc::channel::<(usize, Vec<u8>)>();
     for i in 0..n {
-        let child = Command::new(&node_cmd)
-            .arg("node")
+        let mut cmd = Command::new(&node_cmd);
+        cmd.arg("node");
+        if codec == Codec::Binary {
+            cmd.args(["--codec", "binary"]);
+        }
+        let child = cmd
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit())
@@ -293,11 +327,22 @@ where
         stdins.push(Some(stdin));
         children.push(guard);
         let tx = tx.clone();
-        thread::spawn(move || {
-            for line in BufReader::new(stdout).lines() {
-                let Ok(line) = line else { break };
-                if tx.send((i, line)).is_err() {
-                    break;
+        thread::spawn(move || match codec {
+            Codec::Binary => {
+                let mut reader = BufReader::new(stdout);
+                let mut buf = Vec::new();
+                while let Ok(true) = wire::read_framed(&mut reader, &mut buf) {
+                    if tx.send((i, std::mem::take(&mut buf))).is_err() {
+                        break;
+                    }
+                }
+            }
+            _ => {
+                for line in BufReader::new(stdout).lines() {
+                    let Ok(line) = line else { break };
+                    if tx.send((i, line.into_bytes())).is_err() {
+                        break;
+                    }
                 }
             }
         });
@@ -314,6 +359,8 @@ where
     let mut rng = StdRng::seed_from_u64(seed);
     let mut entries: Vec<ClusterEntry> = Vec::new();
     let mut stats = ClusterStats::default();
+    let mut wpool = WirePool::default();
+    let mut wstats = WireStats::default();
     let mut heap: BinaryHeap<Queued> = BinaryHeap::new();
     let mut order: u64 = 0;
     let mut killed = vec![false; n];
@@ -354,7 +401,9 @@ where
             }),
         };
         let ms = ms_now(Instant::now());
-        if write_frame(slot, &frame) {
+        if let Some(bytes) = write_frame(slot, &frame, codec, &mut wpool) {
+            wstats.frames_encoded += 1;
+            wstats.bytes_on_wire += bytes as u64;
             entries.push(ClusterEntry::Deliver {
                 seq: entries.len() as u64,
                 ms,
@@ -484,8 +533,10 @@ where
                         }),
                     });
                 }
-            } else if write_frame(&mut stdins[dest], &frame) {
+            } else if let Some(bytes) = write_frame(&mut stdins[dest], &frame, codec, &mut wpool) {
                 stats.delivered += 1;
+                wstats.frames_encoded += 1;
+                wstats.bytes_on_wire += bytes as u64;
                 entries.push(ClusterEntry::Deliver {
                     seq: entries.len() as u64,
                     ms,
@@ -535,15 +586,31 @@ where
         }
         let wait = next.saturating_duration_since(Instant::now());
         match rx.recv_timeout(wait) {
-            Ok((i, line)) => {
-                let trimmed = line.trim();
-                if trimmed.is_empty() {
-                    continue;
-                }
-                match Frame::decode(trimmed) {
+            Ok((i, payload)) => {
+                let decoded = match codec {
+                    Codec::Binary => wire::decode_frame(&payload).ok(),
+                    _ => match std::str::from_utf8(&payload) {
+                        Ok(text) => {
+                            let trimmed = text.trim();
+                            if trimmed.is_empty() {
+                                continue;
+                            }
+                            Frame::decode(trimmed).ok()
+                        }
+                        Err(_) => None,
+                    },
+                };
+                match decoded {
                     // A node only speaks for itself; anything else is
-                    // treated as a torn line.
-                    Ok(frame) if frame.src == i => route!(frame),
+                    // treated as a torn line/record.
+                    Some(frame) if frame.src == i => {
+                        wstats.frames_decoded += 1;
+                        // +4/+1 for the stream framing the reader
+                        // thread stripped (length prefix / newline).
+                        let framing = if codec == Codec::Binary { 4 } else { 1 };
+                        wstats.bytes_on_wire += (payload.len() + framing) as u64;
+                        route!(frame);
+                    }
                     _ => stats.malformed += 1,
                 }
             }
@@ -602,6 +669,8 @@ where
         stalled: stalled.iter().map(|p| p.index()).collect(),
     };
 
+    wstats.pool_hits = wpool.hits();
+    wstats.pool_misses = wpool.misses();
     Ok(ClusterReport {
         outputs,
         rounds: decide_round,
@@ -613,19 +682,37 @@ where
         final_registers: cache,
         trace,
         stats,
+        codec,
+        wire: wstats,
     })
 }
 
-/// Writes one frame line to a node's stdin. On any pipe error the slot
-/// is closed (the node died on its own) and `false` comes back — the
-/// frame is treated as undeliverable, never journaled.
-fn write_frame(slot: &mut Option<std::process::ChildStdin>, frame: &Frame) -> bool {
-    let Some(stdin) = slot.as_mut() else {
-        return false;
-    };
-    let ok = writeln!(stdin, "{}", frame.encode()).is_ok() && stdin.flush().is_ok();
+/// Writes one frame to a node's stdin in the run's codec (a JSON line,
+/// or a length-prefixed binary record), built in a pooled buffer and
+/// flushed in a single `write_all`. Returns the bytes written. On any
+/// pipe error the slot is closed (the node died on its own) and `None`
+/// comes back — the frame is treated as undeliverable, never journaled.
+fn write_frame(
+    slot: &mut Option<std::process::ChildStdin>,
+    frame: &Frame,
+    codec: Codec,
+    pool: &mut WirePool,
+) -> Option<usize> {
+    let stdin = slot.as_mut()?;
+    let mut buf = pool.acquire();
+    match codec {
+        Codec::Binary => wire::append_framed(frame, &mut buf),
+        _ => {
+            frame.encode_into(&mut buf);
+            buf.push(b'\n');
+        }
+    }
+    let ok = stdin.write_all(&buf).is_ok() && stdin.flush().is_ok();
+    let bytes = buf.len();
+    pool.release(buf);
     if !ok {
         *slot = None;
+        return None;
     }
-    ok
+    Some(bytes)
 }

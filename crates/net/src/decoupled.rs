@@ -34,6 +34,7 @@ use crate::faults::FaultPlan;
 use crate::msg::{Body, Frame, Write};
 use crate::sim::{decide_fate, Mode, NetConfig, NetReport, NetStats};
 use crate::trace::{DeliveryTrace, Outcome, TraceEntry};
+use crate::wire::{FrameCodec, Payload};
 
 /// Runs a DECOUPLED algorithm on the simulated network via input
 /// gossip, drawing all fault decisions from `cfg.seed`.
@@ -87,8 +88,8 @@ enum Status {
 }
 
 enum Ev {
-    /// A gossip frame arrives (wire JSON form).
-    Deliver { json: String },
+    /// A gossip frame arrives (encoded in the run's codec, or typed).
+    Deliver { payload: Payload },
     /// A process attempts to decide.
     Activate { node: usize },
     /// A node's substrate re-gossips its known set.
@@ -106,6 +107,9 @@ struct GossipSim<'a, A: DecoupledAlgorithm> {
     /// Per node: the `(position, input)` pairs its gossip layer knows.
     known: Vec<Vec<Option<A::Input>>>,
     status: Vec<Status>,
+    /// Count of `Working` entries in `status`, kept in sync at the two
+    /// transitions so the event loop's stop check is O(1) per event.
+    working: usize,
     outputs: Vec<Option<A::Output>>,
     rounds: Vec<u64>,
     queue: BinaryHeap<Reverse<(u64, u64, usize)>>,
@@ -117,6 +121,7 @@ struct GossipSim<'a, A: DecoupledAlgorithm> {
     mode: Mode,
     trace: DeliveryTrace,
     stats: NetStats,
+    codec: FrameCodec,
 }
 
 impl<'a, A> GossipSim<'a, A>
@@ -149,6 +154,7 @@ where
             cfg,
             known,
             status: vec![Status::Working; n],
+            working: n,
             outputs: (0..n).map(|_| None).collect(),
             rounds: vec![0; n],
             queue: BinaryHeap::new(),
@@ -160,6 +166,7 @@ where
             mode,
             trace: DeliveryTrace::default(),
             stats: NetStats::default(),
+            codec: FrameCodec::new(cfg.codec),
         };
         for node in 0..n {
             sim.schedule(1, Ev::Gossip { node });
@@ -191,7 +198,7 @@ where
 
     fn run(mut self) -> NetReport<A::Output> {
         while let Some(Reverse((at, _, slot))) = self.queue.pop() {
-            if !self.status.contains(&Status::Working) {
+            if self.working == 0 {
                 break;
             }
             if at > self.cfg.max_time {
@@ -206,11 +213,12 @@ where
                 Ev::Crash { node } => {
                     if node < self.status.len() && self.status[node] == Status::Working {
                         self.status[node] = Status::Crashed;
+                        self.working -= 1;
                     }
                 }
                 Ev::Gossip { node } => self.on_gossip(node),
                 Ev::Activate { node } => self.on_activate(node),
-                Ev::Deliver { json } => self.on_deliver(&json),
+                Ev::Deliver { payload } => self.on_deliver(payload),
             }
         }
         let ids = |s: Status| {
@@ -232,6 +240,8 @@ where
             events: Vec::new(),
             trace: self.trace,
             stats: self.stats,
+            codec: self.codec.codec(),
+            wire: self.codec.stats(),
         }
     }
 
@@ -269,8 +279,8 @@ where
         }
     }
 
-    fn on_deliver(&mut self, json: &str) {
-        let frame = Frame::decode(json).expect("wire frames decode");
+    fn on_deliver(&mut self, payload: Payload) {
+        let frame = self.codec.decode(payload);
         let Body::Write(w) = frame.body else {
             return; // gossip uses only `write` frames
         };
@@ -314,6 +324,7 @@ where
         if let Some(o) = self.alg.decide(ProcessId(node), radius as u64, &k) {
             self.outputs[node] = Some(o);
             self.status[node] = Status::Returned;
+            self.working -= 1;
             return;
         }
         let jitter = self.jitter();
@@ -347,13 +358,9 @@ where
     /// Fault-prone send, sharing the fate logic (and hence the replay
     /// format) with the register protocol.
     fn send(&mut self, from: usize, to: usize, body: Body) {
-        let kind = body.kind();
-        let json = Frame {
-            src: from,
-            dest: to,
-            body,
-        }
-        .encode();
+        let kind = body
+            .trace_kind()
+            .expect("only register-protocol frames cross the simulated network");
         self.stats.sent += 1;
         let seq = self.trace.entries.len() as u64;
         let (outcome, dup_at) = decide_fate(
@@ -369,10 +376,18 @@ where
         match outcome {
             Outcome::Deliver { at } => {
                 self.stats.delivered += 1;
-                self.schedule(at, Ev::Deliver { json: json.clone() });
-                if let Some(d) = dup_at {
+                // Fate first, encode after: only delivered copies are
+                // serialized, and codec choice cannot perturb the trace.
+                let payload = self.codec.encode(Frame {
+                    src: from,
+                    dest: to,
+                    body,
+                });
+                let dup = dup_at.map(|_| self.codec.copy(&payload));
+                self.schedule(at, Ev::Deliver { payload });
+                if let (Some(d), Some(dup)) = (dup_at, dup) {
                     self.stats.duplicated += 1;
-                    self.schedule(d, Ev::Deliver { json });
+                    self.schedule(d, Ev::Deliver { payload: dup });
                 }
             }
             Outcome::Drop => self.stats.dropped += 1,
@@ -383,7 +398,7 @@ where
             t: self.now,
             from,
             to,
-            kind: kind.to_string(),
+            kind,
             outcome,
             dup_at,
         });

@@ -30,16 +30,19 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod calendar;
 pub mod decoupled;
 pub mod faults;
 pub mod msg;
 pub mod shrink;
 pub mod sim;
 pub mod trace;
+pub mod wire;
 
 pub use decoupled::{replay_decoupled_net, run_decoupled_net};
 pub use faults::{draw_fate, CrashAt, Fate, FaultPlan, LinkFault, LinkParams, Partition};
 pub use msg::{Body, Decide, Frame, Init, InitOk, SnapshotReq, SnapshotResp, Write, ORCHESTRATOR};
 pub use shrink::shrink_plan;
 pub use sim::{replay_net, run_net, NetConfig, NetReport, NetStats};
-pub use trace::{DeliveryTrace, Outcome, TraceEntry};
+pub use trace::{DeliveryTrace, FrameKind, Outcome, TraceEntry};
+pub use wire::{Codec, WireError, WirePool, WireStats, MAX_FRAME_BYTES, WIRE_VERSION};

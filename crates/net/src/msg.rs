@@ -46,7 +46,7 @@ use serde::{Deserialize, Error, Serialize, Value};
 pub const ORCHESTRATOR: usize = usize::MAX;
 
 /// One message in flight: source node, destination node, payload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct Frame {
     /// Sending node.
     pub src: usize,
@@ -153,6 +153,20 @@ pub struct Decide {
 }
 
 impl Body {
+    /// The [`FrameKind`](crate::trace::FrameKind) recorded for this
+    /// message in a delivery trace, or `None` for control-plane frames
+    /// (which never cross the fault-injected network and are therefore
+    /// never traced).
+    pub fn trace_kind(&self) -> Option<crate::trace::FrameKind> {
+        use crate::trace::FrameKind;
+        match self {
+            Body::Write(_) => Some(FrameKind::Write),
+            Body::SnapshotReq(_) => Some(FrameKind::SnapshotReq),
+            Body::SnapshotResp(_) => Some(FrameKind::SnapshotResp),
+            _ => None,
+        }
+    }
+
     /// The snake_case tag of this message type (as it appears on the
     /// wire and in delivery traces).
     pub fn kind(&self) -> &'static str {
@@ -206,10 +220,65 @@ impl Deserialize for Body {
     }
 }
 
+/// The frame envelope as a [`Value`] tree — the single place the JSON
+/// shape of a frame is defined. [`Frame`]'s `Serialize` impl and the
+/// parts-based encoder below both delegate here, so a frame serialized
+/// whole and a frame serialized from borrowed parts are byte-identical
+/// by construction.
+fn frame_to_value(src: usize, dest: usize, body: &Body) -> Value {
+    Value::Object(vec![
+        ("src".to_string(), src.to_value()),
+        ("dest".to_string(), dest.to_value()),
+        ("body".to_string(), body.to_value()),
+    ])
+}
+
+impl Serialize for Frame {
+    fn to_value(&self) -> Value {
+        frame_to_value(self.src, self.dest, &self.body)
+    }
+}
+
+/// Appends the JSON wire encoding of a frame assembled from parts — the
+/// envelope by value, the body borrowed. The simulators' send paths use
+/// this to serialize a broadcast body once per destination without
+/// cloning the register value it carries.
+pub(crate) fn encode_json_parts_into(src: usize, dest: usize, body: &Body, buf: &mut Vec<u8>) {
+    struct FrameRef<'a> {
+        src: usize,
+        dest: usize,
+        body: &'a Body,
+    }
+    // A borrowing `Serialize` impl (rather than passing the built
+    // `Value` itself) so the tree is materialized exactly once —
+    // `Value`'s own `to_value` is a deep clone.
+    impl Serialize for FrameRef<'_> {
+        fn to_value(&self) -> Value {
+            frame_to_value(self.src, self.dest, self.body)
+        }
+    }
+    let mut s = String::from_utf8(std::mem::take(buf)).expect("frame buffers hold UTF-8");
+    serde_json::append_to_string(&FrameRef { src, dest, body }, &mut s);
+    *buf = s.into_bytes();
+}
+
 impl Frame {
     /// Encodes the frame as one line of JSON (the wire format).
     pub fn encode(&self) -> String {
-        serde_json::to_string(self).expect("frames always encode")
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        String::from_utf8(buf).expect("JSON frames are UTF-8")
+    }
+
+    /// Appends the frame's JSON encoding onto a caller-supplied buffer —
+    /// the pooled entry point: no allocation when `buf` has capacity.
+    /// Existing bytes in `buf` must be valid UTF-8 (pooled buffers are
+    /// handed out cleared, so the check is O(existing length) = O(1) on
+    /// the steady-state path).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let mut s = String::from_utf8(std::mem::take(buf)).expect("frame buffers hold UTF-8");
+        serde_json::append_to_string(self, &mut s);
+        *buf = s.into_bytes();
     }
 
     /// Decodes a frame from its JSON wire form.

@@ -46,18 +46,17 @@
 //! identical coloring. [`replay_net`] re-runs a recorded trace without
 //! touching the network RNG at all.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
 use ftcolor_model::{Algorithm, Neighborhood, ProcessId, Step, Topology};
 use ftcolor_runtime::{RtEvent, RtEventKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize, Value};
 
+use crate::calendar::EventQueue;
 use crate::faults::{Fate, FaultPlan};
 use crate::msg::{Body, Frame, SnapshotReq, SnapshotResp, Write};
-use crate::trace::{DeliveryTrace, Outcome, TraceEntry};
+use crate::trace::{DeliveryTrace, FrameKind, Outcome, TraceEntry};
+use crate::wire::{Codec, FrameCodec, Payload, WireStats};
 
 /// Simulation parameters (everything except the fault plan).
 #[derive(Debug, Clone)]
@@ -75,10 +74,16 @@ pub struct NetConfig {
     /// Record an [`RtEvent`] log of the round-commit serialization (see
     /// [`NetReport::events`]).
     pub record_events: bool,
+    /// Wire encoding for frames in flight (default [`Codec::Json`]).
+    /// Codec choice never changes semantics: fault fates are drawn per
+    /// send in send order, before any encoding happens, so the trace and
+    /// verdicts are byte-identical across codecs.
+    pub codec: Codec,
 }
 
 impl NetConfig {
-    /// Defaults: jitter 3, rto 16, max_time 100 000, no event log.
+    /// Defaults: jitter 3, rto 16, max_time 100 000, no event log,
+    /// JSON codec.
     pub fn new(seed: u64) -> Self {
         NetConfig {
             seed,
@@ -86,6 +91,7 @@ impl NetConfig {
             rto: 16,
             max_time: 100_000,
             record_events: false,
+            codec: Codec::Json,
         }
     }
 
@@ -116,6 +122,13 @@ impl NetConfig {
         self.record_events = on;
         self
     }
+
+    /// Sets the wire codec for frames in flight.
+    #[must_use]
+    pub fn codec(mut self, codec: Codec) -> Self {
+        self.codec = codec;
+        self
+    }
 }
 
 /// Message and event counters for one run.
@@ -135,6 +148,10 @@ pub struct NetStats {
     pub retransmits: u64,
     /// Loopback register writes (reliable, not network messages).
     pub loopback_writes: u64,
+    /// `snapshot_req`s answered by the register server of a *crashed*
+    /// process — substrate memory outliving its process, the property
+    /// the paper's crash-surviving registers need.
+    pub served_dead_reads: u64,
     /// Discrete events processed by the simulator loop.
     pub events_processed: u64,
 }
@@ -163,6 +180,10 @@ pub struct NetReport<O> {
     pub trace: DeliveryTrace,
     /// Message/event counters.
     pub stats: NetStats,
+    /// The wire codec this run used.
+    pub codec: Codec,
+    /// Frame/byte/pool counters for the run's codec.
+    pub wire: WireStats,
 }
 
 impl<O> NetReport<O> {
@@ -273,42 +294,15 @@ struct Node<S> {
 }
 
 enum Ev {
-    /// A frame arrives at its destination (wire JSON form).
-    Deliver { json: String },
+    /// A frame arrives at its destination (encoded in the run's codec,
+    /// or carried typed when the codec skips byte serialization).
+    Deliver { payload: Payload },
     /// A process starts its next round.
     Activate { node: usize },
     /// Retransmit timer for one `snapshot_req`.
     Retransmit { node: usize, round: u64, nbr: usize },
     /// A process crashes (from the fault plan).
     Crash { node: usize },
-}
-
-struct QEntry {
-    at: u64,
-    tick: u64,
-    ev: Ev,
-}
-
-impl PartialEq for QEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.tick == other.tick
-    }
-}
-impl Eq for QEntry {}
-impl PartialOrd for QEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for QEntry {
-    /// Reversed so the `BinaryHeap` max-heap pops the earliest
-    /// `(at, tick)` first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.tick.cmp(&self.tick))
-    }
 }
 
 pub(crate) enum Mode {
@@ -341,7 +335,7 @@ pub(crate) fn decide_fate(
     now: u64,
     from: usize,
     to: usize,
-    kind: &'static str,
+    kind: FrameKind,
     seq: u64,
 ) -> (Outcome, Option<u64>) {
     match mode {
@@ -379,16 +373,20 @@ struct Sim<'a, A: Algorithm> {
     nodes: Vec<Node<A::State>>,
     outputs: Vec<Option<A::Output>>,
     rounds: Vec<u64>,
-    queue: BinaryHeap<QEntry>,
+    queue: EventQueue<Ev>,
     now: u64,
-    tick: u64,
     net_rng: StdRng,
     timing_rng: StdRng,
     mode: Mode,
     trace: DeliveryTrace,
     stats: NetStats,
+    codec: FrameCodec,
     events: Vec<RtEvent>,
     seq: u64,
+    /// Count of nodes still `Working` — maintained at the two status
+    /// transitions so the event loop's stop check is O(1), not an O(n)
+    /// scan per event.
+    working: usize,
 }
 
 impl<'a, A> Sim<'a, A>
@@ -431,9 +429,8 @@ where
             nodes,
             outputs: (0..n).map(|_| None).collect(),
             rounds: vec![0; n],
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(),
             now: 0,
-            tick: 0,
             net_rng: StdRng::seed_from_u64(cfg.seed),
             // A disjoint stream for timing: jitter draws must not
             // perturb fault draws (or replay would change timing).
@@ -441,8 +438,10 @@ where
             mode,
             trace: DeliveryTrace::default(),
             stats: NetStats::default(),
+            codec: FrameCodec::new(cfg.codec),
             events: Vec::new(),
             seq: 0,
+            working: n,
         };
         for node in 0..n {
             let jitter = sim.jitter();
@@ -465,30 +464,29 @@ where
     }
 
     fn schedule(&mut self, at: u64, ev: Ev) {
-        let tick = self.tick;
-        self.tick += 1;
-        self.queue.push(QEntry { at, tick, ev });
+        self.queue.push(at, ev);
     }
 
     fn run(mut self) -> NetReport<A::Output> {
-        while let Some(entry) = self.queue.pop() {
-            if !self.nodes.iter().any(|nd| nd.status == Status::Working) {
+        while let Some((at, ev)) = self.queue.pop() {
+            if self.working == 0 {
                 break;
             }
-            if entry.at > self.cfg.max_time {
+            if at > self.cfg.max_time {
                 self.now = self.cfg.max_time;
                 break;
             }
-            self.now = entry.at;
+            self.now = at;
             self.stats.events_processed += 1;
-            match entry.ev {
+            match ev {
                 Ev::Crash { node } => {
                     if self.nodes[node].status == Status::Working {
                         self.nodes[node].status = Status::Crashed;
+                        self.working -= 1;
                     }
                 }
                 Ev::Activate { node } => self.on_activate(node),
-                Ev::Deliver { json } => self.on_deliver(&json),
+                Ev::Deliver { payload } => self.on_deliver(payload),
                 Ev::Retransmit { node, round, nbr } => self.on_retransmit(node, round, nbr),
             }
         }
@@ -503,6 +501,8 @@ where
             events: self.events,
             trace: self.trace,
             stats: self.stats,
+            codec: self.codec.codec(),
+            wire: self.codec.stats(),
         }
     }
 
@@ -527,44 +527,45 @@ where
     }
 
     /// Loopback is the process's access to its own register: reliable,
-    /// one tick, never drawn against the fault plan.
+    /// one tick, never drawn against the fault plan. It still goes
+    /// through the codec: a real co-located register server would parse
+    /// the frame too, so the loopback leg is honest hot-path work.
     fn send_loopback(&mut self, node: usize, body: Body) {
-        let json = Frame {
+        let payload = self.codec.encode(Frame {
             src: node,
             dest: node,
             body,
-        }
-        .encode();
+        });
         self.stats.loopback_writes += 1;
-        self.schedule(self.now + 1, Ev::Deliver { json });
+        self.schedule(self.now + 1, Ev::Deliver { payload });
     }
 
-    fn on_deliver(&mut self, json: &str) {
-        let frame = Frame::decode(json).expect("wire frames decode");
+    fn on_deliver(&mut self, payload: Payload) {
+        let frame = self.codec.decode(payload);
         match frame.body {
             Body::Write(w) => {
                 if frame.src == frame.dest {
-                    self.on_own_write(frame.dest, &w);
+                    self.on_own_write(frame.dest, w);
                 } else {
-                    self.on_mirror_write(frame.src, frame.dest, &w);
+                    self.on_mirror_write(frame.src, frame.dest, w);
                 }
             }
             Body::SnapshotReq(r) => {
                 // Register servers are substrate memory: they answer
                 // even when their process crashed or returned.
+                if self.nodes[frame.dest].status == Status::Crashed {
+                    self.stats.served_dead_reads += 1;
+                }
                 let (value, stamp) = match &self.nodes[frame.dest].reg {
                     Some((v, s)) => (Some(v.clone()), *s),
                     None => (None, 0),
                 };
-                self.send(
-                    frame.dest,
-                    frame.src,
-                    Body::SnapshotResp(SnapshotResp {
-                        round: r.round,
-                        value,
-                        stamp,
-                    }),
-                );
+                let resp = Body::SnapshotResp(SnapshotResp {
+                    round: r.round,
+                    value,
+                    stamp,
+                });
+                self.send(frame.dest, frame.src, &resp);
             }
             Body::SnapshotResp(r) => self.on_resp(frame.src, frame.dest, r),
             // The discrete-event simulator's wire carries only the
@@ -575,48 +576,54 @@ where
     }
 
     /// The loopback write lands: apply it, then start the snapshot.
-    fn on_own_write(&mut self, node: usize, w: &Write) {
-        let stamp = w.round + 1;
-        if stamp > obs_stamp(&self.nodes[node].reg) {
-            self.nodes[node].reg = Some((w.value.clone(), stamp));
-        }
+    fn on_own_write(&mut self, node: usize, w: Write) {
+        let round = w.round;
+        let stamp = round + 1;
+        let fresh = stamp > obs_stamp(&self.nodes[node].reg);
         // The rest of the round is process behavior: skip it if the
         // process crashed while the write was in flight (a legal §2
         // crash point — the write itself still happened).
         if self.nodes[node].status != Status::Working
             || self.nodes[node].phase != Phase::AwaitWrite
-            || self.nodes[node].round != w.round
+            || self.nodes[node].round != round
         {
+            if fresh {
+                self.nodes[node].reg = Some((w.value, stamp));
+            }
             return;
         }
-        let neighbors: Vec<usize> = self
-            .topo
-            .neighbors(ProcessId(node))
-            .iter()
-            .map(|q| q.index())
-            .collect();
+        // `topo` is a shared borrow living as long as the sim, so the
+        // neighbor slice needs no per-round collection.
+        let neighbors: &[ProcessId] = self.topo.neighbors(ProcessId(node));
         if neighbors.is_empty() {
+            if fresh {
+                self.nodes[node].reg = Some((w.value, stamp));
+            }
             self.commit_round(node);
             return;
         }
+        // The register store and the broadcast body share the value:
+        // one clone per round, regardless of degree — the byte codecs
+        // serialize the broadcast straight from the borrowed body.
+        if fresh {
+            self.nodes[node].reg = Some((w.value.clone(), stamp));
+        }
+        let wbody = Body::Write(Write {
+            round,
+            value: w.value,
+        });
+        let req = Body::SnapshotReq(SnapshotReq { round });
         self.nodes[node].phase = Phase::Snapshotting;
         for (pos, &q) in neighbors.iter().enumerate() {
-            self.send(
-                node,
-                q,
-                Body::Write(Write {
-                    round: w.round,
-                    value: w.value.clone(),
-                }),
-            );
+            self.send(node, q.index(), &wbody);
             self.nodes[node].pending[pos] = true;
             self.nodes[node].resp[pos] = None;
-            self.send(node, q, Body::SnapshotReq(SnapshotReq { round: w.round }));
+            self.send(node, q.index(), &req);
             self.schedule(
                 self.now + self.cfg.rto,
                 Ev::Retransmit {
                     node,
-                    round: w.round,
+                    round,
                     nbr: pos,
                 },
             );
@@ -625,13 +632,13 @@ where
 
     /// A neighbor's `write` broadcast: warm the mirror (monotone in the
     /// freshness stamp, so reordered broadcasts can't roll it back).
-    fn on_mirror_write(&mut self, src: usize, dest: usize, w: &Write) {
+    fn on_mirror_write(&mut self, src: usize, dest: usize, w: Write) {
         let Some(pos) = self.neighbor_pos(dest, src) else {
             return;
         };
         let stamp = w.round + 1;
         if stamp > obs_stamp(&self.nodes[dest].mirror[pos]) {
-            self.nodes[dest].mirror[pos] = Some((w.value.clone(), stamp));
+            self.nodes[dest].mirror[pos] = Some((w.value, stamp));
         }
     }
 
@@ -668,31 +675,41 @@ where
         }
         self.stats.retransmits += 1;
         let q = self.topo.neighbors(ProcessId(node))[nbr].index();
-        self.send(node, q, Body::SnapshotReq(SnapshotReq { round }));
+        self.send(node, q, &Body::SnapshotReq(SnapshotReq { round }));
         self.schedule(self.now + self.cfg.rto, Ev::Retransmit { node, round, nbr });
     }
 
     /// All responses in: merge views, run the algorithm step.
     fn commit_round(&mut self, node: usize) {
         let round = self.nodes[node].round;
-        let neighbor_ids: Vec<usize> = self
-            .topo
-            .neighbors(ProcessId(node))
-            .iter()
-            .map(|q| q.index())
-            .collect();
-        let view: Vec<Option<A::Reg>> = (0..neighbor_ids.len())
+        let degree = self.topo.neighbors(ProcessId(node)).len();
+        let view: Vec<Option<A::Reg>> = (0..degree)
             .map(|pos| {
+                // The response is consumed (it is reset at the next
+                // round's write anyway); the mirror persists, so it is
+                // cloned — but only when it actually wins, which on a
+                // healthy link it never does (a response ties-or-beats
+                // a mirror of the same stamp).
                 let resp = self.nodes[node].resp[pos]
-                    .clone()
+                    .take()
                     .expect("commit only fires once every neighbor answered");
-                let merged = fresher(resp, self.nodes[node].mirror[pos].clone());
+                let merged = if obs_stamp(&self.nodes[node].mirror[pos]) > obs_stamp(&resp) {
+                    self.nodes[node].mirror[pos].clone()
+                } else {
+                    resp
+                };
                 merged.map(|(v, _)| {
                     serde_json::from_value::<A::Reg>(v).expect("register payloads decode")
                 })
             })
             .collect();
         if self.cfg.record_events {
+            let neighbor_ids: Vec<usize> = self
+                .topo
+                .neighbors(ProcessId(node))
+                .iter()
+                .map(|q| q.index())
+                .collect();
             self.emit_round_block(node, round, &neighbor_ids);
         }
         let step = {
@@ -711,6 +728,7 @@ where
                 self.outputs[node] = Some(o);
                 self.nodes[node].status = Status::Returned;
                 self.nodes[node].phase = Phase::Idle;
+                self.working -= 1;
                 // The register server keeps serving the final value.
             }
         }
@@ -754,15 +772,14 @@ where
     }
 
     /// The fault-prone network path. Draws (or replays) this send's
-    /// fate, records it in the trace, schedules deliveries.
-    fn send(&mut self, from: usize, to: usize, body: Body) {
-        let kind = body.kind();
-        let json = Frame {
-            src: from,
-            dest: to,
-            body,
-        }
-        .encode();
+    /// fate, records it in the trace, schedules deliveries. The fate is
+    /// drawn *before* any encoding — fates depend only on (plan, rng,
+    /// time, link), so codec choice cannot perturb the trace, and
+    /// dropped sends are never serialized at all.
+    fn send(&mut self, from: usize, to: usize, body: &Body) {
+        let kind = body
+            .trace_kind()
+            .expect("only register-protocol frames cross the simulated network");
         self.stats.sent += 1;
         let seq = self.trace.entries.len() as u64;
         let (outcome, dup_at) = decide_fate(
@@ -778,10 +795,15 @@ where
         match outcome {
             Outcome::Deliver { at } => {
                 self.stats.delivered += 1;
-                self.schedule(at, Ev::Deliver { json: json.clone() });
-                if let Some(d) = dup_at {
+                let payload = self.codec.encode_body(from, to, body);
+                // Copy for the duplicate first, but schedule the primary
+                // first: tick order (the tie-break) must match the
+                // original primary-then-duplicate schedule.
+                let dup = dup_at.map(|_| self.codec.copy(&payload));
+                self.schedule(at, Ev::Deliver { payload });
+                if let (Some(d), Some(dup)) = (dup_at, dup) {
                     self.stats.duplicated += 1;
-                    self.schedule(d, Ev::Deliver { json: json.clone() });
+                    self.schedule(d, Ev::Deliver { payload: dup });
                 }
             }
             Outcome::Drop => self.stats.dropped += 1,
@@ -792,7 +814,7 @@ where
             t: self.now,
             from,
             to,
-            kind: kind.to_string(),
+            kind,
             outcome,
             dup_at,
         });
@@ -801,16 +823,6 @@ where
 
 fn obs_stamp(o: &Obs) -> u64 {
     o.as_ref().map_or(0, |(_, s)| *s)
-}
-
-/// The fresher of two register observations (higher stamp wins; a
-/// response ties-or-beats a mirror of the same stamp).
-fn fresher(resp: Obs, mirror: Obs) -> Obs {
-    if obs_stamp(&mirror) > obs_stamp(&resp) {
-        mirror
-    } else {
-        resp
-    }
 }
 
 #[cfg(test)]
@@ -896,6 +908,63 @@ mod tests {
         }
         assert!(report.stalled.is_empty());
         assert_proper(&topo, &report.outputs);
+    }
+
+    #[test]
+    fn codec_choice_never_changes_semantics() {
+        let topo = cycle(8);
+        let ids = inputs::random_unique(8, 10_000, 3);
+        let mut plan = FaultPlan::lossy(0.2);
+        plan.duplicate = 0.1;
+        plan.reorder = 0.15;
+        let base = NetConfig::new(9).record_events(true);
+        let json = run_net(&SixColoring, &topo, ids.clone(), &plan, &base);
+        for codec in [Codec::Binary, Codec::Typed] {
+            let cfg = base.clone().codec(codec);
+            let other = run_net(&SixColoring, &topo, ids.clone(), &plan, &cfg);
+            assert_eq!(other.outputs, json.outputs, "{codec:?} coloring");
+            assert_eq!(other.trace, json.trace, "{codec:?} trace");
+            assert_eq!(other.events, json.events, "{codec:?} event log");
+            assert_eq!(other.stats, json.stats, "{codec:?} counters");
+            assert_eq!(other.time, json.time, "{codec:?} clock");
+            // Byte accounting: typed charges the measured binary size.
+            assert!(json.wire.bytes_on_wire > other.wire.bytes_on_wire);
+        }
+        let binary = run_net(
+            &SixColoring,
+            &topo,
+            ids.clone(),
+            &plan,
+            &base.clone().codec(Codec::Binary),
+        );
+        let typed = run_net(
+            &SixColoring,
+            &topo,
+            ids,
+            &plan,
+            &base.clone().codec(Codec::Typed),
+        );
+        assert_eq!(
+            binary.wire.bytes_on_wire, typed.wire.bytes_on_wire,
+            "typed mode charges exactly the binary frame sizes"
+        );
+        assert_eq!(typed.wire.frames_encoded, 0, "typed never serializes");
+        assert!(binary.wire.pool_hits > 0, "steady state reuses buffers");
+    }
+
+    #[test]
+    fn dead_register_servers_keep_answering_and_are_counted() {
+        let topo = cycle(5);
+        let ids = inputs::random_unique(5, 10_000, 1);
+        // Crash node 2 early: its neighbors still need its register.
+        let plan = FaultPlan::default().with_crash(2, 3);
+        let report = run_net(&SixColoring, &topo, ids, &plan, &NetConfig::new(4));
+        if report.crashed == vec![ProcessId(2)] {
+            assert!(
+                report.stats.served_dead_reads > 0,
+                "neighbors read the crashed node's register"
+            );
+        }
     }
 
     #[test]

@@ -11,7 +11,64 @@
 //! carry a cheap FNV-1a digest so tests can assert byte-identity
 //! without diffing megabytes.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
+use std::fmt;
+
+/// Kind tag of one traced send — the register-protocol subset of the
+/// wire vocabulary (control frames never cross the fault-injected
+/// network, so they never appear in a trace). Serializes as the same
+/// snake_case string the wire uses, so trace JSON is unchanged from
+/// when this field was a `String` — but recording a send is now a plain
+/// store instead of a heap allocation, which matters at millions of
+/// sends per run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A register write announcement.
+    Write,
+    /// A snapshot read request.
+    SnapshotReq,
+    /// A snapshot read response.
+    SnapshotResp,
+}
+
+impl FrameKind {
+    /// The snake_case wire tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FrameKind::Write => "write",
+            FrameKind::SnapshotReq => "snapshot_req",
+            FrameKind::SnapshotResp => "snapshot_resp",
+        }
+    }
+}
+
+impl fmt::Display for FrameKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for FrameKind {
+    fn to_value(&self) -> Value {
+        Value::String(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for FrameKind {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let Value::String(s) = v else {
+            return Err(Error::custom(format!(
+                "expected a frame-kind string, got {v:?}"
+            )));
+        };
+        match s.as_str() {
+            "write" => Ok(FrameKind::Write),
+            "snapshot_req" => Ok(FrameKind::SnapshotReq),
+            "snapshot_resp" => Ok(FrameKind::SnapshotResp),
+            other => Err(Error::custom(format!("unknown frame kind `{other}`"))),
+        }
+    }
+}
 
 /// What the network decided to do with one sent message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -39,7 +96,7 @@ pub struct TraceEntry {
     /// Receiving node.
     pub to: usize,
     /// Message kind tag (`write`, `snapshot_req`, `snapshot_resp`).
-    pub kind: String,
+    pub kind: FrameKind,
     /// The network's decision for the primary copy.
     pub outcome: Outcome,
     /// Delivery time of a duplicated extra copy, if one was injected.
@@ -111,7 +168,7 @@ mod tests {
                     t: 0,
                     from: 0,
                     to: 0,
-                    kind: "write".into(),
+                    kind: FrameKind::Write,
                     outcome: Outcome::Deliver { at: 1 },
                     dup_at: None,
                 },
@@ -120,7 +177,7 @@ mod tests {
                     t: 1,
                     from: 0,
                     to: 1,
-                    kind: "snapshot_req".into(),
+                    kind: FrameKind::SnapshotReq,
                     outcome: Outcome::Drop,
                     dup_at: Some(9),
                 },
@@ -129,7 +186,7 @@ mod tests {
                     t: 3,
                     from: 2,
                     to: 1,
-                    kind: "snapshot_resp".into(),
+                    kind: FrameKind::SnapshotResp,
                     outcome: Outcome::PartitionDrop,
                     dup_at: None,
                 },

@@ -42,7 +42,7 @@ use ftcolor::cluster::{self, ClusterOptions, ClusterTrace};
 use ftcolor::core::mis::{mis_violation, EagerMis};
 use ftcolor::model::render::{render_ring_coloring, render_schedule, render_timeline};
 use ftcolor::model::{inputs, Topology};
-use ftcolor::net::{FaultPlan, NetConfig};
+use ftcolor::net::{Codec, FaultPlan, NetConfig};
 use ftcolor::prelude::*;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -70,7 +70,7 @@ fn main() -> ExitCode {
         "netsim" => cmd_netsim(&opts),
         "serve" => cmd_serve(&opts),
         "cluster" => cmd_cluster(&opts),
-        "node" => cluster::node_main(),
+        "node" => parse_codec(&opts, &[Codec::Json, Codec::Binary]).and_then(cluster::node_main),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -100,16 +100,18 @@ USAGE:
   ftcolor certify    [--alg NAME|all] [--domain-colors C] [--rules CODES]
                      [--format text|json]
   ftcolor netsim     [--alg NAME|all] [--n N] [--seed K] [--faults JSON] [--max-time T]
-                     [--format text|json] [--emit-trace]
+                     [--codec json|binary|typed] [--format text|json] [--emit-trace]
   ftcolor serve      [--alg A] [--n N] [--instances I] [--rate R] [--seed K]
                      [--sched sync|random] [--p P] [--crash-prob P] [--crash-horizon T]
                      [--universe U] [--fuel F] [--quantum Q] [--jobs J]
                      [--format text|json]
   ftcolor cluster    [--alg NAME|all] [--n N] [--seed K] [--faults JSON] [--rto-ms MS]
-                     [--pace-ms MS] [--tick-ms MS] [--max-wall-ms MS] [--format text|json]
-                     [--emit-trace] [--record FILE] [--replay FILE]
-  ftcolor node       (internal: one cluster node, spawned by `ftcolor cluster`;
-                     speaks line-delimited JSON frames on stdin/stdout)
+                     [--pace-ms MS] [--tick-ms MS] [--max-wall-ms MS] [--codec json|binary]
+                     [--format text|json] [--emit-trace] [--record FILE] [--replay FILE]
+  ftcolor node       [--codec json|binary]
+                     (internal: one cluster node, spawned by `ftcolor cluster`;
+                     speaks JSON lines or length-prefixed binary frames on
+                     stdin/stdout — see README § wire formats)
 
 FLAGS:
   --alg          alg1 | alg2 | alg2p | alg3 | alg3p    (default alg3)
@@ -167,6 +169,12 @@ FLAGS:
                  '{\"drop\":0.1,\"crashes\":[{\"node\":2,\"at\":5}]}'
                  (default: the clean plan — no faults)
   --max-time     netsim: logical-time budget            (default 100000)
+  --codec        netsim/cluster: wire encoding for frames in flight
+                 (default json). `binary` is the compact length-prefixed
+                 format; `typed` (netsim only) skips byte serialization
+                 inside the router while charging fault accounting the
+                 measured binary size. Verdicts and traces are identical
+                 across codecs — only byte encodings and wall time differ
   --instances    serve: total instances to admit        (default 1000;
                  1 = a single materialized ring, the n=10M regime)
   --rate         serve: arrivals per sweep round        (default 64)
@@ -216,6 +224,24 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 
 fn get<'a>(opts: &'a HashMap<String, String>, key: &str, default: &'a str) -> &'a str {
     opts.get(key).map_or(default, String::as_str)
+}
+
+/// Parses `--codec` against the codecs a subcommand supports (the
+/// cluster's real pipes carry bytes, so `typed` is simulator-only).
+fn parse_codec(opts: &HashMap<String, String>, allowed: &[Codec]) -> Result<Codec, String> {
+    let name = get(opts, "codec", "json");
+    match Codec::parse(name) {
+        Some(c) if allowed.contains(&c) => Ok(c),
+        Some(c) => Err(format!("--codec {} is not supported here", c.name())),
+        None => Err(format!(
+            "unknown --codec `{name}` (expected {})",
+            allowed
+                .iter()
+                .map(|c| c.name())
+                .collect::<Vec<_>>()
+                .join("|")
+        )),
+    }
 }
 
 fn parse_ids(opts: &HashMap<String, String>) -> Result<Vec<u64>, String> {
@@ -912,7 +938,11 @@ fn cmd_netsim(opts: &HashMap<String, String>) -> Result<(), String> {
         None => FaultPlan::default(),
     };
     let emit_trace = opts.contains_key("emit-trace");
-    let cfg = NetConfig::new(seed).max_time(max_time).record_events(true);
+    let codec = parse_codec(opts, &[Codec::Json, Codec::Binary, Codec::Typed])?;
+    let cfg = NetConfig::new(seed)
+        .max_time(max_time)
+        .record_events(true)
+        .codec(codec);
 
     let alg = get(opts, "alg", "all");
     let names: Vec<&str> = if alg == "all" {
@@ -975,6 +1005,15 @@ fn cmd_netsim(opts: &HashMap<String, String>) -> Result<(), String> {
                     s.stats.retransmits
                 );
                 println!("  trace: {} sends, digest {}", s.trace_len, s.trace_digest);
+                println!(
+                    "  wire: codec={} encoded={} decoded={} bytes={} pool {}/{} hit",
+                    s.wire_codec,
+                    s.wire_frames_encoded,
+                    s.wire_frames_decoded,
+                    s.wire_bytes,
+                    s.wire_pool_hits,
+                    s.wire_pool_hits + s.wire_pool_misses
+                );
                 if emit_trace {
                     println!("  {}", out.trace.to_json());
                 }
@@ -1032,6 +1071,7 @@ fn cmd_cluster(opts: &HashMap<String, String>) -> Result<(), String> {
         pace_ms: parse_ms("pace-ms", "15")?,
         tick_ms: parse_ms("tick-ms", "5")?.max(1),
         max_wall_ms: parse_ms("max-wall-ms", "30000")?,
+        codec: parse_codec(opts, &[Codec::Json, Codec::Binary])?,
         ..ClusterOptions::default()
     };
     let emit_trace = opts.contains_key("emit-trace");

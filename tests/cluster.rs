@@ -189,3 +189,61 @@ fn live_trace_replays_to_the_same_verdict() {
     assert_eq!(replayed.stalled, outcome.summary.stalled);
     assert_eq!(replayed.trace_digest, outcome.summary.trace_digest);
 }
+
+/// The binary wire codec is a pure transport swap: the same (alg, n,
+/// seed, plan) cell run over length-prefixed binary pipes must land on
+/// the same colors and fault verdicts as the JSON-lines run, its
+/// journal must replay cleanly, and the frame-codec stats must show
+/// binary actually carried the traffic (and in fewer bytes).
+#[test]
+fn binary_codec_matches_json_verdicts_and_replays() {
+    use ftcolor::net::Codec;
+
+    let plan = FaultPlan::default().with_crash(1, 3);
+    let json = cluster::cluster_run("alg2p", 5, 9, &plan, &opts().pace_ms(15).codec(Codec::Json))
+        .expect("json cluster run");
+    let bin = cluster::cluster_run(
+        "alg2p",
+        5,
+        9,
+        &plan,
+        &opts().pace_ms(15).codec(Codec::Binary),
+    )
+    .expect("binary cluster run");
+
+    for s in [&json.summary, &bin.summary] {
+        assert!(
+            s.valid && s.palette_ok,
+            "cell failed under {}",
+            s.wire_codec
+        );
+        assert!(s.all_correct_returned, "a live node stalled");
+    }
+    // Colors are NOT compared across the two live runs: a process ring
+    // races on wall clocks, so two runs of the same cell may settle on
+    // different (both proper) colorings regardless of codec. The
+    // codec-invariant facts are the verdicts above and the fault sets.
+    assert_eq!(bin.summary.crashed, json.summary.crashed);
+    assert_eq!(bin.summary.stalled, json.summary.stalled);
+
+    // The codec label and the stats prove the bytes really went over
+    // the binary framing, not a silent JSON fallback.
+    assert_eq!(bin.summary.wire_codec, "binary");
+    assert_eq!(json.summary.wire_codec, "json");
+    assert!(bin.summary.wire_frames_encoded > 0);
+    assert!(bin.summary.wire_frames_decoded > 0);
+    assert!(
+        bin.summary.wire_bytes < json.summary.wire_bytes,
+        "binary ({}) should be smaller than JSON ({})",
+        bin.summary.wire_bytes,
+        json.summary.wire_bytes
+    );
+    assert!(bin.summary.wire_pool_hits > 0, "pool never recycled");
+
+    // The journal stays codec-independent JSON: replay works unchanged.
+    let replayed = cluster::cluster_replay(&bin.trace).expect("replay of binary-run journal");
+    assert_eq!(replayed.colors, bin.summary.colors);
+    assert_eq!(replayed.crashed, bin.summary.crashed);
+    assert_eq!(replayed.trace_digest, bin.summary.trace_digest);
+    assert_eq!(replayed.wire_codec, "none");
+}

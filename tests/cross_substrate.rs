@@ -311,3 +311,115 @@ fn renaming_on_threads_names_are_distinct() {
         assert!(names.iter().all(|&s| s <= 2 * n as u64 - 2));
     }
 }
+
+// --------------------------------------------------------------------
+// Cross-codec conformance: the wire codec is transport, not semantics.
+// --------------------------------------------------------------------
+
+/// The netsim summary is fully deterministic, so the cross-codec claim
+/// can be made at full strength: for the same (alg, n, seed, plan)
+/// cell, the pretty-printed summary JSON under `--codec binary` and
+/// `--codec typed` is **byte-identical** to the `--codec json` run once
+/// the flat `wire_*` stat lines — the only codec-variant fields, by
+/// construction — are stripped, exactly as the CI diff does with
+/// `grep -v '"wire_'`.
+#[test]
+fn cross_codec_netsim_summaries_are_byte_identical() {
+    use ftcolor::analyze::net_run;
+    use ftcolor::net::Codec;
+
+    let strip_wire = |summary: &ftcolor::analyze::NetSummary| -> String {
+        serde_json::to_string_pretty(summary)
+            .expect("summary serializes")
+            .lines()
+            .filter(|l| !l.contains("\"wire_"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    let mut plan = FaultPlan::lossy(0.1).with_crash(2, 5);
+    plan.duplicate = 0.05;
+    for (alg, n, seed) in [("alg3p", 16usize, 3u64), ("alg2p", 8, 7), ("alg1", 5, 0)] {
+        let mut runs = [Codec::Json, Codec::Binary, Codec::Typed].map(|codec| {
+            let cfg = NetConfig::new(seed).codec(codec);
+            net_run(alg, n, seed, &plan, &cfg).expect("registry cell")
+        });
+        let [json, bin, typed] = &mut runs;
+        let label = format!("{alg} n={n} seed={seed}");
+
+        assert_eq!(
+            strip_wire(&json.summary),
+            strip_wire(&bin.summary),
+            "{label}: binary summary diverged from json"
+        );
+        assert_eq!(
+            strip_wire(&json.summary),
+            strip_wire(&typed.summary),
+            "{label}: typed summary diverged from json"
+        );
+        // The trace itself (not just its digest) is codec-independent.
+        assert_eq!(
+            json.trace, bin.trace,
+            "{label}: binary delivery trace diverged"
+        );
+        assert_eq!(
+            json.trace, typed.trace,
+            "{label}: typed delivery trace diverged"
+        );
+        // And the stripped fields moved the way the codec promises:
+        // binary strictly smaller than JSON, typed charged binary's
+        // exact byte count without serializing a single frame.
+        assert!(bin.summary.wire_bytes < json.summary.wire_bytes, "{label}");
+        assert_eq!(bin.summary.wire_bytes, typed.summary.wire_bytes, "{label}");
+        assert_eq!(typed.summary.wire_frames_encoded, 0, "{label}");
+    }
+}
+
+/// The cluster twin of the cross-codec claim, scoped to what a real
+/// process ring can promise: wall-clock effects make retransmit
+/// counts, trace lengths, and even the particular (proper) coloring
+/// timing-dependent, but the *verdict* — validity, palette,
+/// wait-freedom, crash set — must be byte-identical between
+/// `--codec json` and `--codec binary` runs of the same cell, and each
+/// journal must replay to its own run's colors exactly. Spawns process
+/// rings, so gated like the cluster leg above.
+#[test]
+fn cross_codec_cluster_verdicts_are_byte_identical() {
+    use ftcolor::cluster::{self, ClusterOptions, ClusterSummary};
+    use ftcolor::net::Codec;
+
+    if std::env::var_os("FTCOLOR_CLUSTER_E2E").is_none() {
+        eprintln!("skipping cluster leg: set FTCOLOR_CLUSTER_E2E=1 to run it");
+        return;
+    }
+    let node_cmd = std::path::PathBuf::from(env!("CARGO_BIN_EXE_ftcolor"));
+    let verdict = |s: &ClusterSummary| {
+        format!(
+            "{{\"valid\":{},\"palette_ok\":{},\"all_correct_returned\":{},\"crashed\":{:?}}}",
+            s.valid, s.palette_ok, s.all_correct_returned, s.crashed
+        )
+    };
+
+    let plan = FaultPlan::default().with_crash(1, 3);
+    for (alg, n, seed) in [("alg2p", 5usize, 9u64), ("alg1", 5, 2)] {
+        let label = format!("{alg} n={n} seed={seed} (cluster cross-codec)");
+        let run = |codec: Codec| {
+            let opts = ClusterOptions::default()
+                .pace_ms(10)
+                .node_cmd(node_cmd.clone())
+                .codec(codec);
+            cluster::cluster_run(alg, n, seed, &plan, &opts)
+                .unwrap_or_else(|e| panic!("{label} [{}]: {e}", codec.name()))
+        };
+        let json = run(Codec::Json);
+        let bin = run(Codec::Binary);
+        assert!(json.summary.valid && bin.summary.valid, "{label}");
+        assert_eq!(verdict(&json.summary), verdict(&bin.summary), "{label}");
+        for outcome in [&json, &bin] {
+            let replayed = cluster::cluster_replay(&outcome.trace)
+                .unwrap_or_else(|e| panic!("{label}: journal replay: {e}"));
+            assert_eq!(replayed.colors, outcome.summary.colors, "{label}");
+            assert_eq!(replayed.crashed, outcome.summary.crashed, "{label}");
+        }
+    }
+}

@@ -45,6 +45,12 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(out)
 }
 
+/// Serializes `value` as compact JSON appended onto `out`, reusing the
+/// caller's buffer instead of allocating a fresh `String` per call.
+pub fn append_to_string<T: Serialize + ?Sized>(value: &T, out: &mut String) {
+    write_value(out, &value.to_value(), None, 0);
+}
+
 /// Converts any serializable value into a [`Value`] tree.
 pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
     Ok(value.to_value())
